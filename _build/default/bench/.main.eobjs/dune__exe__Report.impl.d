@@ -1,0 +1,1 @@
+bench/report.ml: Fmt List String

@@ -1,0 +1,1 @@
+bench/strutil.ml: String

@@ -1,0 +1,1 @@
+bench/workload.ml: Dmx_core Dmx_db Dmx_page Dmx_query Dmx_smethod Dmx_value Float Fmt List Schema Unix Value

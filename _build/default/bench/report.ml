@@ -1,0 +1,38 @@
+(* Plain-text experiment reporting. *)
+
+let heading id ~claim =
+  Fmt.pr "@.%s@." (String.make 78 '=');
+  Fmt.pr "%s@." id;
+  Fmt.pr "paper claim: %s@." claim;
+  Fmt.pr "%s@." (String.make 78 '-')
+
+(* Fixed-width table: header row then data rows. *)
+let table ~columns rows =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length c) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        if i = 0 then Fmt.pr "  %-*s" w cell else Fmt.pr "  %*s" w cell)
+      cells;
+    Fmt.pr "@."
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let verdict ~ok fmt =
+  Fmt.kstr
+    (fun s -> Fmt.pr "shape check: %s — %s@." (if ok then "PASS" else "FAIL") s)
+    fmt
+
+let f1 v = Fmt.str "%.1f" v
+let f2 v = Fmt.str "%.2f" v
+let i v = string_of_int v

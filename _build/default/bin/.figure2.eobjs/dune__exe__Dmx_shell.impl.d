@@ -1,0 +1,1 @@
+bin/dmx_shell.ml: Array Buffer Dmx_catalog Dmx_core Dmx_db Dmx_expr Dmx_query Dmx_value Fmt Fun List Option Record Record_key Schema String Sys Value

@@ -1,0 +1,1 @@
+bin/dmx_shell.mli:

@@ -1,0 +1,1 @@
+bin/figure2.ml: Dmx_core Dmx_db Fmt List String

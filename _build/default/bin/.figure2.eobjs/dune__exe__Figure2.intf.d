@@ -1,0 +1,1 @@
+bin/figure2.mli:

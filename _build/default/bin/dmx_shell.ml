@@ -1,0 +1,461 @@
+(* An interactive shell over the whole stack. Line-oriented, SQL-flavoured:
+
+     create table emp (id int not null, name string, salary int) using heap
+     create table kv (k int not null, v string) using btree with key=k
+     create index pk on emp using btree_index with fields=id, unique=true
+     create constraint paid on emp using check with predicate='salary > 0'
+     insert into emp values (1, 'alice', 120)
+     select * from emp where salary > 100
+     select name, salary from emp where id = 1
+     explain select * from emp where id = 1
+     update emp set salary = 200 where id = 1
+     delete from emp where id = 1
+     begin | commit | abort | savepoint s1 | rollback to s1
+     drop index pk on emp using btree_index
+     drop table emp
+     show tables | describe emp | show extensions
+     quit
+
+   Run with: dune exec bin/dmx_shell.exe            (in-memory)
+             dune exec bin/dmx_shell.exe -- ./data  (durable)      *)
+
+open Dmx_value
+module Db = Dmx_db.Db
+module Query = Dmx_query.Query
+module Error = Dmx_core.Error
+module Relation = Dmx_core.Relation
+module Descriptor = Dmx_catalog.Descriptor
+
+exception Shell_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Shell_error s)) fmt
+
+(* ---- tokenizer: words, 'strings', parens, commas, = ---- *)
+
+type tok = Word of string | Str of string | Lpar | Rpar | Comma | Equals
+
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '(' then (incr i; toks := Lpar :: !toks)
+    else if c = ')' then (incr i; toks := Rpar :: !toks)
+    else if c = ',' then (incr i; toks := Comma :: !toks)
+    else if c = '=' then (incr i; toks := Equals :: !toks)
+    else if c = '\'' then begin
+      incr i;
+      let b = Buffer.create 8 in
+      let rec loop () =
+        if !i >= n then err "unterminated string"
+        else if line.[!i] = '\'' then incr i
+        else begin
+          Buffer.add_char b line.[!i];
+          incr i;
+          loop ()
+        end
+      in
+      loop ();
+      toks := Str (Buffer.contents b) :: !toks
+    end
+    else begin
+      let start = !i in
+      while
+        !i < n
+        && not (List.mem line.[!i] [ ' '; '\t'; '('; ')'; ','; '='; '\'' ])
+      do
+        incr i
+      done;
+      toks := Word (String.sub line start (!i - start)) :: !toks
+    end
+  done;
+  List.rev !toks
+
+let kw s = String.lowercase_ascii s
+
+(* ---- shell state ---- *)
+
+type state = {
+  db : Db.t;
+  mutable txn : Dmx_core.Ctx.t option;  (* explicit transaction, if any *)
+}
+
+let ok = function
+  | Ok v -> v
+  | Error e -> raise (Shell_error (Error.to_string e))
+
+(* run [f] in the explicit transaction or a one-statement transaction *)
+let with_ctx st f =
+  match st.txn with
+  | Some ctx -> f ctx
+  | None -> begin
+    match Db.with_txn st.db (fun ctx -> Ok (f ctx)) with
+    | Ok v -> v
+    | Error e -> raise (Shell_error (Error.to_string e))
+  end
+
+(* ---- parsing helpers ---- *)
+
+let parse_type = function
+  | "int" | "integer" -> Value.Tint
+  | "string" | "text" | "varchar" -> Value.Tstring
+  | "float" | "real" | "double" -> Value.Tfloat
+  | "bool" | "boolean" -> Value.Tbool
+  | t -> err "unknown type %S" t
+
+(* (name type [not null], ...) *)
+let parse_columns toks =
+  let rec cols acc = function
+    | Word name :: Word ty :: rest -> begin
+      let ty = parse_type (kw ty) in
+      match rest with
+      | Word n1 :: Word n2 :: rest when kw n1 = "not" && kw n2 = "null" ->
+        after (Schema.column ~nullable:false name ty :: acc) rest
+      | rest -> after (Schema.column name ty :: acc) rest
+    end
+    | _ -> err "expected: column type [not null]"
+  and after acc = function
+    | Comma :: rest -> cols acc rest
+    | Rpar :: rest -> (List.rev acc, rest)
+    | _ -> err "expected , or ) in column list"
+  in
+  match toks with
+  | Lpar :: rest -> cols [] rest
+  | _ -> err "expected ( after table name"
+
+(* with k=v, k=v ... *)
+let parse_attrs toks =
+  let value_of = function
+    | Word w -> w
+    | Str s -> s
+    | _ -> err "expected a value after ="
+  in
+  let rec loop acc = function
+    | [] -> (List.rev acc, [])
+    | Word k :: Equals :: v :: rest -> begin
+      let acc = (k, value_of v) :: acc in
+      match rest with
+      | Comma :: rest -> loop acc rest
+      | rest -> (List.rev acc, rest)
+    end
+    | rest -> (List.rev acc, rest)
+  in
+  loop [] toks
+
+let parse_values toks =
+  let value = function
+    | Str s -> Value.String s
+    | Word w -> begin
+      match kw w with
+      | "null" -> Value.Null
+      | "true" -> Value.Bool true
+      | "false" -> Value.Bool false
+      | _ -> begin
+        match int_of_string_opt w with
+        | Some n -> Value.int n
+        | None -> begin
+          match float_of_string_opt w with
+          | Some f -> Value.Float f
+          | None -> err "cannot parse value %S (quote strings)" w
+        end
+      end
+    end
+    | _ -> err "bad value"
+  in
+  let rec loop acc = function
+    | Rpar :: rest -> (Array.of_list (List.rev acc), rest)
+    | Comma :: rest -> loop acc rest
+    | t :: rest -> loop (value t :: acc) rest
+    | [] -> err "unterminated value list"
+  in
+  match toks with
+  | Lpar :: rest -> loop [] rest
+  | _ -> err "expected ( before values"
+
+(* everything after WHERE, as raw text for the predicate parser *)
+let raw_after_where line =
+  let lower = String.lowercase_ascii line in
+  match
+    let re = " where " in
+    let rec find i =
+      if i + String.length re > String.length lower then None
+      else if String.sub lower i (String.length re) = re then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | Some i -> Some (String.sub line (i + 7) (String.length line - i - 7))
+  | None -> None
+
+(* ---- record lookup for update/delete: evaluate predicate over a scan ---- *)
+
+let keys_matching st ctx rel where =
+  let desc = ok (Db.relation st.db ctx rel) in
+  let filter =
+    Option.map
+      (fun w ->
+        match Dmx_expr.Parse.parse desc.Descriptor.schema w with
+        | Ok e -> e
+        | Error m -> err "bad predicate: %s" m)
+      where
+  in
+  let scan = ok (Relation.scan ctx desc ?filter ()) in
+  Dmx_core.Scan_help.record_scan_to_list scan
+
+let print_rows schema_names rows =
+  (match schema_names with
+  | Some names -> Fmt.pr "%s@." (String.concat " | " names)
+  | None -> ());
+  List.iter (fun r -> Fmt.pr "%a@." Record.pp r) rows;
+  Fmt.pr "(%d row%s)@." (List.length rows)
+    (if List.length rows = 1 then "" else "s")
+
+(* ---- statement execution ---- *)
+
+let exec_line st line =
+  let toks = tokenize line in
+  match toks with
+  | [] -> ()
+  | Word w :: rest -> begin
+    match kw w, rest with
+    | ("quit" | "exit"), _ -> raise Exit
+    | "begin", [] ->
+      if st.txn <> None then err "already in a transaction";
+      st.txn <- Some (Db.begin_txn st.db);
+      Fmt.pr "BEGIN@."
+    | "commit", [] -> begin
+      match st.txn with
+      | None -> err "no transaction"
+      | Some ctx ->
+        st.txn <- None;
+        Db.commit st.db ctx;
+        Fmt.pr "COMMIT@."
+    end
+    | "abort", [] | "rollback", [] -> begin
+      match st.txn with
+      | None -> err "no transaction"
+      | Some ctx ->
+        st.txn <- None;
+        Db.abort st.db ctx;
+        Fmt.pr "ABORT@."
+    end
+    | "savepoint", [ Word name ] -> begin
+      match st.txn with
+      | None -> err "savepoints need an explicit transaction (begin)"
+      | Some ctx ->
+        Dmx_core.Services.savepoint ctx name;
+        Fmt.pr "SAVEPOINT %s@." name
+    end
+    | "rollback", Word t :: [ Word name ] when kw t = "to" -> begin
+      match st.txn with
+      | None -> err "no transaction"
+      | Some ctx ->
+        Dmx_core.Services.rollback_to ctx name;
+        Fmt.pr "ROLLBACK TO %s@." name
+    end
+    | "create", Word t :: Word name :: rest when kw t = "table" ->
+      let cols, rest = parse_columns rest in
+      let schema =
+        match Schema.make cols with Ok s -> s | Error e -> err "%s" e
+      in
+      let storage_method, attrs =
+        match rest with
+        | Word u :: Word m :: rest when kw u = "using" -> begin
+          match rest with
+          | Word w :: rest when kw w = "with" -> (m, fst (parse_attrs rest))
+          | [] -> (m, [])
+          | _ -> err "expected: with k=v, ..."
+        end
+        | [] -> ("heap", [])
+        | _ -> err "expected: using <storage method> [with k=v, ...]"
+      in
+      with_ctx st (fun ctx ->
+          ignore
+            (ok (Db.create_relation st.db ctx ~name ~schema ~storage_method
+                   ~attrs ())));
+      Fmt.pr "CREATE TABLE %s (storage method %s)@." name storage_method
+    | "create", Word what :: Word name :: Word on :: Word rel :: rest
+      when kw on = "on"
+           && List.mem (kw what) [ "index"; "constraint"; "trigger"; "attachment" ] ->
+      let attachment_type, attrs =
+        match rest with
+        | Word u :: Word ty :: rest when kw u = "using" -> begin
+          match rest with
+          | Word w :: rest when kw w = "with" -> (ty, fst (parse_attrs rest))
+          | [] -> (ty, [])
+          | _ -> err "expected: with k=v, ..."
+        end
+        | _ -> err "expected: using <attachment type> [with k=v, ...]"
+      in
+      with_ctx st (fun ctx ->
+          ok
+            (Db.create_attachment st.db ctx ~relation:rel ~attachment_type
+               ~name ~attrs ()));
+      Fmt.pr "CREATE %s %s ON %s (%s)@."
+        (String.uppercase_ascii (kw what))
+        name rel attachment_type
+    | "drop", Word t :: [ Word name ] when kw t = "table" ->
+      with_ctx st (fun ctx -> ok (Db.drop_relation st.db ctx ~name));
+      Fmt.pr "DROP TABLE %s@." name
+    | "drop", Word _ :: Word name :: Word on :: Word rel :: Word u :: [ Word ty ]
+      when kw on = "on" && kw u = "using" ->
+      with_ctx st (fun ctx ->
+          ok
+            (Db.drop_attachment st.db ctx ~relation:rel ~attachment_type:ty
+               ~name));
+      Fmt.pr "DROP %s ON %s@." name rel
+    | "insert", Word into :: Word rel :: Word v :: rest
+      when kw into = "into" && kw v = "values" ->
+      let record, _ = parse_values rest in
+      with_ctx st (fun ctx ->
+          let key = ok (Db.insert st.db ctx ~relation:rel record) in
+          Fmt.pr "INSERT %a@." Record_key.pp key)
+    | "select", _ ->
+      (* select <cols|*> from <rel> [where ...] *)
+      let cols, rest =
+        let rec take acc = function
+          | Word f :: rest when kw f = "from" -> (List.rev acc, rest)
+          | Word c :: rest -> take (c :: acc) rest
+          | Comma :: rest -> take acc rest
+          | _ -> err "expected: select cols from table"
+        in
+        take [] rest
+      in
+      let rel =
+        match rest with Word r :: _ -> r | _ -> err "expected table name"
+      in
+      let project =
+        match cols with [ "*" ] -> None | cols -> Some cols
+      in
+      let where = raw_after_where line in
+      let q = Query.select ?where ?project rel in
+      with_ctx st (fun ctx ->
+          let rows = ok (Db.query st.db ctx q ()) in
+          print_rows (Option.map Fun.id project) rows)
+    | "explain", _ ->
+      let stmt = String.sub line 8 (String.length line - 8) in
+      let toks2 = tokenize stmt in
+      (match toks2 with
+      | Word s :: _ when kw s = "select" ->
+        let cols, rest =
+          let rec take acc = function
+            | Word f :: rest when kw f = "from" -> (List.rev acc, rest)
+            | Word c :: rest -> take (c :: acc) rest
+            | Comma :: rest -> take acc rest
+            | _ -> err "explain only supports select"
+          in
+          match toks2 with
+          | _ :: rest -> take [] rest
+          | [] -> err "empty explain"
+        in
+        ignore cols;
+        let rel =
+          match rest with Word r :: _ -> r | _ -> err "expected table"
+        in
+        let where = raw_after_where stmt in
+        let q = Query.select ?where rel in
+        with_ctx st (fun ctx ->
+            Fmt.pr "plan: %s@." (ok (Db.explain st.db ctx q)))
+      | _ -> err "explain only supports select")
+    | "update", Word rel :: Word s :: Word col :: Equals :: v :: _
+      when kw s = "set" ->
+      let where = raw_after_where line in
+      let new_value =
+        match v with
+        | Str s -> Value.String s
+        | Word w -> begin
+          match int_of_string_opt w with
+          | Some n -> Value.int n
+          | None -> (
+            match float_of_string_opt w with
+            | Some f -> Value.Float f
+            | None -> if kw w = "null" then Value.Null else Value.String w)
+        end
+        | _ -> err "bad value in set"
+      in
+      with_ctx st (fun ctx ->
+          let desc = ok (Db.relation st.db ctx rel) in
+          let fidx =
+            match Schema.field_index desc.Descriptor.schema col with
+            | Some i -> i
+            | None -> err "unknown column %S" col
+          in
+          let hits = keys_matching st ctx rel where in
+          let n = ref 0 in
+          List.iter
+            (fun (key, record) ->
+              let record = Array.copy record in
+              record.(fidx) <- new_value;
+              ignore (ok (Db.update st.db ctx ~relation:rel key record));
+              incr n)
+            hits;
+          Fmt.pr "UPDATE %d@." !n)
+    | "delete", Word f :: Word rel :: _ when kw f = "from" ->
+      let where = raw_after_where line in
+      with_ctx st (fun ctx ->
+          let hits = keys_matching st ctx rel where in
+          List.iter
+            (fun (key, _) -> ignore (ok (Db.delete st.db ctx ~relation:rel key)))
+            hits;
+          Fmt.pr "DELETE %d@." (List.length hits))
+    | "show", [ Word t ] when kw t = "tables" ->
+      let rels =
+        Dmx_catalog.Catalog.relations st.db.Db.services.Dmx_core.Services.catalog
+      in
+      List.iter
+        (fun (d : Descriptor.t) ->
+          Fmt.pr "%s (id %d, storage method %s)@." d.rel_name d.rel_id
+            (Dmx_core.Registry.storage_method_name d.smethod_id))
+        rels;
+      Fmt.pr "(%d table%s)@." (List.length rels)
+        (if List.length rels = 1 then "" else "s")
+    | "show", [ Word t ] when kw t = "extensions" ->
+      Fmt.pr "storage methods:@.";
+      List.iter
+        (fun (id, n) -> Fmt.pr "  [%d] %s@." id n)
+        (Dmx_core.Registry.storage_methods ());
+      Fmt.pr "attachment types:@.";
+      List.iter
+        (fun (id, n) -> Fmt.pr "  [%d] %s@." id n)
+        (Dmx_core.Registry.attachments ())
+    | "describe", [ Word name ] ->
+      with_ctx st (fun ctx ->
+          let desc = ok (Db.relation st.db ctx name) in
+          Fmt.pr "%a@." Descriptor.pp desc)
+    | verb, _ -> err "unknown or malformed statement %S" verb
+  end
+  | _ -> err "statements start with a keyword"
+
+let banner =
+  "dmx shell — a data management extension architecture (SIGMOD 1987)\n\
+   type statements, or 'quit'. tables: create/drop/describe; attachments:\n\
+   create index/constraint/trigger ... using <type> with k=v; dml:\n\
+   insert/select/update/delete; txns: begin/commit/abort/savepoint."
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  Db.register_defaults ();
+  let db = Db.open_database ?dir () in
+  let st = { db; txn = None } in
+  print_endline banner;
+  (try
+     while true do
+       print_string "dmx> ";
+       flush stdout;
+       match input_line stdin with
+       | exception End_of_file -> raise Exit
+       | line -> begin
+         match exec_line st (String.trim line) with
+         | () -> ()
+         | exception Shell_error msg -> Fmt.pr "error: %s@." msg
+         | exception Error.Error e -> Fmt.pr "error: %s@." (Error.to_string e)
+       end
+     done
+   with Exit -> ());
+  (match st.txn with
+  | Some ctx -> Db.abort st.db ctx
+  | None -> ());
+  Db.close db;
+  print_endline "bye"

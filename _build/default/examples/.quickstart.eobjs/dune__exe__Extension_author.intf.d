@@ -1,0 +1,1 @@
+examples/extension_author.mli:

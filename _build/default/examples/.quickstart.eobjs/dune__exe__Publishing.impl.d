@@ -1,0 +1,1 @@
+examples/publishing.ml: Array Dmx_core Dmx_db Dmx_query Dmx_smethod Dmx_value Fmt List Record Schema Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dmx_catalog Dmx_core Dmx_db Dmx_query Dmx_value Fmt List Record Schema Value

@@ -1,0 +1,1 @@
+examples/recovery_demo.ml: Array Dmx_core Dmx_db Dmx_expr Dmx_page Dmx_query Dmx_value Dmx_wal Filename Fmt List Record Schema Sys Unix Value

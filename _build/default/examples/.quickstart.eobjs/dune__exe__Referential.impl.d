@@ -1,0 +1,1 @@
+examples/referential.ml: Dmx_attach Dmx_core Dmx_db Dmx_expr Dmx_query Dmx_value Fmt List Schema Value

@@ -1,0 +1,1 @@
+examples/spatial.ml: Dmx_core Dmx_db Dmx_page Dmx_query Dmx_value Fmt List Schema Value

@@ -1,0 +1,171 @@
+(* Referential integrity and triggers: a small order-management schema with
+   cascaded deletes across two levels (customer -> order -> line item), a
+   deferred balance constraint, and an audit trigger — the paper's attachment
+   examples working together.
+
+   Run with: dune exec examples/referential.exe *)
+
+open Dmx_value
+module Db = Dmx_db.Db
+module Query = Dmx_query.Query
+module Error = Dmx_core.Error
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> failwith (Fmt.str "%s: %s" what (Error.to_string e))
+
+let audit : string list ref = ref []
+
+let () =
+  Db.register_defaults ();
+  (* Trigger functions are OCaml procedures registered at the factory. *)
+  Dmx_attach.Trigger.register_function "audit_orders" (fun _ctx fire ->
+      let open Dmx_attach.Trigger in
+      let what =
+        match fire.fire_event with
+        | On_insert -> "insert"
+        | On_update -> "update"
+        | On_delete -> "delete"
+      in
+      audit := Fmt.str "%s on %s" what fire.fire_relation.rel_name :: !audit;
+      Ok ());
+  let db = Db.open_database () in
+
+  let customer =
+    Schema.make_exn
+      [
+        Schema.column ~nullable:false "cust_id" Value.Tint;
+        Schema.column "cust_name" Value.Tstring;
+      ]
+  in
+  let order =
+    Schema.make_exn
+      [
+        Schema.column ~nullable:false "order_id" Value.Tint;
+        Schema.column ~nullable:false "cust_id" Value.Tint;
+        Schema.column "total" Value.Tint;
+      ]
+  in
+  let item =
+    Schema.make_exn
+      [
+        Schema.column ~nullable:false "item_id" Value.Tint;
+        Schema.column ~nullable:false "order_id" Value.Tint;
+        Schema.column "amount" Value.Tint;
+      ]
+  in
+
+  ignore
+    (ok "setup"
+       (Db.with_txn db (fun ctx ->
+            ignore (ok "c" (Db.create_relation db ctx ~name:"customer" ~schema:customer ()));
+            ignore (ok "o" (Db.create_relation db ctx ~name:"orders" ~schema:order ()));
+            ignore (ok "i" (Db.create_relation db ctx ~name:"item" ~schema:item ()));
+            (* orders.cust_id -> customer.cust_id, cascading *)
+            ok "fk1"
+              (Db.create_attachment db ctx ~relation:"orders"
+                 ~attachment_type:"refint" ~name:"order_customer"
+                 ~attrs:
+                   [ ("fields", "cust_id"); ("parent", "customer");
+                     ("parent_fields", "cust_id"); ("on_delete", "cascade") ]
+                 ());
+            (* item.order_id -> orders.order_id, cascading: deletes chain *)
+            ok "fk2"
+              (Db.create_attachment db ctx ~relation:"item"
+                 ~attachment_type:"refint" ~name:"item_order"
+                 ~attrs:
+                   [ ("fields", "order_id"); ("parent", "orders");
+                     ("parent_fields", "order_id"); ("on_delete", "cascade") ]
+                 ());
+            (* a deferred constraint: order totals stay under a limit when the
+               transaction commits *)
+            ok "limit"
+              (Db.create_attachment db ctx ~relation:"orders"
+                 ~attachment_type:"check" ~name:"credit_limit"
+                 ~attrs:[ ("predicate", "total <= 1000"); ("deferred", "true") ]
+                 ());
+            ok "audit"
+              (Db.create_attachment db ctx ~relation:"orders"
+                 ~attachment_type:"trigger" ~name:"order_audit"
+                 ~attrs:
+                   [ ("function", "audit_orders");
+                     ("events", "insert,update,delete") ]
+                 ());
+            Ok ())));
+
+  ignore
+    (ok "populate"
+       (Db.with_txn db (fun ctx ->
+            let ins rel r = ignore (ok "ins" (Db.insert db ctx ~relation:rel r)) in
+            ins "customer" [| Value.int 1; String "acme" |];
+            ins "customer" [| Value.int 2; String "globex" |];
+            ins "orders" [| Value.int 10; Value.int 1; Value.int 500 |];
+            ins "orders" [| Value.int 11; Value.int 1; Value.int 700 |];
+            ins "orders" [| Value.int 12; Value.int 2; Value.int 900 |];
+            ins "item" [| Value.int 100; Value.int 10; Value.int 250 |];
+            ins "item" [| Value.int 101; Value.int 10; Value.int 250 |];
+            ins "item" [| Value.int 102; Value.int 11; Value.int 700 |];
+            ins "item" [| Value.int 103; Value.int 12; Value.int 900 |];
+            Ok ())));
+
+  let count ctx rel =
+    List.length (ok "q" (Db.query db ctx (Query.select rel) ()))
+  in
+
+  (* --- orphan veto ----------------------------------------------------- *)
+  ignore
+    (ok "orphan"
+       (Db.with_txn db (fun ctx ->
+            (match
+               Db.insert db ctx ~relation:"orders"
+                 [| Value.int 99; Value.int 42; Value.int 1 |]
+             with
+            | Error e -> Fmt.pr "orphan order rejected: %s@." (Error.to_string e)
+            | Ok _ -> Fmt.pr "orphan order ACCEPTED?!@.");
+            Ok ())));
+
+  (* --- cascading deletes across two levels ----------------------------- *)
+  ignore
+    (ok "cascade"
+       (Db.with_txn db (fun ctx ->
+            Fmt.pr "@.before cascade: %d customers, %d orders, %d items@."
+              (count ctx "customer") (count ctx "orders") (count ctx "item");
+            (* delete customer 1: orders 10,11 cascade; items 100..102 chain *)
+            let rows =
+              ok "find" (Db.query db ctx (Query.select ~where:"cust_id = 1" "customer") ())
+            in
+            ignore rows;
+            let desc = ok "rel" (Db.relation db ctx "customer") in
+            let scan =
+              ok "scan" (Dmx_core.Relation.scan ctx desc
+                           ~filter:(Dmx_expr.Parse.parse_exn customer "cust_id = 1") ())
+            in
+            (match scan.Dmx_core.Intf.rs_next () with
+            | Some (key, _) ->
+              scan.rs_close ();
+              ignore (ok "cascade delete" (Db.delete db ctx ~relation:"customer" key))
+            | None -> failwith "customer 1 not found");
+            Fmt.pr "after cascade:  %d customers, %d orders, %d items@."
+              (count ctx "customer") (count ctx "orders") (count ctx "item");
+            Fmt.pr "audit log: %a@."
+              Fmt.(list ~sep:(any "; ") string)
+              (List.rev !audit);
+            Ok ())));
+
+  (* --- deferred constraint at commit ----------------------------------- *)
+  let ctx = Db.begin_txn db in
+  ignore
+    (ok "over-limit insert accepted for now"
+       (Db.insert db ctx ~relation:"orders"
+          [| Value.int 50; Value.int 2; Value.int 5000 |]));
+  (match Db.commit db ctx with
+  | exception Error.Error e ->
+    Fmt.pr "@.commit vetoed by deferred constraint: %s@." (Error.to_string e)
+  | () -> Fmt.pr "@.commit UNEXPECTEDLY SUCCEEDED@.");
+  ignore
+    (ok "post"
+       (Db.with_txn db (fun ctx ->
+            Fmt.pr "orders after vetoed commit: %d@." (count ctx "orders");
+            Ok ())));
+  Db.close db;
+  Fmt.pr "@.referential: done@."

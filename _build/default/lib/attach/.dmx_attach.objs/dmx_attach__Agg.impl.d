@@ -1,0 +1,1 @@
+lib/attach/agg.ml: Array Attach_util Codec Ctx Dmx_btree Dmx_catalog Dmx_core Dmx_value Dmx_wal Error Fmt Int64 Intf List Option Record Registry Result Value

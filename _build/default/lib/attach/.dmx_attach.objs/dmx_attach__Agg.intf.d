@@ -1,0 +1,1 @@
+lib/attach/agg.mli: Dmx_catalog Dmx_core Dmx_value Value

@@ -1,0 +1,1 @@
+lib/attach/attach_util.ml: Array Bytes Codec Dmx_catalog Dmx_core Dmx_value Fmt Intf List Record_key Registry Schema String Value

@@ -1,0 +1,1 @@
+lib/attach/attach_util.mli: Codec Ctx Dmx_catalog Dmx_core Dmx_value Record Record_key Schema Value

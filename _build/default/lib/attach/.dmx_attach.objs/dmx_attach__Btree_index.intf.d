@@ -1,0 +1,1 @@
+lib/attach/btree_index.mli: Dmx_catalog Dmx_core

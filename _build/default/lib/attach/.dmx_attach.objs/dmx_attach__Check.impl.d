@@ -1,0 +1,1 @@
+lib/attach/check.ml: Attach_util Bytes Ctx Dmx_catalog Dmx_core Dmx_expr Dmx_txn Dmx_value Error Fmt Intf Option Registry Result

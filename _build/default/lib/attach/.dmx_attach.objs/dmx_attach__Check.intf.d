@@ -1,0 +1,1 @@
+lib/attach/check.mli: Dmx_core

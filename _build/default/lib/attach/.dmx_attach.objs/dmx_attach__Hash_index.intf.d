@@ -1,0 +1,1 @@
+lib/attach/hash_index.mli: Dmx_core

@@ -1,0 +1,1 @@
+lib/attach/join_index.ml: Array Attach_util Bytes Codec Ctx Dmx_btree Dmx_catalog Dmx_core Dmx_expr Dmx_value Dmx_wal Error Fmt Intf List Option Record_key Registry Result Scan_help Value

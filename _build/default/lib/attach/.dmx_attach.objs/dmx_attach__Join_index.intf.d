@@ -1,0 +1,1 @@
+lib/attach/join_index.mli: Dmx_catalog Dmx_core Dmx_value Record_key

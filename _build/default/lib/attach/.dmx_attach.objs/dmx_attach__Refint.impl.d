@@ -1,0 +1,1 @@
+lib/attach/refint.ml: Array Attach_util Codec Ctx Dmx_catalog Dmx_core Dmx_expr Dmx_txn Dmx_value Dmx_wal Error Fmt Intf List Option Record Registry Relation Result Scan_help String Value

@@ -1,0 +1,1 @@
+lib/attach/refint.mli: Dmx_core

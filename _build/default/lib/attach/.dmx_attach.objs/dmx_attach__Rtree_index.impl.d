@@ -1,0 +1,1 @@
+lib/attach/rtree_index.ml: Array Attach_util Bytes Codec Cost Ctx Dmx_catalog Dmx_core Dmx_expr Dmx_rtree Dmx_value Dmx_wal Error Float Fmt Intf List Option Record_key Registry Result Value

@@ -1,0 +1,1 @@
+lib/attach/rtree_index.mli: Dmx_catalog Dmx_core Dmx_rtree Dmx_value

@@ -1,0 +1,1 @@
+lib/attach/stats.ml: Array Attach_util Buffer_pool Bytes Codec Ctx Dmx_catalog Dmx_core Dmx_page Dmx_value Dmx_wal Error Fmt Int64 Intf List Option Registry Result String Value

@@ -1,0 +1,1 @@
+lib/attach/trigger.ml: Attach_util Codec Ctx Dmx_catalog Dmx_core Dmx_value Error Fmt Hashtbl Intf List Option Record Record_key Registry Result String

@@ -1,0 +1,1 @@
+lib/attach/trigger.mli: Dmx_catalog Dmx_core Dmx_value Record Record_key

@@ -1,0 +1,249 @@
+open Dmx_value
+open Dmx_core
+module Descriptor = Dmx_catalog.Descriptor
+module Attrlist = Dmx_catalog.Attrlist
+module Catalog = Dmx_catalog.Catalog
+module Log_record = Dmx_wal.Log_record
+module Btree = Dmx_btree.Btree
+
+let reg_id : int option ref = ref None
+
+let id () =
+  match !reg_id with
+  | Some id -> id
+  | None -> invalid_arg "Agg: attachment not registered"
+
+type inst = { group_fields : int array; sum_field : int; root : int }
+
+let enc_inst e i =
+  Codec.Enc.list e (fun e f -> Codec.Enc.varint e f)
+    (Array.to_list i.group_fields);
+  Codec.Enc.varint e i.sum_field;
+  Codec.Enc.varint e i.root
+
+let dec_inst d =
+  let group_fields = Array.of_list (Codec.Dec.list d Codec.Dec.varint) in
+  let sum_field = Codec.Dec.varint d in
+  let root = Codec.Dec.varint d in
+  { group_fields; sum_field; root }
+
+let insts_of slot = Attach_util.dec_instances dec_inst slot
+let slot_of insts = Attach_util.enc_instances enc_inst insts
+
+type group = {
+  group_values : Value.t array;
+  count : int;
+  sum : int64;
+}
+
+let enc_cell count sum =
+  let e = Codec.Enc.create () in
+  Codec.Enc.varint e count;
+  Codec.Enc.int64 e sum;
+  Codec.Enc.to_string e
+
+let dec_cell s =
+  let d = Codec.Dec.of_string s in
+  let count = Codec.Dec.varint d in
+  let sum = Codec.Dec.int64 d in
+  (count, sum)
+
+let tree ctx inst = Btree.open_tree ctx.Ctx.bp ~root:inst.root
+
+let sum_of inst record =
+  match record.(inst.sum_field) with
+  | Value.Int i -> i
+  | Value.Null -> 0L
+  | v -> Int64.of_float (Option.value ~default:0. (Value.to_float v))
+
+(* apply a (dcount, dsum) delta to one group; groups vanish at count 0 *)
+let apply_delta ctx inst group_vals dcount dsum =
+  let t = tree ctx inst in
+  let count, sum =
+    match Btree.find t ~key:group_vals with
+    | Some cell -> dec_cell cell
+    | None -> (0, 0L)
+  in
+  let count = count + dcount and sum = Int64.add sum dsum in
+  if count <= 0 then ignore (Btree.delete t ~key:group_vals)
+  else ignore (Btree.replace t ~key:group_vals ~payload:(enc_cell count sum))
+
+(* ---- log payloads: deltas, undone by negation ---- *)
+
+let enc_op no group_vals dcount dsum =
+  let e = Codec.Enc.create () in
+  Codec.Enc.varint e no;
+  Codec.Enc.record e group_vals;
+  Codec.Enc.varint e (dcount + 1);  (* deltas are -1/0/+1; shift unsigned *)
+  Codec.Enc.int64 e dsum;
+  Codec.Enc.to_string e
+
+let dec_op s =
+  let d = Codec.Dec.of_string s in
+  let no = Codec.Dec.varint d in
+  let group_vals = Codec.Dec.record d in
+  let dcount = Codec.Dec.varint d - 1 in
+  let dsum = Codec.Dec.int64 d in
+  (no, group_vals, dcount, dsum)
+
+let bump ctx (desc : Descriptor.t) no inst record sign =
+  let group_vals = Record.project record inst.group_fields in
+  let dsum =
+    if sign > 0 then sum_of inst record else Int64.neg (sum_of inst record)
+  in
+  apply_delta ctx inst group_vals sign dsum;
+  ignore
+    (Ctx.log ctx
+       ~source:(Log_record.Attachment (id ()))
+       ~rel_id:desc.rel_id
+       ~data:(enc_op no group_vals sign dsum));
+  Ok ()
+
+let ( let* ) = Result.bind
+
+let each_instance slot f =
+  let rec loop = function
+    | [] -> Ok ()
+    | (no, name, inst) :: rest ->
+      let* () = f no name inst in
+      loop rest
+  in
+  loop (insts_of slot)
+
+module Impl = struct
+  let name = "agg"
+
+  let attr_specs =
+    [
+      Attrlist.spec ~required:true "group" Attrlist.A_string;
+      Attrlist.spec ~required:true "sum" Attrlist.A_string;
+    ]
+
+  let create_instance ctx (desc : Descriptor.t) ~instance_name attrs =
+    match Attrlist.validate attr_specs attrs with
+    | Error e -> Error (Error.Ddl_error e)
+    | Ok () -> begin
+      let insts =
+        match Descriptor.attachment_desc desc (id ()) with
+        | None -> []
+        | Some slot -> insts_of slot
+      in
+      if Attach_util.find_by_name insts instance_name <> None then
+        Error
+          (Error.Ddl_error
+             (Fmt.str "aggregate %S already exists" instance_name))
+      else begin
+        let group =
+          Attach_util.parse_fields desc.schema
+            (Option.get (Attrlist.find attrs "group"))
+        in
+        let sum =
+          Attach_util.parse_fields desc.schema
+            (Option.get (Attrlist.find attrs "sum"))
+        in
+        match group, sum with
+        | Error e, _ | _, Error e -> Error (Error.Ddl_error e)
+        | _, Ok s when Array.length s <> 1 ->
+          Error (Error.Ddl_error "sum must name exactly one column")
+        | Ok group_fields, Ok s ->
+          let btree = Btree.create ctx.Ctx.bp in
+          let inst =
+            { group_fields; sum_field = s.(0); root = Btree.root btree }
+          in
+          Attach_util.scan_relation ctx desc (fun _ record ->
+              apply_delta ctx inst
+                (Record.project record inst.group_fields)
+                1 (sum_of inst record));
+          let no = Attach_util.next_instance_no insts in
+          Ok (slot_of (insts @ [ (no, instance_name, inst) ]))
+      end
+    end
+
+  let drop_instance ctx (desc : Descriptor.t) ~instance_name =
+    ignore ctx;
+    match Descriptor.attachment_desc desc (id ()) with
+    | None -> Error (Error.No_such_attachment instance_name)
+    | Some slot ->
+      let insts = insts_of slot in
+      if Attach_util.find_by_name insts instance_name = None then
+        Error (Error.No_such_attachment instance_name)
+      else begin
+        let remaining = Attach_util.remove_by_name insts instance_name in
+        Ok (if remaining = [] then None else Some (slot_of remaining))
+      end
+
+  let on_insert ctx desc ~slot _key record =
+    each_instance slot (fun no _name inst -> bump ctx desc no inst record 1)
+
+  let on_delete ctx desc ~slot _key record =
+    each_instance slot (fun no _name inst -> bump ctx desc no inst record (-1))
+
+  let on_update ctx desc ~slot ~old_key:_ ~new_key:_ ~old_record ~new_record =
+    each_instance slot (fun no _name inst ->
+        if
+          Record.compare_on inst.group_fields old_record new_record = 0
+          && sum_of inst old_record = sum_of inst new_record
+        then Ok ()
+        else begin
+          let* () = bump ctx desc no inst old_record (-1) in
+          bump ctx desc no inst new_record 1
+        end)
+
+  (* direct-by-key access: group key -> nothing (the aggregation is read
+     through the module interface, not as record keys) *)
+  let lookup _ctx _desc ~slot:_ ~instance:_ ~key:_ = []
+  let scan _ctx _desc ~slot:_ ~instance:_ ?lo:_ ?hi:_ () = None
+  let estimate _ctx _desc ~slot:_ ~eligible:_ = []
+
+  let undo ctx ~rel_id ~data =
+    match Catalog.find_by_id ctx.Ctx.catalog rel_id with
+    | None -> ()
+    | Some desc -> begin
+      match Descriptor.attachment_desc desc (id ()) with
+      | None -> ()
+      | Some slot ->
+        let no, group_vals, dcount, dsum = dec_op data in
+        (match Attach_util.find_by_no (insts_of slot) no with
+        | None -> ()
+        | Some inst ->
+          apply_delta ctx inst group_vals (-dcount) (Int64.neg dsum))
+    end
+end
+
+include Impl
+
+let with_inst ctx (desc : Descriptor.t) ~name f =
+  ignore ctx;
+  match Descriptor.attachment_desc desc (id ()) with
+  | None -> None
+  | Some slot ->
+    Option.map (fun (_, inst) -> f inst) (Attach_util.find_by_name (insts_of slot) name)
+
+let groups ctx desc ~name =
+  match
+    with_inst ctx desc ~name (fun inst ->
+        let acc = ref [] in
+        Btree.iter (tree ctx inst) (fun key cell ->
+            let count, sum = dec_cell cell in
+            acc := { group_values = key; count; sum } :: !acc);
+        List.rev !acc)
+  with
+  | Some gs -> gs
+  | None -> []
+
+let group ctx desc ~name ~key =
+  Option.join
+    (with_inst ctx desc ~name (fun inst ->
+         Option.map
+           (fun cell ->
+             let count, sum = dec_cell cell in
+             { group_values = key; count; sum })
+           (Btree.find (tree ctx inst) ~key)))
+
+let register () =
+  match !reg_id with
+  | Some id -> id
+  | None ->
+    let id = Registry.register_attachment (module Impl : Intf.ATTACHMENT) in
+    reg_id := Some id;
+    id

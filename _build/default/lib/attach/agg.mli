@@ -1,0 +1,29 @@
+(** Materialised-aggregation attachment.
+
+    "Access paths need not be limited to a single table ... and can be used
+    to maintain alternative representations or aggregations of the data
+    stored in a relation" (paper p. 221). An instance maintains, per group
+    (the [group] DDL attribute's fields), the live record count and the sum
+    of the [sum] field — incrementally, as a side effect of every relation
+    modification, with log-driven undo keeping it transactionally exact. *)
+
+open Dmx_value
+
+include Dmx_core.Intf.ATTACHMENT
+
+val register : unit -> int
+val id : unit -> int
+
+type group = {
+  group_values : Value.t array;
+  count : int;
+  sum : int64;
+}
+
+val groups :
+  Dmx_core.Ctx.t -> Dmx_catalog.Descriptor.t -> name:string -> group list
+(** All groups in group-key order. *)
+
+val group :
+  Dmx_core.Ctx.t -> Dmx_catalog.Descriptor.t -> name:string ->
+  key:Value.t array -> group option

@@ -1,0 +1,34 @@
+(** Shared helpers for attachment implementations.
+
+    A descriptor slot holds *all* instances of one attachment type on a
+    relation; this module provides the common instance-list encoding (each
+    instance: small-integer instance number + name + type-specific payload)
+    and scan/lookup plumbing shared by the access-path attachments. *)
+
+open Dmx_value
+open Dmx_core
+
+type 'a instances = (int * string * 'a) list
+(** (instance number, instance name, payload), ascending instance number. *)
+
+val enc_instances : (Codec.Enc.t -> 'a -> unit) -> 'a instances -> string
+val dec_instances : (Codec.Dec.t -> 'a) -> string -> 'a instances
+val next_instance_no : 'a instances -> int
+val find_by_name : 'a instances -> string -> (int * 'a) option
+val find_by_no : 'a instances -> int -> 'a option
+val remove_by_name : 'a instances -> string -> 'a instances
+
+val parse_fields :
+  Schema.t -> string -> (int array, string) result
+(** Parse a comma-separated field-name list against a schema. *)
+
+val scan_relation :
+  Ctx.t -> Dmx_catalog.Descriptor.t ->
+  (Record_key.t -> Record.t -> unit) -> unit
+(** Iterate every record of a relation through its storage method — used when
+    building a new access path from existing records. *)
+
+val encode_reckey_value : Record_key.t -> Value.t
+(** Record keys embedded in index entries, as an order-stable string value. *)
+
+val decode_reckey_value : Value.t -> Record_key.t

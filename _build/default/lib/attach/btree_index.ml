@@ -1,0 +1,399 @@
+open Dmx_value
+open Dmx_core
+module Descriptor = Dmx_catalog.Descriptor
+module Attrlist = Dmx_catalog.Attrlist
+module Catalog = Dmx_catalog.Catalog
+module Log_record = Dmx_wal.Log_record
+module Btree = Dmx_btree.Btree
+
+let reg_id : int option ref = ref None
+
+let id () =
+  match !reg_id with
+  | Some id -> id
+  | None -> invalid_arg "Btree_index: attachment not registered"
+
+(* ---- instance payloads ---- *)
+
+type inst = { fields : int array; unique : bool; root : int }
+
+let enc_inst e i =
+  Codec.Enc.list e (fun e f -> Codec.Enc.varint e f) (Array.to_list i.fields);
+  Codec.Enc.bool e i.unique;
+  Codec.Enc.varint e i.root
+
+let dec_inst d =
+  let fields = Array.of_list (Codec.Dec.list d Codec.Dec.varint) in
+  let unique = Codec.Dec.bool d in
+  let root = Codec.Dec.varint d in
+  { fields; unique; root }
+
+let insts_of slot = Attach_util.dec_instances dec_inst slot
+let slot_of insts = Attach_util.enc_instances enc_inst insts
+
+let instance_names desc =
+  match Descriptor.attachment_desc desc (id ()) with
+  | None -> []
+  | Some slot -> List.map (fun (_, name, _) -> name) (insts_of slot)
+
+let instance_number desc ~name =
+  match Descriptor.attachment_desc desc (id ()) with
+  | None -> None
+  | Some slot ->
+    Option.map fst (Attach_util.find_by_name (insts_of slot) name)
+
+(* Index entry: btree key = indexed field values + record key discriminator;
+   payload = encoded record key. *)
+let entry_key inst record reckey =
+  Array.append
+    (Record.project record inst.fields)
+    [| Attach_util.encode_reckey_value reckey |]
+
+let tree ctx inst = Btree.open_tree ctx.Ctx.bp ~root:inst.root
+
+(* ---- log payloads ---- *)
+
+type op =
+  | Add of int * Value.t array * Record_key.t  (* inst_no, field values, reckey *)
+  | Rem of int * Value.t array * Record_key.t
+
+let enc_op op =
+  let e = Codec.Enc.create () in
+  (match op with
+  | Add (no, vals, rk) ->
+    Codec.Enc.byte e 0;
+    Codec.Enc.varint e no;
+    Codec.Enc.record e vals;
+    Record_key.enc e rk
+  | Rem (no, vals, rk) ->
+    Codec.Enc.byte e 1;
+    Codec.Enc.varint e no;
+    Codec.Enc.record e vals;
+    Record_key.enc e rk);
+  Codec.Enc.to_string e
+
+let dec_op s =
+  let d = Codec.Dec.of_string s in
+  let tag = Codec.Dec.byte d in
+  let no = Codec.Dec.varint d in
+  let vals = Codec.Dec.record d in
+  let rk = Record_key.dec d in
+  match tag with
+  | 0 -> Add (no, vals, rk)
+  | 1 -> Rem (no, vals, rk)
+  | n -> failwith (Fmt.str "Btree_index: bad op tag %d" n)
+
+let log_op ctx rel_id op =
+  Ctx.log ctx ~source:(Log_record.Attachment (id ())) ~rel_id ~data:(enc_op op)
+
+(* ---- entry maintenance ---- *)
+
+let has_prefix ctx inst vals =
+  let c =
+    Btree.cursor ~lo:(Btree.Incl vals) ~hi:(Btree.Incl vals) (tree ctx inst)
+  in
+  Btree.next c <> None
+
+let full_key inst record reckey = entry_key inst record reckey
+
+let add_entry ctx (desc : Descriptor.t) name no inst record reckey =
+  let vals = Record.project record inst.fields in
+  if inst.unique && has_prefix ctx inst vals then
+    Error
+      (Error.veto
+         ~attachment:(Fmt.str "unique index %S" name)
+         (Fmt.str "duplicate key (%a)"
+            Fmt.(array ~sep:(any ",") Value.pp)
+            vals))
+  else begin
+    (match
+       Btree.insert (tree ctx inst)
+         ~key:(full_key inst record reckey)
+         ~payload:(Bytes.to_string (Record_key.encode reckey))
+     with
+    | `Ok -> ()
+    | `Duplicate -> () (* identical entry already present: idempotent *));
+    ignore (log_op ctx desc.rel_id (Add (no, vals, reckey)));
+    Ok ()
+  end
+
+let remove_entry ctx (desc : Descriptor.t) no inst record reckey =
+  let vals = Record.project record inst.fields in
+  ignore
+    (Btree.delete (tree ctx inst) ~key:(full_key inst record reckey));
+  ignore (log_op ctx desc.rel_id (Rem (no, vals, reckey)));
+  Ok ()
+
+let ( let* ) = Result.bind
+
+let each_instance slot f =
+  let rec loop = function
+    | [] -> Ok ()
+    | (no, name, inst) :: rest ->
+      let* () = f no name inst in
+      loop rest
+  in
+  loop (insts_of slot)
+
+module Impl = struct
+  let name = "btree_index"
+
+  let attr_specs =
+    [
+      Attrlist.spec ~required:true "fields" Attrlist.A_string;
+      Attrlist.spec "unique" Attrlist.A_bool;
+    ]
+
+  let create_instance ctx (desc : Descriptor.t) ~instance_name attrs =
+    match Attrlist.validate attr_specs attrs with
+    | Error e -> Error (Error.Ddl_error e)
+    | Ok () -> begin
+      let insts =
+        match Descriptor.attachment_desc desc (id ()) with
+        | None -> []
+        | Some slot -> insts_of slot
+      in
+      if Attach_util.find_by_name insts instance_name <> None then
+        Error (Error.Ddl_error (Fmt.str "index %S already exists" instance_name))
+      else begin
+        match
+          Attach_util.parse_fields desc.schema
+            (Option.get (Attrlist.find attrs "fields"))
+        with
+        | Error e -> Error (Error.Ddl_error e)
+        | Ok fields -> begin
+          let unique =
+            match Attrlist.get_bool attrs "unique" with
+            | Ok (Some b) -> b
+            | Ok None | Error _ -> false
+          in
+          let btree = Btree.create ctx.Ctx.bp in
+          let inst = { fields; unique; root = Btree.root btree } in
+          (* Build the index from the relation's current contents. *)
+          let dup = ref None in
+          Attach_util.scan_relation ctx desc (fun reckey record ->
+              let vals = Record.project record fields in
+              if unique && !dup = None && has_prefix ctx inst vals then
+                dup := Some vals
+              else
+                ignore
+                  (Btree.insert btree
+                     ~key:(full_key inst record reckey)
+                     ~payload:(Bytes.to_string (Record_key.encode reckey))));
+          match !dup with
+          | Some vals ->
+            Error
+              (Error.Constraint_violation
+                 (Fmt.str "existing records duplicate key (%a)"
+                    Fmt.(array ~sep:(any ",") Value.pp)
+                    vals))
+          | None ->
+            let no = Attach_util.next_instance_no insts in
+            Ok (slot_of (insts @ [ (no, instance_name, inst) ]))
+        end
+      end
+    end
+
+  let drop_instance ctx (desc : Descriptor.t) ~instance_name =
+    ignore ctx;
+    match Descriptor.attachment_desc desc (id ()) with
+    | None -> Error (Error.No_such_attachment instance_name)
+    | Some slot ->
+      let insts = insts_of slot in
+      if Attach_util.find_by_name insts instance_name = None then
+        Error (Error.No_such_attachment instance_name)
+      else begin
+        let remaining = Attach_util.remove_by_name insts instance_name in
+        (* Page storage is abandoned (no deallocator); nothing to defer. *)
+        Ok (if remaining = [] then None else Some (slot_of remaining))
+      end
+
+  let on_insert ctx (desc : Descriptor.t) ~slot reckey record =
+    each_instance slot (fun no name inst ->
+        add_entry ctx desc name no inst record reckey)
+
+  let on_delete ctx (desc : Descriptor.t) ~slot reckey record =
+    each_instance slot (fun no _name inst ->
+        remove_entry ctx desc no inst record reckey)
+
+  let on_update ctx (desc : Descriptor.t) ~slot ~old_key ~new_key ~old_record
+      ~new_record =
+    each_instance slot (fun no name inst ->
+        (* Detect when no indexed field was modified (paper: "the B-tree
+           update operation should be able to detect when no indexed fields
+           for a given index are modified"). *)
+        let fields_unchanged =
+          Record.compare_on inst.fields old_record new_record = 0
+        in
+        if fields_unchanged && Record_key.equal old_key new_key then Ok ()
+        else begin
+          let* () = remove_entry ctx desc no inst old_record old_key in
+          add_entry ctx desc name no inst new_record new_key
+        end)
+
+  let lookup ctx (desc : Descriptor.t) ~slot ~instance ~key =
+    ignore desc;
+    match Attach_util.find_by_no (insts_of slot) instance with
+    | None -> []
+    | Some inst ->
+      let c =
+        Btree.cursor ~lo:(Btree.Incl key) ~hi:(Btree.Incl key) (tree ctx inst)
+      in
+      let rec loop acc =
+        match Btree.next c with
+        | None -> List.rev acc
+        | Some (_, payload) ->
+          loop (Record_key.decode (Bytes.of_string payload) :: acc)
+      in
+      loop []
+
+  let scan ctx (desc : Descriptor.t) ~slot ~instance ?(lo = Intf.Unbounded)
+      ?(hi = Intf.Unbounded) () =
+    ignore desc;
+    match Attach_util.find_by_no (insts_of slot) instance with
+    | None -> None
+    | Some inst ->
+      let bound = function
+        | Intf.Incl k -> Some (Btree.Incl k)
+        | Intf.Excl k -> Some (Btree.Excl k)
+        | Intf.Unbounded -> None
+      in
+      let c = Btree.cursor ?lo:(bound lo) ?hi:(bound hi) (tree ctx inst) in
+      Some
+        (Scan_help.key_scan_of
+           ~next:(fun () ->
+             match Btree.next c with
+             | None -> None
+             | Some (_, payload) ->
+               Some (Record_key.decode (Bytes.of_string payload)))
+           ~close:(fun () -> ())
+           ~capture:(fun () ->
+             let saved = Btree.position c in
+             fun () -> Btree.seek c saved)
+           ())
+
+  (* "Index dip": when the predicate's bounds are constants, probe the tree
+     for the actual qualifying-entry count (capped) instead of guessing —
+     the access path itself is the best judge of its relevance. *)
+  let dip_cap = 2048
+
+  let probe_count ctx inst p =
+    match
+      Dmx_expr.Analyze.key_range ~key_fields:inst.fields p
+    with
+    | None -> None
+    | Some (eq, range) ->
+      let extend v = Array.append eq [| v |] in
+      let lo =
+        match range.Dmx_expr.Analyze.lo with
+        | Dmx_expr.Analyze.Unbounded ->
+          if Array.length eq = 0 then None else Some (Btree.Incl eq)
+        | Dmx_expr.Analyze.Incl v -> Some (Btree.Incl (extend v))
+        | Dmx_expr.Analyze.Excl v -> Some (Btree.Excl (extend v))
+      in
+      let hi =
+        match range.Dmx_expr.Analyze.hi with
+        | Dmx_expr.Analyze.Unbounded ->
+          if Array.length eq = 0 then None else Some (Btree.Incl eq)
+        | Dmx_expr.Analyze.Incl v -> Some (Btree.Incl (extend v))
+        | Dmx_expr.Analyze.Excl v -> Some (Btree.Excl (extend v))
+      in
+      if lo = None && hi = None then None
+      else begin
+        let c = Btree.cursor ?lo ?hi (tree ctx inst) in
+        let rec count n =
+          if n >= dip_cap then n
+          else match Btree.next c with None -> n | Some _ -> count (n + 1)
+        in
+        let n = count 0 in
+        (* A capped dip saw only a prefix of the range: fall back to the
+           heuristic estimate rather than under-reporting. *)
+        if n >= dip_cap then None else Some n
+      end
+
+  let estimate ctx (desc : Descriptor.t) ~slot ~eligible =
+    ignore desc;
+    let pred = Dmx_expr.Analyze.conjoin eligible in
+    List.filter_map
+      (fun (no, _name, inst) ->
+        match pred with
+        | None -> None
+        | Some p ->
+          let m = Dmx_expr.Analyze.match_key ~key_fields:inst.fields p in
+          if m.eq_prefix = 0 && m.range_on_next = [] then None
+          else begin
+            let t = tree ctx inst in
+            let height = float_of_int (Btree.height t) in
+            let rows = float_of_int (max 1 (Btree.count t)) in
+            let key_sel =
+              (0.05 ** float_of_int m.eq_prefix)
+              *. (if m.range_on_next <> [] then 0.3 else 1.0)
+            in
+            let qualifying =
+              match probe_count ctx inst p with
+              | Some n -> float_of_int (max 1 n)
+              | None ->
+                if inst.unique && m.eq_prefix = Array.length inst.fields then 1.
+                else Float.max 1. (rows *. key_sel)
+            in
+            Some
+              {
+                Intf.ac_instance = no;
+                ac_key_fields = Some inst.fields;
+                ac_spatial_rect = None;
+                ac_estimate =
+                  {
+                    Cost.cost =
+                      Cost.make
+                        ~io:(height +. (qualifying /. 32.))
+                        ~cpu:qualifying;
+                    est_rows = qualifying;
+                    matched = m.matched;
+                    residual = m.residual;
+                    ordered_by = Some inst.fields;
+                  };
+              }
+          end)
+      (insts_of slot)
+
+  let undo ctx ~rel_id ~data =
+    match Catalog.find_by_id ctx.Ctx.catalog rel_id with
+    | None -> ()
+    | Some desc -> begin
+      match Descriptor.attachment_desc desc (id ()) with
+      | None -> ()
+      | Some slot ->
+        let insts = insts_of slot in
+        let apply no f =
+          match Attach_util.find_by_no insts no with
+          | None -> ()
+          | Some inst -> f inst
+        in
+        (match dec_op data with
+        | Add (no, vals, reckey) ->
+          apply no (fun inst ->
+              let key =
+                Array.append vals [| Attach_util.encode_reckey_value reckey |]
+              in
+              ignore (Btree.delete (tree ctx inst) ~key))
+        | Rem (no, vals, reckey) ->
+          apply no (fun inst ->
+              let key =
+                Array.append vals [| Attach_util.encode_reckey_value reckey |]
+              in
+              if Btree.find (tree ctx inst) ~key = None then
+                ignore
+                  (Btree.insert (tree ctx inst) ~key
+                     ~payload:(Bytes.to_string (Record_key.encode reckey)))))
+    end
+end
+
+include Impl
+
+let register () =
+  match !reg_id with
+  | Some id -> id
+  | None ->
+    let id = Registry.register_attachment (module Impl : Intf.ATTACHMENT) in
+    reg_id := Some id;
+    id

@@ -1,0 +1,16 @@
+(** Intra-record (CHECK) integrity constraint attachment.
+
+    The paper's "simple integrity constraint extension descriptor would
+    contain a (Common Service) encoding of the predicate to be tested when
+    records of the relation are inserted or updated" (p. 225). Instances are
+    declared with the [predicate] DDL attribute (parsed against the relation
+    schema) and evaluated by the common predicate service; a record for which
+    the predicate is FALSE vetoes the modification (UNKNOWN passes, per SQL).
+    With [deferred=true] the check runs from the deferred-action queue before
+    the transaction enters the prepared state, against the records as of
+    commit. *)
+
+include Dmx_core.Intf.ATTACHMENT
+
+val register : unit -> int
+val id : unit -> int

@@ -1,0 +1,395 @@
+open Dmx_value
+open Dmx_page
+open Dmx_core
+module Descriptor = Dmx_catalog.Descriptor
+module Attrlist = Dmx_catalog.Attrlist
+module Catalog = Dmx_catalog.Catalog
+module Log_record = Dmx_wal.Log_record
+
+let reg_id : int option ref = ref None
+
+let id () =
+  match !reg_id with
+  | Some id -> id
+  | None -> invalid_arg "Hash_index: attachment not registered"
+
+type inst = { fields : int array; unique : bool; buckets : int array }
+
+let enc_inst e i =
+  Codec.Enc.list e (fun e f -> Codec.Enc.varint e f) (Array.to_list i.fields);
+  Codec.Enc.bool e i.unique;
+  Codec.Enc.list e (fun e b -> Codec.Enc.varint e b) (Array.to_list i.buckets)
+
+let dec_inst d =
+  let fields = Array.of_list (Codec.Dec.list d Codec.Dec.varint) in
+  let unique = Codec.Dec.bool d in
+  let buckets = Array.of_list (Codec.Dec.list d Codec.Dec.varint) in
+  { fields; unique; buckets }
+
+let insts_of slot = Attach_util.dec_instances dec_inst slot
+let slot_of insts = Attach_util.enc_instances enc_inst insts
+
+(* ---- bucket pages: { next; entries : (vals, reckey) list } ---- *)
+
+type bucket = { next : int; entries : (Value.t array * Record_key.t) list }
+
+let enc_bucket b =
+  let e = Codec.Enc.create () in
+  Codec.Enc.varint e b.next;
+  Codec.Enc.list e
+    (fun e (vals, rk) ->
+      Codec.Enc.record e vals;
+      Record_key.enc e rk)
+    b.entries;
+  Codec.Enc.to_string e
+
+let dec_bucket s =
+  let d = Codec.Dec.of_string s in
+  let next = Codec.Dec.varint d in
+  let entries =
+    Codec.Dec.list d (fun d ->
+        let vals = Codec.Dec.record d in
+        let rk = Record_key.dec d in
+        (vals, rk))
+  in
+  { next; entries }
+
+let read_bucket ctx page =
+  Buffer_pool.with_page ctx.Ctx.bp page (fun frame ->
+      let len = Bytes.get_uint16_le frame.Buffer_pool.data 0 in
+      dec_bucket (Bytes.sub_string frame.Buffer_pool.data 2 len))
+
+let write_bucket ctx page b =
+  let data = enc_bucket b in
+  let len = String.length data in
+  Buffer_pool.with_page_mut ctx.Ctx.bp page ~lsn:0L (fun frame ->
+      Bytes.set_uint16_le frame.Buffer_pool.data 0 len;
+      Bytes.blit_string data 0 frame.Buffer_pool.data 2 len)
+
+let capacity ctx = Disk.page_size (Buffer_pool.disk ctx.Ctx.bp) - 64
+
+let alloc_bucket ctx next =
+  let frame = Buffer_pool.alloc ctx.Ctx.bp in
+  let page = frame.Buffer_pool.page_id in
+  Buffer_pool.unpin ~dirty:true ctx.Ctx.bp frame;
+  write_bucket ctx page { next; entries = [] };
+  page
+
+let bucket_index inst vals =
+  let h = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 vals in
+  abs h mod Array.length inst.buckets
+
+let vals_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+(* Walk the chain applying [f page bucket]; stops when f returns Some. *)
+let rec chain_find ctx page f =
+  if page = 0 then None
+  else
+    let b = read_bucket ctx page in
+    match f page b with
+    | Some _ as r -> r
+    | None -> chain_find ctx b.next f
+
+let chain_collect ctx head vals =
+  let acc = ref [] in
+  ignore
+    (chain_find ctx head (fun _ b ->
+         List.iter
+           (fun (v, rk) -> if vals_equal v vals then acc := rk :: !acc)
+           b.entries;
+         None));
+  List.rev !acc
+
+let add_to_chain ctx head vals reckey cap =
+  let entry_fits b =
+    String.length (enc_bucket { b with entries = (vals, reckey) :: b.entries })
+    + 2
+    <= cap
+  in
+  let placed =
+    chain_find ctx head (fun page b ->
+        if entry_fits b then begin
+          write_bucket ctx page { b with entries = (vals, reckey) :: b.entries };
+          Some ()
+        end
+        else None)
+  in
+  match placed with
+  | Some () -> ()
+  | None ->
+    (* Chain full: insert an overflow page after the head. *)
+    let head_b = read_bucket ctx head in
+    let overflow = alloc_bucket ctx head_b.next in
+    write_bucket ctx overflow
+      { next = head_b.next; entries = [ (vals, reckey) ] };
+    write_bucket ctx head { head_b with next = overflow }
+
+let remove_from_chain ctx head vals reckey =
+  ignore
+    (chain_find ctx head (fun page b ->
+         let before = List.length b.entries in
+         let entries =
+           List.filter
+             (fun (v, rk) ->
+               not (vals_equal v vals && Record_key.equal rk reckey))
+             b.entries
+         in
+         if List.length entries < before then begin
+           write_bucket ctx page { b with entries };
+           Some ()
+         end
+         else None))
+
+(* ---- log payloads ---- *)
+
+type op =
+  | Add of int * Value.t array * Record_key.t
+  | Rem of int * Value.t array * Record_key.t
+
+let enc_op op =
+  let e = Codec.Enc.create () in
+  (match op with
+  | Add (no, vals, rk) ->
+    Codec.Enc.byte e 0;
+    Codec.Enc.varint e no;
+    Codec.Enc.record e vals;
+    Record_key.enc e rk
+  | Rem (no, vals, rk) ->
+    Codec.Enc.byte e 1;
+    Codec.Enc.varint e no;
+    Codec.Enc.record e vals;
+    Record_key.enc e rk);
+  Codec.Enc.to_string e
+
+let dec_op s =
+  let d = Codec.Dec.of_string s in
+  let tag = Codec.Dec.byte d in
+  let no = Codec.Dec.varint d in
+  let vals = Codec.Dec.record d in
+  let rk = Record_key.dec d in
+  match tag with
+  | 0 -> Add (no, vals, rk)
+  | 1 -> Rem (no, vals, rk)
+  | n -> failwith (Fmt.str "Hash_index: bad op tag %d" n)
+
+let log_op ctx rel_id op =
+  Ctx.log ctx ~source:(Log_record.Attachment (id ())) ~rel_id ~data:(enc_op op)
+
+let ( let* ) = Result.bind
+
+let each_instance slot f =
+  let rec loop = function
+    | [] -> Ok ()
+    | (no, name, inst) :: rest ->
+      let* () = f no name inst in
+      loop rest
+  in
+  loop (Attach_util.dec_instances dec_inst slot)
+
+let add_entry ctx (desc : Descriptor.t) name no inst record reckey =
+  let vals = Record.project record inst.fields in
+  let head = inst.buckets.(bucket_index inst vals) in
+  if inst.unique && chain_collect ctx head vals <> [] then
+    Error
+      (Error.veto
+         ~attachment:(Fmt.str "unique hash index %S" name)
+         (Fmt.str "duplicate key (%a)"
+            Fmt.(array ~sep:(any ",") Value.pp)
+            vals))
+  else begin
+    add_to_chain ctx head vals reckey (capacity ctx);
+    ignore (log_op ctx desc.rel_id (Add (no, vals, reckey)));
+    Ok ()
+  end
+
+let remove_entry ctx (desc : Descriptor.t) no inst record reckey =
+  let vals = Record.project record inst.fields in
+  remove_from_chain ctx inst.buckets.(bucket_index inst vals) vals reckey;
+  ignore (log_op ctx desc.rel_id (Rem (no, vals, reckey)));
+  Ok ()
+
+module Impl = struct
+  let name = "hash_index"
+
+  let attr_specs =
+    [
+      Attrlist.spec ~required:true "fields" Attrlist.A_string;
+      Attrlist.spec "unique" Attrlist.A_bool;
+      Attrlist.spec "buckets" Attrlist.A_int;
+    ]
+
+  let create_instance ctx (desc : Descriptor.t) ~instance_name attrs =
+    match Attrlist.validate attr_specs attrs with
+    | Error e -> Error (Error.Ddl_error e)
+    | Ok () -> begin
+      let insts =
+        match Descriptor.attachment_desc desc (id ()) with
+        | None -> []
+        | Some slot -> insts_of slot
+      in
+      if Attach_util.find_by_name insts instance_name <> None then
+        Error
+          (Error.Ddl_error (Fmt.str "hash index %S already exists" instance_name))
+      else begin
+        match
+          Attach_util.parse_fields desc.schema
+            (Option.get (Attrlist.find attrs "fields"))
+        with
+        | Error e -> Error (Error.Ddl_error e)
+        | Ok fields ->
+          let unique =
+            match Attrlist.get_bool attrs "unique" with
+            | Ok (Some b) -> b
+            | Ok None | Error _ -> false
+          in
+          let n_buckets =
+            match Attrlist.get_int attrs "buckets" with
+            | Ok (Some n) when n > 0 && n <= 4096 -> n
+            | _ -> 16
+          in
+          let buckets = Array.init n_buckets (fun _ -> alloc_bucket ctx 0) in
+          let inst = { fields; unique; buckets } in
+          let dup = ref None in
+          Attach_util.scan_relation ctx desc (fun reckey record ->
+              let vals = Record.project record fields in
+              let head = inst.buckets.(bucket_index inst vals) in
+              if unique && !dup = None && chain_collect ctx head vals <> []
+              then dup := Some vals
+              else add_to_chain ctx head vals reckey (capacity ctx));
+          (match !dup with
+          | Some vals ->
+            Error
+              (Error.Constraint_violation
+                 (Fmt.str "existing records duplicate key (%a)"
+                    Fmt.(array ~sep:(any ",") Value.pp)
+                    vals))
+          | None ->
+            let no = Attach_util.next_instance_no insts in
+            Ok (slot_of (insts @ [ (no, instance_name, inst) ])))
+      end
+    end
+
+  let drop_instance ctx (desc : Descriptor.t) ~instance_name =
+    ignore ctx;
+    match Descriptor.attachment_desc desc (id ()) with
+    | None -> Error (Error.No_such_attachment instance_name)
+    | Some slot ->
+      let insts = insts_of slot in
+      if Attach_util.find_by_name insts instance_name = None then
+        Error (Error.No_such_attachment instance_name)
+      else begin
+        let remaining = Attach_util.remove_by_name insts instance_name in
+        Ok (if remaining = [] then None else Some (slot_of remaining))
+      end
+
+  let on_insert ctx desc ~slot reckey record =
+    each_instance slot (fun no name inst ->
+        add_entry ctx desc name no inst record reckey)
+
+  let on_delete ctx desc ~slot reckey record =
+    each_instance slot (fun no _name inst ->
+        remove_entry ctx desc no inst record reckey)
+
+  let on_update ctx desc ~slot ~old_key ~new_key ~old_record ~new_record =
+    each_instance slot (fun no name inst ->
+        if
+          Record.compare_on inst.fields old_record new_record = 0
+          && Record_key.equal old_key new_key
+        then Ok ()
+        else
+          let* () = remove_entry ctx desc no inst old_record old_key in
+          add_entry ctx desc name no inst new_record new_key)
+
+  let lookup ctx desc ~slot ~instance ~key =
+    ignore desc;
+    match Attach_util.find_by_no (insts_of slot) instance with
+    | None -> []
+    | Some inst ->
+      chain_collect ctx inst.buckets.(bucket_index inst key) key
+
+  let scan _ctx _desc ~slot:_ ~instance:_ ?lo:_ ?hi:_ () = None
+
+  let estimate ctx (desc : Descriptor.t) ~slot ~eligible =
+    ignore desc;
+    let pred = Dmx_expr.Analyze.conjoin eligible in
+    List.filter_map
+      (fun (no, _name, inst) ->
+        match pred with
+        | None -> None
+        | Some p ->
+          let m =
+            Dmx_expr.Analyze.match_key ~key_fields:inst.fields p
+          in
+          (* A hash access path is relevant only when every hashed field is
+             bound by equality. *)
+          if m.eq_prefix < Array.length inst.fields then None
+          else begin
+            (* Index dip: with constant key values, count the actual
+               matches in the bucket chain. *)
+            let est_rows =
+              match
+                Dmx_expr.Analyze.key_range ~key_fields:inst.fields p
+              with
+              | Some (eq, _) when Array.length eq = Array.length inst.fields ->
+                let head = inst.buckets.(bucket_index inst eq) in
+                float_of_int (max 1 (List.length (chain_collect ctx head eq)))
+              | _ -> if inst.unique then 1.0 else 2.0
+            in
+            Some
+              {
+                Intf.ac_instance = no;
+                ac_key_fields = Some inst.fields;
+                ac_spatial_rect = None;
+                ac_estimate =
+                  {
+                    Cost.cost = Cost.make ~io:1.2 ~cpu:4.;
+                    est_rows;
+                    matched = m.matched;
+                    residual = m.residual;
+                    ordered_by = None;
+                  };
+              }
+          end)
+      (insts_of slot)
+
+  let undo ctx ~rel_id ~data =
+    match Catalog.find_by_id ctx.Ctx.catalog rel_id with
+    | None -> ()
+    | Some desc -> begin
+      match Descriptor.attachment_desc desc (id ()) with
+      | None -> ()
+      | Some slot ->
+        let insts = insts_of slot in
+        (match dec_op data with
+        | Add (no, vals, reckey) -> begin
+          match Attach_util.find_by_no insts no with
+          | None -> ()
+          | Some inst ->
+            remove_from_chain ctx
+              inst.buckets.(bucket_index inst vals)
+              vals reckey
+        end
+        | Rem (no, vals, reckey) -> begin
+          match Attach_util.find_by_no insts no with
+          | None -> ()
+          | Some inst ->
+            let head = inst.buckets.(bucket_index inst vals) in
+            if
+              not
+                (List.exists (Record_key.equal reckey)
+                   (chain_collect ctx head vals))
+            then add_to_chain ctx head vals reckey (capacity ctx)
+        end)
+    end
+end
+
+include Impl
+
+let register () =
+  match !reg_id with
+  | Some id -> id
+  | None ->
+    let id = Registry.register_attachment (module Impl : Intf.ATTACHMENT) in
+    reg_id := Some id;
+    id

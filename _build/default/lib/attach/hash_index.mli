@@ -1,0 +1,12 @@
+(** Hash-table access path attachment.
+
+    Static hashing with page-chained buckets ([buckets] DDL attribute, default
+    16). Maps exact keys over the declared [fields] to record keys in ~1 page
+    access; offers no key-sequential access (the architecture makes scans
+    optional for access paths), so the planner only considers it for full
+    equality matches. Optional [unique]. *)
+
+include Dmx_core.Intf.ATTACHMENT
+
+val register : unit -> int
+val id : unit -> int

@@ -1,0 +1,22 @@
+(** Referential-integrity attachment.
+
+    The paper's multi-relation example (p. 223): "the referential integrity
+    attachment to a 'parent' relation would perform record delete operations
+    on the 'child' relation when a 'parent' record is deleted. If the 'child'
+    relation also has a referential integrity attachment, it would perform
+    record delete operations on its 'child' relation. Thus, cascaded deletes
+    can be supported. On insert, the same attachment type on the 'child'
+    relation would test the 'parent' relation for a record with matching
+    referential integrity fields."
+
+    One DDL call on the *child* relation (attributes [fields], [parent],
+    [parent_fields], [on_delete=restrict|cascade], [deferred]) installs a
+    child-role instance there and a parent-role instance on the parent — the
+    descriptor embeds "references to descriptors for other relations" (p. 225).
+    Child-side checks may be deferred to the pre-prepare queue. All-NULL
+    foreign keys pass (SQL MATCH SIMPLE). *)
+
+include Dmx_core.Intf.ATTACHMENT
+
+val register : unit -> int
+val id : unit -> int

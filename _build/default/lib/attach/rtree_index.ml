@@ -1,0 +1,313 @@
+open Dmx_value
+open Dmx_core
+module Descriptor = Dmx_catalog.Descriptor
+module Attrlist = Dmx_catalog.Attrlist
+module Catalog = Dmx_catalog.Catalog
+module Log_record = Dmx_wal.Log_record
+module Rtree = Dmx_rtree.Rtree
+module Rect = Dmx_rtree.Rect
+
+let reg_id : int option ref = ref None
+
+let id () =
+  match !reg_id with
+  | Some id -> id
+  | None -> invalid_arg "Rtree_index: attachment not registered"
+
+type inst = { rect_fields : int array; root : int }
+
+let enc_inst e i =
+  Codec.Enc.list e (fun e f -> Codec.Enc.varint e f)
+    (Array.to_list i.rect_fields);
+  Codec.Enc.varint e i.root
+
+let dec_inst d =
+  let rect_fields = Array.of_list (Codec.Dec.list d Codec.Dec.varint) in
+  let root = Codec.Dec.varint d in
+  { rect_fields; root }
+
+let insts_of slot = Attach_util.dec_instances dec_inst slot
+let slot_of insts = Attach_util.enc_instances enc_inst insts
+
+let float_of v =
+  match Value.to_float v with
+  | Some f -> f
+  | None -> failwith (Fmt.str "rtree: non-numeric rectangle value %a" Value.pp v)
+
+let rect_of_record inst record =
+  let f i = float_of record.(inst.rect_fields.(i)) in
+  Rect.make ~xlo:(f 0) ~ylo:(f 1) ~xhi:(f 2) ~yhi:(f 3)
+
+let rect_of_vals vals =
+  if Array.length vals <> 4 then failwith "rtree: key must be 4 values"
+  else
+    Rect.make ~xlo:(float_of vals.(0)) ~ylo:(float_of vals.(1))
+      ~xhi:(float_of vals.(2)) ~yhi:(float_of vals.(3))
+
+let tree ctx inst = Rtree.open_tree ctx.Ctx.bp ~root:inst.root
+let payload_of reckey = Bytes.to_string (Record_key.encode reckey)
+
+(* ---- log payloads ---- *)
+
+type op =
+  | Add of int * Rect.t * Record_key.t
+  | Rem of int * Rect.t * Record_key.t
+
+let enc_op op =
+  let e = Codec.Enc.create () in
+  (match op with
+  | Add (no, r, rk) ->
+    Codec.Enc.byte e 0;
+    Codec.Enc.varint e no;
+    Rect.enc e r;
+    Record_key.enc e rk
+  | Rem (no, r, rk) ->
+    Codec.Enc.byte e 1;
+    Codec.Enc.varint e no;
+    Rect.enc e r;
+    Record_key.enc e rk);
+  Codec.Enc.to_string e
+
+let dec_op s =
+  let d = Codec.Dec.of_string s in
+  let tag = Codec.Dec.byte d in
+  let no = Codec.Dec.varint d in
+  let r = Rect.dec d in
+  let rk = Record_key.dec d in
+  match tag with
+  | 0 -> Add (no, r, rk)
+  | 1 -> Rem (no, r, rk)
+  | n -> failwith (Fmt.str "Rtree_index: bad op tag %d" n)
+
+let log_op ctx rel_id op =
+  Ctx.log ctx ~source:(Log_record.Attachment (id ())) ~rel_id ~data:(enc_op op)
+
+let ( let* ) = Result.bind
+
+let each_instance slot f =
+  let rec loop = function
+    | [] -> Ok ()
+    | (no, name, inst) :: rest ->
+      let* () = f no name inst in
+      loop rest
+  in
+  loop (insts_of slot)
+
+(* The eligible ENCLOSES conjunct matching this instance's rectangle
+   fields, with its (plannable) query rectangle expressions. *)
+let encloses_match inst eligible =
+  List.find_map
+    (fun conjunct ->
+      match Dmx_expr.Analyze.sarg_of_conjunct conjunct with
+      | Some (Dmx_expr.Analyze.Encloses (fields, query_exprs))
+        when fields = inst.rect_fields -> Some (conjunct, query_exprs)
+      | _ -> None)
+    eligible
+
+module Impl = struct
+  let name = "rtree_index"
+
+  let attr_specs = [ Attrlist.spec ~required:true "rect" Attrlist.A_string ]
+
+  let create_instance ctx (desc : Descriptor.t) ~instance_name attrs =
+    match Attrlist.validate attr_specs attrs with
+    | Error e -> Error (Error.Ddl_error e)
+    | Ok () -> begin
+      let insts =
+        match Descriptor.attachment_desc desc (id ()) with
+        | None -> []
+        | Some slot -> insts_of slot
+      in
+      if Attach_util.find_by_name insts instance_name <> None then
+        Error
+          (Error.Ddl_error
+             (Fmt.str "rtree index %S already exists" instance_name))
+      else begin
+        match
+          Attach_util.parse_fields desc.schema
+            (Option.get (Attrlist.find attrs "rect"))
+        with
+        | Error e -> Error (Error.Ddl_error e)
+        | Ok rect_fields when Array.length rect_fields <> 4 ->
+          Error (Error.Ddl_error "rect must name exactly four columns")
+        | Ok rect_fields ->
+          let rtree = Rtree.create ctx.Ctx.bp in
+          let inst = { rect_fields; root = Rtree.root rtree } in
+          Attach_util.scan_relation ctx desc (fun reckey record ->
+              Rtree.insert rtree ~rect:(rect_of_record inst record)
+                ~payload:(payload_of reckey));
+          let no = Attach_util.next_instance_no insts in
+          Ok (slot_of (insts @ [ (no, instance_name, inst) ]))
+      end
+    end
+
+  let drop_instance ctx (desc : Descriptor.t) ~instance_name =
+    ignore ctx;
+    match Descriptor.attachment_desc desc (id ()) with
+    | None -> Error (Error.No_such_attachment instance_name)
+    | Some slot ->
+      let insts = insts_of slot in
+      if Attach_util.find_by_name insts instance_name = None then
+        Error (Error.No_such_attachment instance_name)
+      else begin
+        let remaining = Attach_util.remove_by_name insts instance_name in
+        Ok (if remaining = [] then None else Some (slot_of remaining))
+      end
+
+  let on_insert ctx (desc : Descriptor.t) ~slot reckey record =
+    each_instance slot (fun no _name inst ->
+        match rect_of_record inst record with
+        | rect ->
+          Rtree.insert (tree ctx inst) ~rect ~payload:(payload_of reckey);
+          ignore (log_op ctx desc.rel_id (Add (no, rect, reckey)));
+          Ok ()
+        | exception Failure msg ->
+          Error (Error.veto ~attachment:"rtree_index" msg))
+
+  let on_delete ctx (desc : Descriptor.t) ~slot reckey record =
+    each_instance slot (fun no _name inst ->
+        match rect_of_record inst record with
+        | rect ->
+          ignore
+            (Rtree.delete (tree ctx inst) ~rect ~payload:(payload_of reckey));
+          ignore (log_op ctx desc.rel_id (Rem (no, rect, reckey)));
+          Ok ()
+        | exception Failure msg ->
+          Error (Error.veto ~attachment:"rtree_index" msg))
+
+  let on_update ctx (desc : Descriptor.t) ~slot ~old_key ~new_key ~old_record
+      ~new_record =
+    each_instance slot (fun no _name inst ->
+        match
+          (rect_of_record inst old_record, rect_of_record inst new_record)
+        with
+        | old_rect, new_rect ->
+          if Rect.equal old_rect new_rect && Record_key.equal old_key new_key
+          then Ok ()
+          else begin
+            ignore
+              (Rtree.delete (tree ctx inst) ~rect:old_rect
+                 ~payload:(payload_of old_key));
+            ignore (log_op ctx desc.rel_id (Rem (no, old_rect, old_key)));
+            Rtree.insert (tree ctx inst) ~rect:new_rect
+              ~payload:(payload_of new_key);
+            ignore (log_op ctx desc.rel_id (Add (no, new_rect, new_key)));
+            Ok ()
+          end
+        | exception Failure msg ->
+          Error (Error.veto ~attachment:"rtree_index" msg))
+
+  (* Input key = query rectangle; result = keys of records whose rectangles
+     the query encloses (the ENCLOSES predicate). *)
+  let lookup ctx (desc : Descriptor.t) ~slot ~instance ~key =
+    ignore desc;
+    match Attach_util.find_by_no (insts_of slot) instance with
+    | None -> []
+    | Some inst ->
+      Rtree.search_enclosed_by (tree ctx inst) (rect_of_vals key)
+      |> List.map (fun (_, payload) ->
+             Record_key.decode (Bytes.of_string payload))
+
+  let scan _ctx _desc ~slot:_ ~instance:_ ?lo:_ ?hi:_ () = None
+
+  let estimate ctx (desc : Descriptor.t) ~slot ~eligible =
+    ignore desc;
+    List.filter_map
+      (fun (no, _name, inst) ->
+        match encloses_match inst eligible with
+        | None -> None
+        | Some (conjunct, query_exprs) ->
+          let t = tree ctx inst in
+          let height = float_of_int (Rtree.height t) in
+          let rows = float_of_int (max 1 (Rtree.count t)) in
+          (* Index dip: a constant query rectangle is searched for the
+             actual result count. *)
+          let qualifying =
+            let const_rect =
+              let vals =
+                Array.map
+                  (fun e -> Dmx_expr.Analyze.const_value e)
+                  query_exprs
+              in
+              if Array.exists (fun v -> v = None) vals then None
+              else Some (Array.map Option.get vals)
+            in
+            match const_rect with
+            | Some vals -> begin
+              match rect_of_vals vals with
+              | rect ->
+                float_of_int
+                  (max 1 (List.length (Rtree.search_enclosed_by t rect)))
+              | exception Failure _ -> Float.max 1. (rows *. 0.05)
+            end
+            | None -> Float.max 1. (rows *. 0.05)
+          in
+          Some
+            {
+              Intf.ac_instance = no;
+              ac_key_fields = None;
+              ac_spatial_rect = Some query_exprs;
+              ac_estimate =
+                {
+                  Cost.cost =
+                    Cost.make ~io:(height +. (qualifying /. 16.)) ~cpu:qualifying;
+                  est_rows = qualifying;
+                  matched = [ conjunct ];
+                  residual =
+                    List.filter (fun c -> not (c == conjunct)) eligible;
+                  ordered_by = None;
+                };
+            })
+      (insts_of slot)
+
+  let undo ctx ~rel_id ~data =
+    match Catalog.find_by_id ctx.Ctx.catalog rel_id with
+    | None -> ()
+    | Some desc -> begin
+      match Descriptor.attachment_desc desc (id ()) with
+      | None -> ()
+      | Some slot ->
+        let insts = insts_of slot in
+        let apply no f =
+          match Attach_util.find_by_no insts no with
+          | None -> ()
+          | Some inst -> f inst
+        in
+        (match dec_op data with
+        | Add (no, rect, reckey) ->
+          apply no (fun inst ->
+              ignore
+                (Rtree.delete (tree ctx inst) ~rect ~payload:(payload_of reckey)))
+        | Rem (no, rect, reckey) ->
+          apply no (fun inst ->
+              let payload = payload_of reckey in
+              let present =
+                Rtree.search_overlapping (tree ctx inst) rect
+                |> List.exists (fun (r, p) -> Rect.equal r rect && p = payload)
+              in
+              if not present then
+                Rtree.insert (tree ctx inst) ~rect ~payload))
+    end
+end
+
+include Impl
+
+let lookup_overlapping ctx (desc : Descriptor.t) ~instance rect =
+  match Descriptor.attachment_desc desc (id ()) with
+  | None -> []
+  | Some slot -> begin
+    match Attach_util.find_by_no (insts_of slot) instance with
+    | None -> []
+    | Some inst ->
+      Rtree.search_overlapping (tree ctx inst) rect
+      |> List.map (fun (_, payload) ->
+             Record_key.decode (Bytes.of_string payload))
+  end
+
+let register () =
+  match !reg_id with
+  | Some id -> id
+  | None ->
+    let id = Registry.register_attachment (module Impl : Intf.ATTACHMENT) in
+    reg_id := Some id;
+    id

@@ -1,0 +1,19 @@
+(** R-tree spatial access path attachment (Guttman, cited by the paper as the
+    motivating spatial extension).
+
+    Instances declare four rectangle columns via the [rect] DDL attribute
+    ([rect=xlo,ylo,xhi,yhi], float or int columns). The cost estimator
+    recognises the ENCLOSES predicate — [encloses(qxlo,qylo,qxhi,qyhi, $xlo,
+    $ylo, $xhi, $yhi)] over exactly its rectangle columns — "and report[s] a
+    low cost" (paper p. 223). [lookup] interprets the input key as a query
+    rectangle and returns keys of records whose rectangle the query encloses. *)
+
+include Dmx_core.Intf.ATTACHMENT
+
+val register : unit -> int
+val id : unit -> int
+
+val lookup_overlapping :
+  Dmx_core.Ctx.t -> Dmx_catalog.Descriptor.t -> instance:int ->
+  Dmx_rtree.Rect.t -> Dmx_value.Record_key.t list
+(** Extension-specific entry point: window (intersection) queries. *)

@@ -1,0 +1,318 @@
+open Dmx_value
+open Dmx_page
+open Dmx_core
+module Descriptor = Dmx_catalog.Descriptor
+module Attrlist = Dmx_catalog.Attrlist
+module Catalog = Dmx_catalog.Catalog
+module Log_record = Dmx_wal.Log_record
+
+let reg_id : int option ref = ref None
+
+let id () =
+  match !reg_id with
+  | Some id -> id
+  | None -> invalid_arg "Stats: attachment not registered"
+
+type field_stats = {
+  field : int;
+  sum : int64;
+  nulls : int;
+  min_seen : Value.t;
+  max_seen : Value.t;
+}
+
+type stats = { live_count : int; per_field : field_stats list }
+
+(* Instance payload: tracked fields + the page holding the stats data. *)
+type inst = { fields : int array; page : int }
+
+let enc_inst e i =
+  Codec.Enc.list e (fun e f -> Codec.Enc.varint e f) (Array.to_list i.fields);
+  Codec.Enc.varint e i.page
+
+let dec_inst d =
+  let fields = Array.of_list (Codec.Dec.list d Codec.Dec.varint) in
+  let page = Codec.Dec.varint d in
+  { fields; page }
+
+let insts_of slot = Attach_util.dec_instances dec_inst slot
+let slot_of insts = Attach_util.enc_instances enc_inst insts
+
+let enc_stats s =
+  let e = Codec.Enc.create () in
+  Codec.Enc.varint e s.live_count;
+  Codec.Enc.list e
+    (fun e f ->
+      Codec.Enc.varint e f.field;
+      Codec.Enc.int64 e f.sum;
+      Codec.Enc.varint e f.nulls;
+      Codec.Enc.value e f.min_seen;
+      Codec.Enc.value e f.max_seen)
+    s.per_field;
+  Codec.Enc.to_string e
+
+let dec_stats s =
+  let d = Codec.Dec.of_string s in
+  let live_count = Codec.Dec.varint d in
+  let per_field =
+    Codec.Dec.list d (fun d ->
+        let field = Codec.Dec.varint d in
+        let sum = Codec.Dec.int64 d in
+        let nulls = Codec.Dec.varint d in
+        let min_seen = Codec.Dec.value d in
+        let max_seen = Codec.Dec.value d in
+        { field; sum; nulls; min_seen; max_seen })
+  in
+  { live_count; per_field }
+
+let read_stats ctx page =
+  Buffer_pool.with_page ctx.Ctx.bp page (fun frame ->
+      let len = Bytes.get_uint16_le frame.Buffer_pool.data 0 in
+      dec_stats (Bytes.sub_string frame.Buffer_pool.data 2 len))
+
+let write_stats ctx page s =
+  let data = enc_stats s in
+  Buffer_pool.with_page_mut ctx.Ctx.bp page ~lsn:0L (fun frame ->
+      Bytes.set_uint16_le frame.Buffer_pool.data 0 (String.length data);
+      Bytes.blit_string data 0 frame.Buffer_pool.data 2 (String.length data))
+
+(* ---- deltas ---- *)
+
+type delta = {
+  d_count : int;
+  d_fields : (int * int64 * int) list;  (* field, sum delta, nulls delta *)
+  widen : (int * Value.t) list;  (* field, value seen (insert only) *)
+}
+
+let enc_delta no dl =
+  let e = Codec.Enc.create () in
+  Codec.Enc.varint e no;
+  Codec.Enc.varint e (dl.d_count + 1);  (* shift to keep varint unsigned *)
+  Codec.Enc.list e
+    (fun e (f, s, n) ->
+      Codec.Enc.varint e f;
+      Codec.Enc.int64 e s;
+      Codec.Enc.varint e (n + 1))
+    dl.d_fields;
+  Codec.Enc.list e
+    (fun e (f, v) ->
+      Codec.Enc.varint e f;
+      Codec.Enc.value e v)
+    dl.widen;
+  Codec.Enc.to_string e
+
+let dec_delta s =
+  let d = Codec.Dec.of_string s in
+  let no = Codec.Dec.varint d in
+  let d_count = Codec.Dec.varint d - 1 in
+  let d_fields =
+    Codec.Dec.list d (fun d ->
+        let f = Codec.Dec.varint d in
+        let s = Codec.Dec.int64 d in
+        let n = Codec.Dec.varint d - 1 in
+        (f, s, n))
+  in
+  let widen =
+    Codec.Dec.list d (fun d ->
+        let f = Codec.Dec.varint d in
+        let v = Codec.Dec.value d in
+        (f, v))
+  in
+  (no, { d_count; d_fields; widen })
+
+let field_delta record sign f =
+  match record.(f) with
+  | Value.Null -> (f, 0L, sign)
+  | Value.Int i -> (f, (if sign > 0 then i else Int64.neg i), 0)
+  | _ -> (f, 0L, 0)
+
+let delta_of_record inst record sign =
+  {
+    d_count = sign;
+    d_fields =
+      Array.to_list inst.fields |> List.map (field_delta record sign);
+    widen =
+      (if sign > 0 then
+         Array.to_list inst.fields
+         |> List.filter_map (fun f ->
+                match record.(f) with
+                | Value.Null -> None
+                | v -> Some (f, v))
+       else []);
+  }
+
+let apply_delta stats dl =
+  let widen_min cur v =
+    if cur = Value.Null || Value.compare v cur < 0 then v else cur
+  in
+  let widen_max cur v =
+    if cur = Value.Null || Value.compare v cur > 0 then v else cur
+  in
+  {
+    live_count = max 0 (stats.live_count + dl.d_count);
+    per_field =
+      List.map
+        (fun fs ->
+          let fs =
+            match List.find_opt (fun (f, _, _) -> f = fs.field) dl.d_fields with
+            | None -> fs
+            | Some (_, ds, dn) ->
+              { fs with sum = Int64.add fs.sum ds; nulls = max 0 (fs.nulls + dn) }
+          in
+          match List.assoc_opt fs.field dl.widen with
+          | None -> fs
+          | Some v ->
+            {
+              fs with
+              min_seen = widen_min fs.min_seen v;
+              max_seen = widen_max fs.max_seen v;
+            })
+        stats.per_field;
+  }
+
+let negate_delta dl =
+  {
+    d_count = -dl.d_count;
+    d_fields = List.map (fun (f, s, n) -> (f, Int64.neg s, -n)) dl.d_fields;
+    widen = [];  (* widening is not undone: min/max stay conservative *)
+  }
+
+let log_delta ctx rel_id no dl =
+  Ctx.log ctx
+    ~source:(Log_record.Attachment (id ()))
+    ~rel_id ~data:(enc_delta no dl)
+
+let bump ctx (desc : Descriptor.t) no inst dl =
+  let stats = read_stats ctx inst.page in
+  write_stats ctx inst.page (apply_delta stats dl);
+  ignore (log_delta ctx desc.rel_id no dl);
+  Ok ()
+
+let ( let* ) = Result.bind
+
+let each_instance slot f =
+  let rec loop = function
+    | [] -> Ok ()
+    | (no, name, inst) :: rest ->
+      let* () = f no name inst in
+      loop rest
+  in
+  loop (insts_of slot)
+
+module Impl = struct
+  let name = "stats"
+  let attr_specs = [ Attrlist.spec ~required:true "fields" Attrlist.A_string ]
+
+  let create_instance ctx (desc : Descriptor.t) ~instance_name attrs =
+    match Attrlist.validate attr_specs attrs with
+    | Error e -> Error (Error.Ddl_error e)
+    | Ok () -> begin
+      let insts =
+        match Descriptor.attachment_desc desc (id ()) with
+        | None -> []
+        | Some slot -> insts_of slot
+      in
+      if Attach_util.find_by_name insts instance_name <> None then
+        Error
+          (Error.Ddl_error
+             (Fmt.str "stats instance %S already exists" instance_name))
+      else begin
+        match
+          Attach_util.parse_fields desc.schema
+            (Option.get (Attrlist.find attrs "fields"))
+        with
+        | Error e -> Error (Error.Ddl_error e)
+        | Ok fields ->
+          let frame = Buffer_pool.alloc ctx.Ctx.bp in
+          let page = frame.Buffer_pool.page_id in
+          Buffer_pool.unpin ~dirty:true ctx.Ctx.bp frame;
+          let inst = { fields; page } in
+          let init =
+            {
+              live_count = 0;
+              per_field =
+                Array.to_list fields
+                |> List.map (fun field ->
+                       {
+                         field;
+                         sum = 0L;
+                         nulls = 0;
+                         min_seen = Value.Null;
+                         max_seen = Value.Null;
+                       });
+            }
+          in
+          let stats = ref init in
+          Attach_util.scan_relation ctx desc (fun _ record ->
+              stats := apply_delta !stats (delta_of_record inst record 1));
+          write_stats ctx page !stats;
+          let no = Attach_util.next_instance_no insts in
+          Ok (slot_of (insts @ [ (no, instance_name, inst) ]))
+      end
+    end
+
+  let drop_instance ctx (desc : Descriptor.t) ~instance_name =
+    ignore ctx;
+    match Descriptor.attachment_desc desc (id ()) with
+    | None -> Error (Error.No_such_attachment instance_name)
+    | Some slot ->
+      let insts = insts_of slot in
+      if Attach_util.find_by_name insts instance_name = None then
+        Error (Error.No_such_attachment instance_name)
+      else begin
+        let remaining = Attach_util.remove_by_name insts instance_name in
+        Ok (if remaining = [] then None else Some (slot_of remaining))
+      end
+
+  let on_insert ctx desc ~slot _reckey record =
+    each_instance slot (fun no _name inst ->
+        bump ctx desc no inst (delta_of_record inst record 1))
+
+  let on_delete ctx desc ~slot _reckey record =
+    each_instance slot (fun no _name inst ->
+        bump ctx desc no inst (delta_of_record inst record (-1)))
+
+  let on_update ctx desc ~slot ~old_key:_ ~new_key:_ ~old_record ~new_record =
+    each_instance slot (fun no _name inst ->
+        let remove = delta_of_record inst old_record (-1) in
+        let add = delta_of_record inst new_record 1 in
+        let* () = bump ctx desc no inst remove in
+        bump ctx desc no inst add)
+
+  let lookup _ctx _desc ~slot:_ ~instance:_ ~key:_ = []
+  let scan _ctx _desc ~slot:_ ~instance:_ ?lo:_ ?hi:_ () = None
+  let estimate _ctx _desc ~slot:_ ~eligible:_ = []
+
+  let undo ctx ~rel_id ~data =
+    match Catalog.find_by_id ctx.Ctx.catalog rel_id with
+    | None -> ()
+    | Some desc -> begin
+      match Descriptor.attachment_desc desc (id ()) with
+      | None -> ()
+      | Some slot ->
+        let no, dl = dec_delta data in
+        (match Attach_util.find_by_no (insts_of slot) no with
+        | None -> ()
+        | Some inst ->
+          let stats = read_stats ctx inst.page in
+          write_stats ctx inst.page (apply_delta stats (negate_delta dl)))
+    end
+end
+
+include Impl
+
+let get ctx (desc : Descriptor.t) ~name =
+  match Descriptor.attachment_desc desc (id ()) with
+  | None -> None
+  | Some slot ->
+    Option.map
+      (fun (_, inst) -> read_stats ctx inst.page)
+      (Attach_util.find_by_name (insts_of slot) name)
+
+let register () =
+  match !reg_id with
+  | Some id -> id
+  | None ->
+    let id = Registry.register_attachment (module Impl : Intf.ATTACHMENT) in
+    reg_id := Some id;
+    id

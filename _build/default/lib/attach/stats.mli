@@ -1,0 +1,29 @@
+(** Statistics-maintenance attachment.
+
+    The paper notes attachments "may have associated storage [which] can be
+    used ... to maintain statistics about relations or precomputed function
+    values" (p. 222). An instance tracks, for the declared numeric [fields]:
+    live record count, per-field sum, null count, and widening min/max.
+    Sums/counts are exact (deltas are logged and undone); min/max only widen
+    on insert and are therefore conservative estimates after deletes, which is
+    what optimizer statistics are. *)
+
+open Dmx_value
+
+include Dmx_core.Intf.ATTACHMENT
+
+val register : unit -> int
+val id : unit -> int
+
+type field_stats = {
+  field : int;
+  sum : int64;
+  nulls : int;
+  min_seen : Value.t;  (** [Null] until a value is seen *)
+  max_seen : Value.t;
+}
+
+type stats = { live_count : int; per_field : field_stats list }
+
+val get :
+  Dmx_core.Ctx.t -> Dmx_catalog.Descriptor.t -> name:string -> stats option

@@ -1,0 +1,1 @@
+lib/authz/authz.ml: Codec Dmx_core Dmx_value Fmt Hashtbl List String Sys

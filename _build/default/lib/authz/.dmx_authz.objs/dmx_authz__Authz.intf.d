@@ -1,0 +1,1 @@
+lib/authz/authz.mli: Dmx_core

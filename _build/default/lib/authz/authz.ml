@@ -1,0 +1,145 @@
+open Dmx_value
+module Error = Dmx_core.Error
+
+type priv = Select | Insert | Update | Delete | Control
+
+let priv_to_string = function
+  | Select -> "SELECT"
+  | Insert -> "INSERT"
+  | Update -> "UPDATE"
+  | Delete -> "DELETE"
+  | Control -> "CONTROL"
+
+let all_privs = [ Select; Insert; Update; Delete; Control ]
+
+let priv_tag = function
+  | Select -> 0
+  | Insert -> 1
+  | Update -> 2
+  | Delete -> 3
+  | Control -> 4
+
+let priv_of_tag = function
+  | 0 -> Select
+  | 1 -> Insert
+  | 2 -> Update
+  | 3 -> Delete
+  | 4 -> Control
+  | n -> failwith (Fmt.str "Authz: bad privilege tag %d" n)
+
+type t = {
+  grants : (string * int, priv list ref) Hashtbl.t;  (* (user, rel) *)
+  mutable admins : string list;
+  path : string option;
+}
+
+let create ?path () = { grants = Hashtbl.create 32; admins = []; path }
+
+let canon = String.lowercase_ascii
+
+let add_admin t user =
+  if not (List.mem (canon user) t.admins) then
+    t.admins <- canon user :: t.admins
+
+let is_admin t user = List.mem (canon user) t.admins
+
+let cell t user rel_id =
+  let key = (canon user, rel_id) in
+  match Hashtbl.find_opt t.grants key with
+  | Some c -> c
+  | None ->
+    let c = ref [] in
+    Hashtbl.replace t.grants key c;
+    c
+
+let privileges t ~user ~rel_id =
+  match Hashtbl.find_opt t.grants (canon user, rel_id) with
+  | Some c -> !c
+  | None -> []
+
+let holds t user priv rel_id = List.mem priv (privileges t ~user ~rel_id)
+
+let grant_all t ~user ~rel_id =
+  let c = cell t user rel_id in
+  c := all_privs
+
+let require_control t granter rel_id =
+  if is_admin t granter || holds t granter Control rel_id then Ok ()
+  else
+    Error
+      (Error.Authorization_denied
+         (Fmt.str "%s lacks CONTROL on relation %d" granter rel_id))
+
+let grant t ~granter ~user ~privs ~rel_id =
+  match require_control t granter rel_id with
+  | Error _ as e -> e
+  | Ok () ->
+    let c = cell t user rel_id in
+    c := List.sort_uniq compare (privs @ !c);
+    Ok ()
+
+let revoke t ~granter ~user ~privs ~rel_id =
+  match require_control t granter rel_id with
+  | Error _ as e -> e
+  | Ok () ->
+    let c = cell t user rel_id in
+    c := List.filter (fun p -> not (List.mem p privs)) !c;
+    Ok ()
+
+let check t ~user ~priv ~rel_id =
+  if is_admin t user || holds t user priv rel_id then Ok ()
+  else
+    Error
+      (Error.Authorization_denied
+         (Fmt.str "%s lacks %s on relation %d" user (priv_to_string priv)
+            rel_id))
+
+let drop_relation t ~rel_id =
+  let stale =
+    Hashtbl.fold
+      (fun ((_, r) as key) _ acc -> if r = rel_id then key :: acc else acc)
+      t.grants []
+  in
+  List.iter (Hashtbl.remove t.grants) stale
+
+let save t =
+  match t.path with
+  | None -> ()
+  | Some path ->
+    let e = Codec.Enc.create () in
+    Codec.Enc.list e Codec.Enc.string t.admins;
+    let entries =
+      Hashtbl.fold (fun (u, r) c acc -> (u, r, !c) :: acc) t.grants []
+    in
+    Codec.Enc.list e
+      (fun e (u, r, privs) ->
+        Codec.Enc.string e u;
+        Codec.Enc.varint e r;
+        Codec.Enc.list e (fun e p -> Codec.Enc.byte e (priv_tag p)) privs)
+      entries;
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc (Codec.Enc.to_string e);
+    close_out oc;
+    Sys.rename tmp path
+
+let load ~path =
+  if not (Sys.file_exists path) then create ~path ()
+  else begin
+    let ic = open_in_bin path in
+    let data = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let d = Codec.Dec.of_string data in
+    let t = create ~path () in
+    t.admins <- Codec.Dec.list d Codec.Dec.string;
+    List.iter
+      (fun (u, r, privs) -> Hashtbl.replace t.grants (u, r) (ref privs))
+      (Codec.Dec.list d (fun d ->
+           let u = Codec.Dec.string d in
+           let r = Codec.Dec.varint d in
+           let privs =
+             Codec.Dec.list d (fun d -> priv_of_tag (Codec.Dec.byte d))
+           in
+           (u, r, privs)));
+    t
+  end

@@ -1,0 +1,41 @@
+(** Uniform authorization.
+
+    "Because extensions are alternative implementations of a common relation
+    abstraction, a uniform authorization facility can be used to control user
+    access to relations of all storage methods" (paper p. 224). Privileges
+    attach to relation ids, never to storage specifics; the facade checks them
+    before dispatching to any extension.
+
+    The creator of a relation receives every privilege including [Control];
+    [Control] (or admin) is required to grant, revoke or drop. *)
+
+type priv = Select | Insert | Update | Delete | Control
+
+type t
+
+val create : ?path:string -> unit -> t
+val load : path:string -> t
+val save : t -> unit
+
+val add_admin : t -> string -> unit
+val is_admin : t -> string -> bool
+
+val grant_all : t -> user:string -> rel_id:int -> unit
+(** Used at relation creation for the owner. *)
+
+val grant :
+  t -> granter:string -> user:string -> privs:priv list -> rel_id:int ->
+  (unit, Dmx_core.Error.t) result
+
+val revoke :
+  t -> granter:string -> user:string -> privs:priv list -> rel_id:int ->
+  (unit, Dmx_core.Error.t) result
+
+val check :
+  t -> user:string -> priv:priv -> rel_id:int -> (unit, Dmx_core.Error.t) result
+
+val drop_relation : t -> rel_id:int -> unit
+(** Forget all grants on a dropped relation. *)
+
+val privileges : t -> user:string -> rel_id:int -> priv list
+val priv_to_string : priv -> string

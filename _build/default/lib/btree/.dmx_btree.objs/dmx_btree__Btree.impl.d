@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Buffer_pool Bytes Codec Disk Dmx_page Dmx_value Fmt Int List String Value

@@ -1,0 +1,1 @@
+lib/btree/btree.mli: Dmx_page Dmx_value Value

@@ -1,0 +1,491 @@
+open Dmx_value
+open Dmx_page
+
+type node =
+  | Leaf of { entries : (Value.t array * string) list; next : int }
+  | Internal of { seps : Value.t array list; children : int list }
+      (* |children| = |seps| + 1; child i holds keys < seps.(i) and
+         >= seps.(i-1) *)
+
+type t = {
+  bp : Buffer_pool.t;
+  root : int;
+}
+
+(* ---- key comparison ---- *)
+
+let compare_full a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la || i >= lb then Int.compare la lb
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+(* Prefix semantics: equal up to the shorter length compares equal. *)
+let compare_prefix a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la || i >= lb then 0
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+(* ---- node (de)serialisation ---- *)
+
+let encode_node node =
+  let e = Codec.Enc.create ~size:256 () in
+  (match node with
+  | Leaf { entries; next } ->
+    Codec.Enc.byte e 0;
+    Codec.Enc.varint e next;
+    Codec.Enc.list e
+      (fun e (k, p) ->
+        Codec.Enc.record e k;
+        Codec.Enc.string e p)
+      entries
+  | Internal { seps; children } ->
+    Codec.Enc.byte e 1;
+    Codec.Enc.list e Codec.Enc.record seps;
+    Codec.Enc.list e (fun e c -> Codec.Enc.varint e c) children);
+  Codec.Enc.to_string e
+
+let decode_node data =
+  let d = Codec.Dec.of_string data in
+  match Codec.Dec.byte d with
+  | 0 ->
+    let next = Codec.Dec.varint d in
+    let entries =
+      Codec.Dec.list d (fun d ->
+          let k = Codec.Dec.record d in
+          let p = Codec.Dec.string d in
+          (k, p))
+    in
+    Leaf { entries; next }
+  | 1 ->
+    let seps = Codec.Dec.list d Codec.Dec.record in
+    let children = Codec.Dec.list d Codec.Dec.varint in
+    Internal { seps; children }
+  | n -> failwith (Fmt.str "Btree: bad node tag %d" n)
+
+let read_node t page_id =
+  Buffer_pool.with_page t.bp page_id (fun frame ->
+      let len = Bytes.get_uint16_le frame.Buffer_pool.data 0 in
+      decode_node (Bytes.sub_string frame.Buffer_pool.data 2 len))
+
+let write_node t page_id node =
+  let data = encode_node node in
+  let len = String.length data in
+  let page_size = Disk.page_size (Buffer_pool.disk t.bp) in
+  if len + 2 > page_size then failwith "Btree: node exceeds page size";
+  Buffer_pool.with_page_mut t.bp page_id ~lsn:0L (fun frame ->
+      Bytes.set_uint16_le frame.Buffer_pool.data 0 len;
+      Bytes.blit_string data 0 frame.Buffer_pool.data 2 len)
+
+let capacity t =
+  Disk.page_size (Buffer_pool.disk t.bp) - 64
+
+let node_size node = String.length (encode_node node)
+
+(* ---- construction ---- *)
+
+let create bp =
+  let frame = Buffer_pool.alloc bp in
+  let t = { bp; root = frame.Buffer_pool.page_id } in
+  Buffer_pool.unpin ~dirty:true bp frame;
+  write_node t t.root (Leaf { entries = []; next = 0 });
+  t
+
+let open_tree bp ~root = { bp; root }
+let root t = t.root
+
+let alloc_page t =
+  let frame = Buffer_pool.alloc t.bp in
+  let id = frame.Buffer_pool.page_id in
+  Buffer_pool.unpin ~dirty:true t.bp frame;
+  id
+
+(* ---- search ---- *)
+
+(* Child index for a key in an internal node: first i with key < seps.(i). *)
+let child_index seps key =
+  let rec loop i = function
+    | [] -> i
+    | sep :: rest -> if compare_full key sep < 0 then i else loop (i + 1) rest
+  in
+  loop 0 seps
+
+let rec find_in t page_id key =
+  match read_node t page_id with
+  | Leaf { entries; _ } ->
+    List.find_map
+      (fun (k, p) -> if compare_full k key = 0 then Some p else None)
+      entries
+  | Internal { seps; children } ->
+    find_in t (List.nth children (child_index seps key)) key
+
+let find t ~key = find_in t t.root key
+
+(* ---- insert ---- *)
+
+(* Split a list of entries at roughly half the encoded size. *)
+let split_entries entries size_of =
+  let total = List.fold_left (fun acc e -> acc + size_of e) 0 entries in
+  let rec loop acc_size left = function
+    | [] -> (List.rev left, [])
+    | [ last ] ->
+      if left = [] then ([ last ], []) else (List.rev left, [ last ])
+    | e :: rest ->
+      let acc_size = acc_size + size_of e in
+      if acc_size * 2 >= total && left <> [] then (List.rev left, e :: rest)
+      else loop acc_size (e :: left) rest
+  in
+  loop 0 [] entries
+
+let entry_size (k, p) =
+  String.length (Codec.encode_record k |> Bytes.to_string) + String.length p + 8
+
+
+type insert_result =
+  | Done
+  | Duplicate
+  | Split of Value.t array * int  (* separator, new right page *)
+
+let rec insert_in t page_id key payload ~overwrite =
+  match read_node t page_id with
+  | Leaf { entries; next } ->
+    let rec place acc = function
+      | [] -> Some (List.rev ((key, payload) :: acc))
+      | (k, p) :: rest ->
+        let c = compare_full key k in
+        if c = 0 then
+          if overwrite then Some (List.rev_append acc ((key, payload) :: rest))
+          else None
+        else if c < 0 then Some (List.rev_append acc ((key, payload) :: (k, p) :: rest))
+        else place ((k, p) :: acc) rest
+    in
+    begin
+      match place [] entries with
+      | None -> Duplicate
+      | Some entries ->
+        let node = Leaf { entries; next } in
+        if node_size node <= capacity t then begin
+          write_node t page_id node;
+          Done
+        end
+        else begin
+          let left, right = split_entries entries entry_size in
+          match right with
+          | [] -> failwith "Btree: cannot split a single oversized entry"
+          | (sep, _) :: _ ->
+            let right_id = alloc_page t in
+            write_node t right_id (Leaf { entries = right; next });
+            write_node t page_id (Leaf { entries = left; next = right_id });
+            Split (sep, right_id)
+        end
+    end
+  | Internal { seps; children } ->
+    let i = child_index seps key in
+    let child = List.nth children i in
+    begin
+      match insert_in t child key payload ~overwrite with
+      | Done -> Done
+      | Duplicate -> Duplicate
+      | Split (sep, new_child) ->
+        (* insert sep at position i, new_child at position i+1 *)
+        let seps =
+          List.filteri (fun j _ -> j < i) seps
+          @ [ sep ]
+          @ List.filteri (fun j _ -> j >= i) seps
+        in
+        let children =
+          List.filteri (fun j _ -> j <= i) children
+          @ [ new_child ]
+          @ List.filteri (fun j _ -> j > i) children
+        in
+        let node = Internal { seps; children } in
+        if node_size node <= capacity t then begin
+          write_node t page_id node;
+          Done
+        end
+        else begin
+          (* Split the internal node: promote the middle separator. *)
+          let n = List.length seps in
+          let m = n / 2 in
+          let promoted = List.nth seps m in
+          let left_seps = List.filteri (fun j _ -> j < m) seps in
+          let right_seps = List.filteri (fun j _ -> j > m) seps in
+          let left_children = List.filteri (fun j _ -> j <= m) children in
+          let right_children = List.filteri (fun j _ -> j > m) children in
+          let right_id = alloc_page t in
+          write_node t right_id
+            (Internal { seps = right_seps; children = right_children });
+          write_node t page_id
+            (Internal { seps = left_seps; children = left_children });
+          Split (promoted, right_id)
+        end
+    end
+
+(* The root page id never changes: on root split, move the left half to a
+   fresh page and make the root an internal node over both halves. *)
+let handle_root_split t result =
+  match result with
+  | Done -> `Ok
+  | Duplicate -> `Duplicate
+  | Split (sep, right_id) ->
+    let left_id = alloc_page t in
+    let old_root = read_node t t.root in
+    write_node t left_id old_root;
+    write_node t t.root
+      (Internal { seps = [ sep ]; children = [ left_id; right_id ] });
+    `Ok
+
+let insert t ~key ~payload =
+  handle_root_split t (insert_in t t.root key payload ~overwrite:false)
+
+let replace t ~key ~payload =
+  let existed = find t ~key <> None in
+  match handle_root_split t (insert_in t t.root key payload ~overwrite:true) with
+  | `Ok -> if existed then `Replaced else `Inserted
+  | `Duplicate -> assert false
+
+(* ---- delete (lazy: no rebalancing) ---- *)
+
+let rec delete_in t page_id key =
+  match read_node t page_id with
+  | Leaf { entries; next } ->
+    let found = List.exists (fun (k, _) -> compare_full k key = 0) entries in
+    if found then begin
+      let entries =
+        List.filter (fun (k, _) -> compare_full k key <> 0) entries
+      in
+      write_node t page_id (Leaf { entries; next });
+      true
+    end
+    else false
+  | Internal { seps; children } ->
+    delete_in t (List.nth children (child_index seps key)) key
+
+let delete t ~key = delete_in t t.root key
+
+(* ---- iteration ---- *)
+
+let rec leftmost_leaf t page_id =
+  match read_node t page_id with
+  | Leaf _ -> page_id
+  | Internal { children; _ } -> leftmost_leaf t (List.hd children)
+
+let iter t f =
+  let rec walk page_id =
+    if page_id <> 0 then begin
+      match read_node t page_id with
+      | Leaf { entries; next } ->
+        List.iter (fun (k, p) -> f k p) entries;
+        walk next
+      | Internal _ -> failwith "Btree.iter: leaf chain hit an internal node"
+    end
+  in
+  walk (leftmost_leaf t t.root)
+
+let count t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+let min_key t =
+  let exception Found of Value.t array in
+  match iter t (fun k _ -> raise (Found k)) with
+  | () -> None
+  | exception Found k -> Some k
+
+let height t =
+  let rec loop page_id acc =
+    match read_node t page_id with
+    | Leaf _ -> acc
+    | Internal { children; _ } -> loop (List.hd children) (acc + 1)
+  in
+  loop t.root 1
+
+(* ---- cursors ---- *)
+
+type bound = Incl of Value.t array | Excl of Value.t array | Unbounded
+
+type cursor = {
+  tree : t;
+  lo : bound;
+  hi : bound;
+  mutable last : Value.t array option;  (* key the cursor is "on" *)
+  mutable finished : bool;
+  mutable leaf_hint : int;
+      (* leaf page where the last key was found. Valid as long as the page is
+         still a leaf: leaf ranges never extend downward (splits move upper
+         halves right, deletion is lazy), so the first key greater than
+         [last] lies in this leaf or further along the chain. A root that
+         became internal invalidates the hint and forces a re-descent. *)
+}
+
+let cursor ?(lo = Unbounded) ?(hi = Unbounded) t =
+  { tree = t; lo; hi; last = None; finished = false; leaf_hint = 0 }
+
+let lo_admits lo key =
+  match lo with
+  | Unbounded -> true
+  | Incl b -> compare_prefix key b >= 0
+  | Excl b -> compare_prefix key b > 0
+
+let hi_admits hi key =
+  match hi with
+  | Unbounded -> true
+  | Incl b -> compare_prefix key b <= 0
+  | Excl b -> compare_prefix key b < 0
+
+(* Find the first entry strictly after [after] (or satisfying [lo] when
+   [after] is None), walking the leaf chain from the descent point. The
+   cursor remembers the leaf it last delivered from, so sequential access
+   costs O(1) amortized node reads; the full descent happens only on the
+   first step, after [seek], or when the hinted page stopped being a leaf. *)
+let find_next c =
+  let t = c.tree in
+  let admits key =
+    match c.last with
+    | Some k -> compare_full key k > 0
+    | None -> lo_admits c.lo key
+  in
+  let descend_key =
+    match c.last with
+    | Some k -> Some k
+    | None -> begin
+      match c.lo with Unbounded -> None | Incl b | Excl b -> Some b
+    end
+  in
+  let rec to_leaf page_id =
+    match read_node t page_id with
+    | Leaf _ -> page_id
+    | Internal { seps; children } ->
+      let i =
+        match descend_key with
+        | None -> 0
+        | Some k -> child_index seps k
+      in
+      to_leaf (List.nth children i)
+  in
+  let rec scan_leaf page_id =
+    if page_id = 0 then None
+    else
+      match read_node t page_id with
+      | Leaf { entries; next } -> begin
+        match List.find_opt (fun (k, _) -> admits k) entries with
+        | Some hit ->
+          c.leaf_hint <- page_id;
+          Some hit
+        | None -> scan_leaf next
+      end
+      | Internal _ -> failwith "Btree: leaf chain hit an internal node"
+  in
+  let start =
+    if c.leaf_hint = 0 then to_leaf t.root
+    else
+      match read_node t c.leaf_hint with
+      | Leaf _ -> c.leaf_hint
+      | Internal _ -> to_leaf t.root  (* was the root; it split *)
+  in
+  scan_leaf start
+
+let next c =
+  if c.finished then None
+  else
+    match find_next c with
+    | None ->
+      c.finished <- true;
+      None
+    | Some (k, p) ->
+      if hi_admits c.hi k then begin
+        c.last <- Some k;
+        Some (k, p)
+      end
+      else begin
+        c.finished <- true;
+        None
+      end
+
+let position c = c.last
+
+let seek c pos =
+  c.last <- pos;
+  c.finished <- false;
+  c.leaf_hint <- 0
+
+(* ---- invariants ---- *)
+
+let check_invariants t =
+  let exception Bad of string in
+  let fail fmt = Fmt.kstr (fun s -> raise (Bad s)) fmt in
+  let rec check page_id ~lo ~hi ~depth =
+    match read_node t page_id with
+    | Leaf { entries; _ } ->
+      let rec sorted = function
+        | (a, _) :: ((b, _) :: _ as rest) ->
+          if compare_full a b >= 0 then
+            fail "leaf %d not strictly sorted" page_id;
+          sorted rest
+        | _ -> ()
+      in
+      sorted entries;
+      List.iter
+        (fun (k, _) ->
+          (match lo with
+          | Some l when compare_full k l < 0 ->
+            fail "leaf %d key below window" page_id
+          | _ -> ());
+          match hi with
+          | Some h when compare_full k h >= 0 ->
+            fail "leaf %d key above window" page_id
+          | _ -> ())
+        entries;
+      depth
+    | Internal { seps; children } ->
+      if List.length children <> List.length seps + 1 then
+        fail "internal %d child/separator mismatch" page_id;
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          if compare_full a b >= 0 then
+            fail "internal %d separators not sorted" page_id;
+          sorted rest
+        | _ -> ()
+      in
+      sorted seps;
+      let depths =
+        List.mapi
+          (fun i child ->
+            let lo' = if i = 0 then lo else Some (List.nth seps (i - 1)) in
+            let hi' =
+              if i = List.length seps then hi else Some (List.nth seps i)
+            in
+            check child ~lo:lo' ~hi:hi' ~depth:(depth + 1))
+          children
+      in
+      (match depths with
+      | [] -> fail "internal %d has no children" page_id
+      | d :: rest ->
+        if List.exists (fun x -> x <> d) rest then
+          fail "internal %d has uneven subtree heights" page_id);
+      List.hd depths
+  in
+  match check t.root ~lo:None ~hi:None ~depth:0 with
+  | _ ->
+    (* leaf chain must be globally sorted *)
+    let prev = ref None in
+    (try
+       iter t (fun k _ ->
+           (match !prev with
+           | Some p when compare_full p k >= 0 ->
+             fail "leaf chain out of order"
+           | _ -> ());
+           prev := Some k)
+     with Bad s -> raise (Bad s));
+    Ok ()
+  | exception Bad s -> Error s

@@ -1,0 +1,61 @@
+(** Page-based B+tree.
+
+    The shared ordered access structure: the B-tree storage method stores
+    whole records in the leaves, and the B-tree index attachment stores
+    (index key, record key) mappings. Keys are value arrays under
+    lexicographic {!Dmx_value.Value.compare}; payloads are opaque strings.
+    Keys are unique — callers needing duplicates append a discriminator
+    (index attachments append the record key).
+
+    The root page id is fixed for the life of the tree (root splits push
+    contents down), so a descriptor holding the root never goes stale.
+
+    Deletion is lazy (no rebalancing): leaves may underflow and are skipped by
+    scans; this favours the paper's scan-position semantics, since cursors are
+    keyed by the last key returned ("on" an item) and re-descend per step —
+    a cursor therefore survives splits, deletes at the current position, and
+    partial-rollback restores, returning exactly the next item after its
+    position (paper p. 223). *)
+
+open Dmx_value
+
+type t
+
+val create : Dmx_page.Buffer_pool.t -> t
+(** Allocates an empty tree; get its root with {!root}. *)
+
+val open_tree : Dmx_page.Buffer_pool.t -> root:int -> t
+val root : t -> int
+
+val insert : t -> key:Value.t array -> payload:string -> [ `Ok | `Duplicate ]
+val replace : t -> key:Value.t array -> payload:string -> [ `Inserted | `Replaced ]
+val delete : t -> key:Value.t array -> bool
+val find : t -> key:Value.t array -> string option
+val min_key : t -> Value.t array option
+val count : t -> int
+(** Number of entries (walks the leaves). *)
+
+val height : t -> int
+
+type bound = Incl of Value.t array | Excl of Value.t array | Unbounded
+
+type cursor
+
+val cursor : ?lo:bound -> ?hi:bound -> t -> cursor
+(** Ascending scan of keys in [(lo, hi)]. Bounds compare lexicographically
+    with prefix semantics: a bound that is a strict prefix of a stored key
+    compares by the prefix ([Incl [|x|]] admits every key starting with x). *)
+
+val next : cursor -> (Value.t array * string) option
+
+val position : cursor -> Value.t array option
+(** The key the cursor is "on" (last returned), for savepoint capture. *)
+
+val seek : cursor -> Value.t array option -> unit
+(** Restore a captured position; [None] rewinds to the start bound. *)
+
+val iter : t -> (Value.t array -> string -> unit) -> unit
+
+val check_invariants : t -> (unit, string) result
+(** Structural check used by tests: sorted leaves, consistent separators,
+    leaf chaining. *)

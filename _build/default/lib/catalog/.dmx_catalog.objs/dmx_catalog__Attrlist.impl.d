@@ -1,0 +1,1 @@
+lib/catalog/attrlist.ml: Codec Dmx_value Fmt Fun List Option String

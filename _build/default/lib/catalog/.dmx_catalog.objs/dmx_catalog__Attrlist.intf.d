@@ -1,0 +1,1 @@
+lib/catalog/attrlist.mli: Dmx_value Format

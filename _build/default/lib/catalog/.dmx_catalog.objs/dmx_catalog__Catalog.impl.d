@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Codec Descriptor Dmx_value Fmt Int List Map Option String Sys

@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Descriptor Dmx_value Schema

@@ -1,0 +1,1 @@
+lib/catalog/descriptor.ml: Array Codec Dmx_value Fmt Fun List Option Schema String

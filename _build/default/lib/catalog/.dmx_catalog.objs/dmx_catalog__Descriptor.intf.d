@@ -1,0 +1,1 @@
+lib/catalog/descriptor.mli: Codec Dmx_value Format Schema

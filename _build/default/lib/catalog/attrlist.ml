@@ -1,0 +1,107 @@
+open Dmx_value
+
+type t = (string * string) list
+
+let empty = []
+
+let canon = String.lowercase_ascii
+
+let find t key =
+  List.find_map
+    (fun (k, v) -> if canon k = canon key then Some v else None)
+    t
+
+let get_string ?default t key =
+  match find t key with None -> Option.map Fun.id default | some -> some
+
+let get_int t key =
+  match find t key with
+  | None -> Ok None
+  | Some v -> begin
+    match int_of_string_opt v with
+    | Some n -> Ok (Some n)
+    | None -> Error (Fmt.str "attribute %s: %S is not an integer" key v)
+  end
+
+let get_bool t key =
+  match find t key with
+  | None -> Ok None
+  | Some v -> begin
+    match String.lowercase_ascii v with
+    | "true" | "yes" | "1" -> Ok (Some true)
+    | "false" | "no" | "0" -> Ok (Some false)
+    | _ -> Error (Fmt.str "attribute %s: %S is not a boolean" key v)
+  end
+
+type attr_ty = A_int | A_bool | A_string
+
+type spec = {
+  attr_name : string;
+  attr_ty : attr_ty;
+  required : bool;
+}
+
+let spec ?(required = false) attr_name attr_ty = { attr_name; attr_ty; required }
+
+let validate specs t =
+  let rec dup_check seen = function
+    | [] -> Ok ()
+    | (k, _) :: rest ->
+      let k = canon k in
+      if List.mem k seen then Error (Fmt.str "duplicate attribute %s" k)
+      else dup_check (k :: seen) rest
+  in
+  let unknown_check () =
+    List.find_map
+      (fun (k, _) ->
+        if List.exists (fun s -> canon s.attr_name = canon k) specs then None
+        else Some (Fmt.str "unknown attribute %s" k))
+      t
+  in
+  let value_check () =
+    List.find_map
+      (fun s ->
+        match find t s.attr_name with
+        | None -> if s.required then Some (Fmt.str "missing required attribute %s" s.attr_name) else None
+        | Some v -> begin
+          match s.attr_ty with
+          | A_string -> None
+          | A_int ->
+            if int_of_string_opt v = None then
+              Some (Fmt.str "attribute %s: %S is not an integer" s.attr_name v)
+            else None
+          | A_bool -> begin
+            match String.lowercase_ascii v with
+            | "true" | "yes" | "1" | "false" | "no" | "0" -> None
+            | _ -> Some (Fmt.str "attribute %s: %S is not a boolean" s.attr_name v)
+          end
+        end)
+      specs
+  in
+  match dup_check [] t with
+  | Error _ as e -> e
+  | Ok () -> begin
+    match unknown_check () with
+    | Some e -> Error e
+    | None -> begin
+      match value_check () with Some e -> Error e | None -> Ok ()
+    end
+  end
+
+let enc e t =
+  Codec.Enc.list e
+    (fun e (k, v) ->
+      Codec.Enc.string e k;
+      Codec.Enc.string e v)
+    t
+
+let dec d =
+  Codec.Dec.list d (fun d ->
+      let k = Codec.Dec.string d in
+      let v = Codec.Dec.string d in
+      (k, v))
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)"
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string string))
+    t

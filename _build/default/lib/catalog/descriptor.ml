@@ -1,0 +1,89 @@
+open Dmx_value
+
+let max_attachment_types = 32
+
+type t = {
+  rel_id : int;
+  rel_name : string;
+  schema : Schema.t;
+  smethod_id : int;
+  mutable smethod_desc : string;
+  mutable attachments : string option array;
+  mutable version : int;
+}
+
+let make ~rel_id ~rel_name ~schema ~smethod_id ~smethod_desc =
+  {
+    rel_id;
+    rel_name;
+    schema;
+    smethod_id;
+    smethod_desc;
+    attachments = Array.make max_attachment_types None;
+    version = 0;
+  }
+
+let check_slot n =
+  if n < 0 || n >= max_attachment_types then
+    invalid_arg (Fmt.str "Descriptor: attachment type id %d out of range" n)
+
+let attachment_desc t n =
+  check_slot n;
+  t.attachments.(n)
+
+let set_attachment_desc t n desc =
+  check_slot n;
+  t.attachments.(n) <- desc;
+  t.version <- t.version + 1
+
+let set_smethod_desc t desc = t.smethod_desc <- desc
+
+let attachment_types_present t =
+  let acc = ref [] in
+  for n = max_attachment_types - 1 downto 0 do
+    if t.attachments.(n) <> None then acc := n :: !acc
+  done;
+  !acc
+
+let enc e t =
+  let open Codec.Enc in
+  varint e t.rel_id;
+  string e t.rel_name;
+  bytes e (Codec.encode_schema t.schema);
+  varint e t.smethod_id;
+  string e t.smethod_desc;
+  varint e t.version;
+  list e
+    (fun e (n, desc) ->
+      varint e n;
+      string e desc)
+    (List.filter_map
+       (fun n -> Option.map (fun d -> (n, d)) t.attachments.(n))
+       (List.init max_attachment_types Fun.id))
+
+let dec d =
+  let open Codec.Dec in
+  let rel_id = varint d in
+  let rel_name = string d in
+  let schema = Codec.decode_schema (bytes d) in
+  let smethod_id = varint d in
+  let smethod_desc = string d in
+  let version = varint d in
+  let t = make ~rel_id ~rel_name ~schema ~smethod_id ~smethod_desc in
+  t.version <- version;
+  List.iter
+    (fun (n, desc) -> t.attachments.(n) <- Some desc)
+    (list d (fun d ->
+         let n = varint d in
+         let desc = string d in
+         (n, desc)));
+  t
+
+let copy t = { t with attachments = Array.copy t.attachments }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>relation %S (id %d, v%d)@,schema %a@,storage method %d (%d-byte descriptor)@,attachment slots: %a@]"
+    t.rel_name t.rel_id t.version Schema.pp t.schema t.smethod_id
+    (String.length t.smethod_desc)
+    Fmt.(list ~sep:(any ", ") int)
+    (attachment_types_present t)

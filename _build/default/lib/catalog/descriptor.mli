@@ -1,0 +1,56 @@
+(** The composite, extensible relation descriptor.
+
+    "The relation descriptor is composed of a relation storage method
+    descriptor and descriptors for any attachments defined on the relation
+    instance. The structure of the relation descriptor is a record whose
+    header contains the storage method identifier and whose first field
+    contains the storage method descriptor. Each attachment has an assigned
+    identifier, and the descriptor for the attachment with identifier N is
+    found in field N of the relation descriptor. If there are no instances of
+    attachment type N defined on a particular relation, then field N of that
+    relation's descriptor will be NULL." (paper pp. 224–225)
+
+    The common system manages the composite and never interprets the
+    per-extension fields; each extension encodes/decodes its own field (all
+    instances of that attachment type on the relation live in its one slot).
+    The paper notes this record-oriented format caps the number of attachment
+    types at "a few dozen" — {!max_attachment_types} makes that concrete. *)
+
+open Dmx_value
+
+val max_attachment_types : int
+(** 32. *)
+
+type t = {
+  rel_id : int;
+  rel_name : string;
+  schema : Schema.t;
+  smethod_id : int;
+  mutable smethod_desc : string;  (** storage-method-interpreted *)
+  mutable attachments : string option array;
+      (** slot [N] belongs to attachment type [N] *)
+  mutable version : int;
+      (** bumped on every descriptor change; bound query plans record it and
+          re-translate when stale *)
+}
+
+val make :
+  rel_id:int -> rel_name:string -> schema:Schema.t -> smethod_id:int ->
+  smethod_desc:string -> t
+
+val attachment_desc : t -> int -> string option
+val set_attachment_desc : t -> int -> string option -> unit
+(** Also bumps [version]. *)
+
+val set_smethod_desc : t -> string -> unit
+(** Updates the storage method's field without bumping [version]: storage
+    methods mutate their descriptor freely at run time (e.g. recording a new
+    root page) without invalidating plans. *)
+
+val attachment_types_present : t -> int list
+(** Ascending — the invocation order for attached procedures. *)
+
+val enc : Codec.Enc.t -> t -> unit
+val dec : Codec.Dec.t -> t
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

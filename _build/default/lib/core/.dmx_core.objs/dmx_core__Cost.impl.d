@@ -1,0 +1,1 @@
+lib/core/cost.ml: Dmx_expr Float Fmt List

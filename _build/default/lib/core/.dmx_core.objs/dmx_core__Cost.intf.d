@@ -1,0 +1,1 @@
+lib/core/cost.mli: Dmx_expr Format

@@ -1,0 +1,1 @@
+lib/core/ctx.mli: Dmx_catalog Dmx_lock Dmx_page Dmx_txn Dmx_wal Error Log_record

@@ -1,0 +1,1 @@
+lib/core/intf.mli: Attrlist Cost Ctx Descriptor Dmx_catalog Dmx_expr Dmx_value Error Record Record_key Schema Value

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Array Descriptor Dmx_catalog Fmt Intf List String

@@ -1,0 +1,1 @@
+lib/core/registry.mli: Ctx Descriptor Dmx_catalog Dmx_value Error Intf Record Record_key

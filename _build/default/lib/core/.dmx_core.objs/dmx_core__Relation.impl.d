@@ -1,0 +1,1 @@
+lib/core/relation.ml: Array Bytes Ctx Descriptor Dmx_catalog Dmx_lock Dmx_txn Dmx_value Error Fmt Intf List Record_key Registry Result Schema

@@ -1,0 +1,1 @@
+lib/core/relation.mli: Ctx Descriptor Dmx_catalog Dmx_expr Dmx_value Error Intf Record Record_key Value

@@ -1,0 +1,1 @@
+lib/core/scan_help.ml: Dmx_expr Intf List

@@ -1,0 +1,1 @@
+lib/core/scan_help.mli: Dmx_expr Dmx_value Intf Record Record_key

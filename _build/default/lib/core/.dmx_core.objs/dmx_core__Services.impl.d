@@ -1,0 +1,1 @@
+lib/core/services.ml: Buffer_pool Ctx Disk Dmx_catalog Dmx_lock Dmx_page Dmx_txn Dmx_wal Filename List Recovery Registry Sys Undo Unix Wal

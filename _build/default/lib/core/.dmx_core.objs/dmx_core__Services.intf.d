@@ -1,0 +1,1 @@
+lib/core/services.mli: Ctx Dmx_catalog Dmx_lock Dmx_page Dmx_txn Dmx_wal Error

@@ -1,0 +1,1 @@
+lib/core/undo.ml: Ctx Dmx_catalog Dmx_wal Intf Log_record Registry

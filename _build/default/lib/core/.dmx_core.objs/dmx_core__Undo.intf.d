@@ -1,0 +1,1 @@
+lib/core/undo.mli: Dmx_catalog Dmx_page Dmx_txn Dmx_wal

@@ -1,0 +1,31 @@
+open Dmx_wal
+
+type t = {
+  txn : Dmx_txn.Txn.t;
+  txn_mgr : Dmx_txn.Txn_mgr.t;
+  bp : Dmx_page.Buffer_pool.t;
+  catalog : Dmx_catalog.Catalog.t;
+  locks : Dmx_lock.Lock_table.t;
+}
+
+let make ~txn ~txn_mgr ~bp ~catalog =
+  { txn; txn_mgr; bp; catalog; locks = Dmx_txn.Txn_mgr.locks txn_mgr }
+
+let log t ~source ~rel_id ~data =
+  Dmx_txn.Txn_mgr.log_ext t.txn_mgr t.txn ~source ~rel_id ~data
+
+let lock t ~mode resource =
+  match
+    Dmx_lock.Lock_table.acquire t.locks ~txid:t.txn.Dmx_txn.Txn.id ~mode
+      resource
+  with
+  | Dmx_lock.Lock_table.Granted -> Ok ()
+  | Dmx_lock.Lock_table.Would_block holders ->
+    Error (Error.Lock_conflict { txid = t.txn.Dmx_txn.Txn.id; holders })
+
+let defer t event f = Dmx_txn.Txn.defer t.txn event f
+let register_scan t reg = Dmx_txn.Txn.register_scan t.txn reg
+let unregister_scan t id = Dmx_txn.Txn.unregister_scan t.txn id
+
+(* source helpers used by Ctx.log callers; re-exported implicitly *)
+let _ = ignore (fun (s : Log_record.source) -> s)

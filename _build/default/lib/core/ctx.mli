@@ -1,0 +1,39 @@
+(** The common-services execution context.
+
+    Every generic-interface call receives a [Ctx.t]: the calling transaction
+    plus handles to the common services — recovery log, lock manager, buffer
+    pool, catalog. Extensions are "embedded in the database management system
+    execution environment and ... make use of certain common services" (paper
+    p. 223); this record is that environment. *)
+
+open Dmx_wal
+
+type t = {
+  txn : Dmx_txn.Txn.t;
+  txn_mgr : Dmx_txn.Txn_mgr.t;
+  bp : Dmx_page.Buffer_pool.t;  (** shared pool for recoverable page storage *)
+  catalog : Dmx_catalog.Catalog.t;
+  locks : Dmx_lock.Lock_table.t;
+}
+
+val make :
+  txn:Dmx_txn.Txn.t -> txn_mgr:Dmx_txn.Txn_mgr.t ->
+  bp:Dmx_page.Buffer_pool.t -> catalog:Dmx_catalog.Catalog.t -> t
+
+val log : t -> source:Log_record.source -> rel_id:int -> data:string ->
+  Log_record.lsn
+(** Common logging service: append an undoable-operation record for this
+    transaction. *)
+
+val lock :
+  t -> mode:Dmx_lock.Lock_mode.t -> Dmx_lock.Lock_table.resource ->
+  (unit, Error.t) result
+(** Common locking service under the no-wait policy: a conflict is surfaced as
+    [Lock_conflict] and the caller aborts (DESIGN.md §3 explains why blocking
+    is simulated, not preemptive). *)
+
+val defer : t -> Dmx_txn.Txn.event -> (unit -> unit) -> unit
+(** Deferred-action queue service. *)
+
+val register_scan : t -> Dmx_txn.Txn.scan_reg -> int
+val unregister_scan : t -> int -> unit

@@ -1,0 +1,41 @@
+type t =
+  | Veto of { attachment : string; reason : string }
+  | Constraint_violation of string
+  | Duplicate_key of string
+  | Key_not_found of string
+  | Lock_conflict of { txid : int; holders : int list }
+  | Deadlock_victim of { txid : int }
+  | Read_only of string
+  | No_such_relation of string
+  | No_such_attachment of string
+  | Schema_error of string
+  | Ddl_error of string
+  | Authorization_denied of string
+  | Internal of string
+
+exception Error of t
+
+let veto ~attachment reason = Veto { attachment; reason }
+
+let to_string = function
+  | Veto { attachment; reason } ->
+    Fmt.str "modification vetoed by %s: %s" attachment reason
+  | Constraint_violation s -> Fmt.str "constraint violation: %s" s
+  | Duplicate_key s -> Fmt.str "duplicate key: %s" s
+  | Key_not_found s -> Fmt.str "key not found: %s" s
+  | Lock_conflict { txid; holders } ->
+    Fmt.str "lock conflict: tx%d blocked by [%a]" txid
+      Fmt.(list ~sep:(any ",") int)
+      holders
+  | Deadlock_victim { txid } -> Fmt.str "tx%d chosen as deadlock victim" txid
+  | Read_only s -> Fmt.str "read-only: %s" s
+  | No_such_relation s -> Fmt.str "no such relation: %s" s
+  | No_such_attachment s -> Fmt.str "no such attachment: %s" s
+  | Schema_error s -> Fmt.str "schema error: %s" s
+  | Ddl_error s -> Fmt.str "DDL error: %s" s
+  | Authorization_denied s -> Fmt.str "authorization denied: %s" s
+  | Internal s -> Fmt.str "internal error: %s" s
+
+let pp ppf t = Fmt.string ppf (to_string t)
+let raise_err t = raise (Error t)
+let fail fmt = Fmt.kstr (fun s -> Stdlib.Error (Internal s)) fmt

@@ -1,0 +1,26 @@
+(** Errors crossing the generic interfaces. *)
+
+type t =
+  | Veto of { attachment : string; reason : string }
+      (** an attached procedure vetoed the relation modification *)
+  | Constraint_violation of string
+  | Duplicate_key of string
+  | Key_not_found of string
+  | Lock_conflict of { txid : int; holders : int list }
+  | Deadlock_victim of { txid : int }
+  | Read_only of string  (** operation refused by the storage method *)
+  | No_such_relation of string
+  | No_such_attachment of string
+  | Schema_error of string
+  | Ddl_error of string
+  | Authorization_denied of string
+  | Internal of string
+
+exception Error of t
+
+val veto : attachment:string -> string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val raise_err : t -> 'a
+val fail : ('a, Format.formatter, unit, ('b, t) result) format4 -> 'a
+(** [fail fmt...] builds [Error (Internal msg)] — shorthand in extensions. *)

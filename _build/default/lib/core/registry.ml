@@ -1,0 +1,154 @@
+open Dmx_catalog
+
+let max_storage_methods = 64
+
+let smethods : (module Intf.STORAGE_METHOD) option array =
+  Array.make max_storage_methods None
+
+let attaches : (module Intf.ATTACHMENT) option array =
+  Array.make Descriptor.max_attachment_types None
+
+let sm_count = ref 0
+let at_count = ref 0
+let frozen = ref false
+
+let unregistered _ = failwith "Registry: unregistered extension id"
+
+(* Per-operation procedure vectors; entries installed at registration. *)
+module Vec = struct
+  let sm_insert = Array.make max_storage_methods (fun _ _ _ -> unregistered ())
+  let sm_update = Array.make max_storage_methods (fun _ _ _ _ -> unregistered ())
+  let sm_delete = Array.make max_storage_methods (fun _ _ _ -> unregistered ())
+
+  let at_on_insert =
+    Array.make Descriptor.max_attachment_types (fun _ _ ~slot:_ _ _ ->
+        unregistered ())
+
+  let at_on_update =
+    Array.make Descriptor.max_attachment_types
+      (fun _ _ ~slot:_ ~old_key:_ ~new_key:_ ~old_record:_ ~new_record:_ ->
+        unregistered ())
+
+  let at_on_delete =
+    Array.make Descriptor.max_attachment_types (fun _ _ ~slot:_ _ _ ->
+        unregistered ())
+end
+
+let check_not_frozen what =
+  if !frozen then
+    invalid_arg
+      (Fmt.str
+         "Registry: cannot register %s after the database has opened — \
+          extensions are bound at the factory"
+         what)
+
+let register_storage_method (module M : Intf.STORAGE_METHOD) =
+  check_not_frozen ("storage method " ^ M.name);
+  if !sm_count >= max_storage_methods then
+    invalid_arg "Registry: storage-method vector full";
+  Array.iteri
+    (fun _ slot ->
+      match slot with
+      | Some (module O : Intf.STORAGE_METHOD) when O.name = M.name ->
+        invalid_arg (Fmt.str "Registry: storage method %S already registered" M.name)
+      | _ -> ())
+    smethods;
+  let id = !sm_count in
+  incr sm_count;
+  smethods.(id) <- Some (module M);
+  Vec.sm_insert.(id) <- M.insert;
+  Vec.sm_update.(id) <- M.update;
+  Vec.sm_delete.(id) <- M.delete;
+  id
+
+let register_attachment (module M : Intf.ATTACHMENT) =
+  check_not_frozen ("attachment " ^ M.name);
+  if !at_count >= Descriptor.max_attachment_types then
+    invalid_arg "Registry: attachment vector full";
+  Array.iteri
+    (fun _ slot ->
+      match slot with
+      | Some (module O : Intf.ATTACHMENT) when O.name = M.name ->
+        invalid_arg (Fmt.str "Registry: attachment %S already registered" M.name)
+      | _ -> ())
+    attaches;
+  let id = !at_count in
+  incr at_count;
+  attaches.(id) <- Some (module M);
+  Vec.at_on_insert.(id) <- M.on_insert;
+  Vec.at_on_update.(id) <- M.on_update;
+  Vec.at_on_delete.(id) <- M.on_delete;
+  id
+
+let freeze () = frozen := true
+let is_frozen () = !frozen
+
+let reset_for_testing () =
+  frozen := false;
+  sm_count := 0;
+  at_count := 0;
+  Array.fill smethods 0 (Array.length smethods) None;
+  Array.fill attaches 0 (Array.length attaches) None;
+  Array.fill Vec.sm_insert 0 (Array.length Vec.sm_insert) (fun _ _ _ ->
+      unregistered ());
+  Array.fill Vec.sm_update 0 (Array.length Vec.sm_update) (fun _ _ _ _ ->
+      unregistered ());
+  Array.fill Vec.sm_delete 0 (Array.length Vec.sm_delete) (fun _ _ _ ->
+      unregistered ());
+  Array.fill Vec.at_on_insert 0
+    (Array.length Vec.at_on_insert)
+    (fun _ _ ~slot:_ _ _ -> unregistered ());
+  Array.fill Vec.at_on_update 0
+    (Array.length Vec.at_on_update)
+    (fun _ _ ~slot:_ ~old_key:_ ~new_key:_ ~old_record:_ ~new_record:_ ->
+      unregistered ());
+  Array.fill Vec.at_on_delete 0
+    (Array.length Vec.at_on_delete)
+    (fun _ _ ~slot:_ _ _ -> unregistered ())
+
+let storage_method id =
+  match
+    if id >= 0 && id < max_storage_methods then smethods.(id) else None
+  with
+  | Some m -> m
+  | None -> invalid_arg (Fmt.str "Registry: no storage method with id %d" id)
+
+let attachment id =
+  match
+    if id >= 0 && id < Descriptor.max_attachment_types then attaches.(id)
+    else None
+  with
+  | Some m -> m
+  | None -> invalid_arg (Fmt.str "Registry: no attachment with id %d" id)
+
+let find_id arr count name_of name =
+  let rec loop i =
+    if i >= count then None
+    else
+      match arr.(i) with
+      | Some m when String.lowercase_ascii (name_of m) = String.lowercase_ascii name ->
+        Some i
+      | _ -> loop (i + 1)
+  in
+  loop 0
+
+let storage_method_id name =
+  find_id smethods !sm_count
+    (fun (module M : Intf.STORAGE_METHOD) -> M.name)
+    name
+
+let attachment_id name =
+  find_id attaches !at_count (fun (module M : Intf.ATTACHMENT) -> M.name) name
+
+let storage_method_name id =
+  let (module M : Intf.STORAGE_METHOD) = storage_method id in
+  M.name
+
+let attachment_name id =
+  let (module M : Intf.ATTACHMENT) = attachment id in
+  M.name
+
+let storage_methods () =
+  List.init !sm_count (fun id -> (id, storage_method_name id))
+
+let attachments () = List.init !at_count (fun id -> (id, attachment_name id))

@@ -1,0 +1,219 @@
+open Dmx_value
+open Dmx_catalog
+module Txn = Dmx_txn.Txn
+module Txn_mgr = Dmx_txn.Txn_mgr
+module Lock_table = Dmx_lock.Lock_table
+
+let sm_calls = ref 0
+let at_calls = ref 0
+let dispatch_stats () = (!sm_calls, !at_calls)
+
+(* Internal savepoints get nesting-safe names from a per-transaction
+   counter, so cascading modifications (an attached procedure modifying
+   another relation) roll back exactly their own partial effects. *)
+let op_counter : int ref Dmx_txn.Tmap.key = Dmx_txn.Tmap.new_key "relation.op"
+
+let fresh_savepoint ctx =
+  let txn = ctx.Ctx.txn in
+  let counter =
+    match Txn.attr txn op_counter with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Txn.set_attr txn op_counter r;
+      r
+  in
+  incr counter;
+  let name = Fmt.str "__op:%d" !counter in
+  Txn_mgr.savepoint ctx.Ctx.txn_mgr txn name;
+  name
+
+let release_savepoint ctx name =
+  let txn = ctx.Ctx.txn in
+  txn.Txn.savepoints <-
+    List.filter (fun sp -> sp.Txn.sp_name <> name) txn.Txn.savepoints
+
+let rollback_op ctx name =
+  Txn_mgr.rollback_to ctx.Ctx.txn_mgr ctx.Ctx.txn name;
+  release_savepoint ctx name
+
+(* Run [f] bracketed by an internal savepoint: partial rollback on error or
+   exception, cancellation on success. *)
+let with_op_savepoint ctx f =
+  let name = fresh_savepoint ctx in
+  match f () with
+  | Ok _ as ok ->
+    release_savepoint ctx name;
+    ok
+  | Error _ as e ->
+    rollback_op ctx name;
+    e
+  | exception Error.Error err ->
+    rollback_op ctx name;
+    Error err
+
+let lock_relation ctx desc mode =
+  Ctx.lock ctx ~mode (Lock_table.Relation desc.Descriptor.rel_id)
+
+let lock_record ctx desc key mode =
+  Ctx.lock ctx ~mode
+    (Lock_table.Record
+       (desc.Descriptor.rel_id, Bytes.to_string (Record_key.encode key)))
+
+let ( let* ) = Result.bind
+
+(* Invoke each attachment type with instances on the relation, ascending type
+   id, through the attached-procedure vectors. *)
+let run_attached desc f =
+  let rec loop = function
+    | [] -> Ok ()
+    | n :: rest -> begin
+      match Descriptor.attachment_desc desc n with
+      | None -> loop rest
+      | Some slot -> begin
+        incr at_calls;
+        match f n slot with
+        | Ok () -> loop rest
+        | Error _ as e -> e
+      end
+    end
+  in
+  loop (Descriptor.attachment_types_present desc)
+
+let validate ctx desc record =
+  ignore ctx;
+  match Schema.validate_record desc.Descriptor.schema record with
+  | Ok () -> Ok ()
+  | Error msg -> Error (Error.Schema_error msg)
+
+let insert ctx desc record =
+  let* () = validate ctx desc record in
+  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
+  with_op_savepoint ctx (fun () ->
+      incr sm_calls;
+      let* key = Registry.Vec.sm_insert.(desc.Descriptor.smethod_id) ctx desc record in
+      let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
+      let* () =
+        run_attached desc (fun n slot ->
+            Registry.Vec.at_on_insert.(n) ctx desc ~slot key record)
+      in
+      Ok key)
+
+let update ctx desc key new_record =
+  let* () = validate ctx desc new_record in
+  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
+  let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
+  let (module M : Intf.STORAGE_METHOD) =
+    Registry.storage_method desc.Descriptor.smethod_id
+  in
+  match M.fetch ctx desc key () with
+  | None -> Error (Error.Key_not_found (Record_key.to_string key))
+  | Some old_record ->
+    with_op_savepoint ctx (fun () ->
+        incr sm_calls;
+        let* new_key =
+          Registry.Vec.sm_update.(desc.Descriptor.smethod_id) ctx desc key
+            new_record
+        in
+        let* () = lock_record ctx desc new_key Dmx_lock.Lock_mode.X in
+        let* () =
+          run_attached desc (fun n slot ->
+              Registry.Vec.at_on_update.(n) ctx desc ~slot ~old_key:key
+                ~new_key ~old_record ~new_record)
+        in
+        Ok new_key)
+
+let delete ctx desc key =
+  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
+  let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
+  with_op_savepoint ctx (fun () ->
+      incr sm_calls;
+      let* old_record =
+        Registry.Vec.sm_delete.(desc.Descriptor.smethod_id) ctx desc key
+      in
+      let* () =
+        run_attached desc (fun n slot ->
+            Registry.Vec.at_on_delete.(n) ctx desc ~slot key old_record)
+      in
+      Ok old_record)
+
+let fetch ctx desc key ?fields () =
+  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
+  let (module M : Intf.STORAGE_METHOD) =
+    Registry.storage_method desc.Descriptor.smethod_id
+  in
+  Ok (M.fetch ctx desc key ?fields ())
+
+(* Register a scan with the transaction so termination closes it and
+   savepoints capture/restore its position. *)
+let register_record_scan ctx (scan : Intf.record_scan) =
+  let id =
+    Ctx.register_scan ctx
+      { Txn.scan_close = scan.rs_close; scan_capture = scan.rs_capture }
+  in
+  {
+    scan with
+    rs_close =
+      (fun () ->
+        Ctx.unregister_scan ctx id;
+        scan.rs_close ());
+  }
+
+let register_key_scan ctx (scan : Intf.key_scan) =
+  let id =
+    Ctx.register_scan ctx
+      { Txn.scan_close = scan.ks_close; scan_capture = scan.ks_capture }
+  in
+  {
+    scan with
+    ks_close =
+      (fun () ->
+        Ctx.unregister_scan ctx id;
+        scan.ks_close ());
+  }
+
+let scan ctx desc ?lo ?hi ?filter () =
+  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
+  let (module M : Intf.STORAGE_METHOD) =
+    Registry.storage_method desc.Descriptor.smethod_id
+  in
+  Ok (register_record_scan ctx (M.scan ctx desc ?lo ?hi ?filter ()))
+
+let lookup ctx desc ~attachment_id ~instance ~key =
+  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
+  match Descriptor.attachment_desc desc attachment_id with
+  | None ->
+    Error
+      (Error.No_such_attachment
+         (Fmt.str "relation %S has no attachment of type %d"
+            desc.Descriptor.rel_name attachment_id))
+  | Some slot ->
+    let (module A : Intf.ATTACHMENT) = Registry.attachment attachment_id in
+    Ok (A.lookup ctx desc ~slot ~instance ~key)
+
+let attachment_scan ctx desc ~attachment_id ~instance ?lo ?hi () =
+  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
+  match Descriptor.attachment_desc desc attachment_id with
+  | None ->
+    Error
+      (Error.No_such_attachment
+         (Fmt.str "relation %S has no attachment of type %d"
+            desc.Descriptor.rel_name attachment_id))
+  | Some slot ->
+    let (module A : Intf.ATTACHMENT) = Registry.attachment attachment_id in
+    begin
+      match A.scan ctx desc ~slot ~instance ?lo ?hi () with
+      | None ->
+        Error
+          (Error.No_such_attachment
+             (Fmt.str "attachment type %d offers no key-sequential access"
+                attachment_id))
+      | Some s -> Ok (register_key_scan ctx s)
+    end
+
+let record_count ctx desc =
+  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
+  let (module M : Intf.STORAGE_METHOD) =
+    Registry.storage_method desc.Descriptor.smethod_id
+  in
+  Ok (M.record_count ctx desc)

@@ -1,0 +1,58 @@
+(** Direct generic operations on relations — the two-step modification
+    dispatch.
+
+    "The execution of relation modification operations proceeds in two steps.
+    The first step, using the storage method identifier from the relation
+    descriptor, calls the appropriate storage method modification routine via
+    the storage method operation vectors. After completing the storage method
+    operation, the extensions attached to the relation are invoked via the
+    attached procedures vectors" (paper p. 225).
+
+    Attachment types are invoked in ascending type id, once each, servicing
+    all of their instances. Any attachment (or the storage method itself) can
+    abort the operation; the common system then uses the log to undo the
+    partial effects — implemented here as an internal savepoint per operation
+    plus partial rollback on veto. Attached procedures may themselves call
+    back into this module (cascading modifications); savepoint names are
+    nesting-safe. *)
+
+open Dmx_value
+open Dmx_catalog
+
+val insert :
+  Ctx.t -> Descriptor.t -> Record.t -> (Record_key.t, Error.t) result
+
+val update :
+  Ctx.t -> Descriptor.t -> Record_key.t -> Record.t ->
+  (Record_key.t, Error.t) result
+
+val delete : Ctx.t -> Descriptor.t -> Record_key.t -> (Record.t, Error.t) result
+
+val fetch :
+  Ctx.t -> Descriptor.t -> Record_key.t -> ?fields:int array -> unit ->
+  (Record.t option, Error.t) result
+(** Direct-by-key access through the storage method (access path 0). *)
+
+val scan :
+  Ctx.t -> Descriptor.t -> ?lo:Intf.key_bound -> ?hi:Intf.key_bound ->
+  ?filter:Dmx_expr.Expr.t -> unit -> (Intf.record_scan, Error.t) result
+(** Key-sequential access through the storage method. The returned scan is
+    registered with the transaction: closed at termination, position captured
+    at savepoints, restored after partial rollback. *)
+
+val lookup :
+  Ctx.t -> Descriptor.t -> attachment_id:int -> instance:int ->
+  key:Value.t array -> (Record_key.t list, Error.t) result
+(** Direct-by-key access via an access-path attachment: input key to record
+    keys. *)
+
+val attachment_scan :
+  Ctx.t -> Descriptor.t -> attachment_id:int -> instance:int ->
+  ?lo:Intf.key_bound -> ?hi:Intf.key_bound -> unit ->
+  (Intf.key_scan, Error.t) result
+
+val record_count : Ctx.t -> Descriptor.t -> (int, Error.t) result
+
+val dispatch_stats : unit -> int * int
+(** (storage-method calls, attached-procedure calls) since start — lets
+    benches show the tuple-at-a-time call volume the paper worries about. *)

@@ -1,0 +1,38 @@
+let filtered ?filter ~next ~close ~capture () =
+  let rs_next () =
+    let rec loop () =
+      match next () with
+      | None -> None
+      | Some (_key, record) as hit -> begin
+        match filter with
+        | None -> hit
+        | Some pred ->
+          if Dmx_expr.Eval.test record pred then hit else loop ()
+      end
+    in
+    loop ()
+  in
+  { Intf.rs_next; rs_close = close; rs_capture = capture }
+
+let key_scan_of ~next ~close ~capture () =
+  { Intf.ks_next = next; ks_close = close; ks_capture = capture }
+
+let record_scan_to_list (s : Intf.record_scan) =
+  let rec loop acc =
+    match s.rs_next () with
+    | None ->
+      s.rs_close ();
+      List.rev acc
+    | Some hit -> loop (hit :: acc)
+  in
+  loop []
+
+let key_scan_to_list (s : Intf.key_scan) =
+  let rec loop acc =
+    match s.ks_next () with
+    | None ->
+      s.ks_close ();
+      List.rev acc
+    | Some hit -> loop (hit :: acc)
+  in
+  loop []

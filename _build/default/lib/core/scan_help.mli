@@ -1,0 +1,27 @@
+(** Helpers extensions use to build scans.
+
+    [filtered] wraps a raw producer with the common predicate-evaluation
+    service so that non-qualifying records are skipped inside the extension,
+    while the field values are still in the buffer pool (paper p. 223). *)
+
+open Dmx_value
+
+val filtered :
+  ?filter:Dmx_expr.Expr.t ->
+  next:(unit -> (Record_key.t * Record.t) option) ->
+  close:(unit -> unit) ->
+  capture:(unit -> unit -> unit) ->
+  unit ->
+  Intf.record_scan
+
+val key_scan_of :
+  next:(unit -> Record_key.t option) ->
+  close:(unit -> unit) ->
+  capture:(unit -> unit -> unit) ->
+  unit ->
+  Intf.key_scan
+
+val record_scan_to_list : Intf.record_scan -> (Record_key.t * Record.t) list
+(** Drain and close — convenience for tests and internal bulk reads. *)
+
+val key_scan_to_list : Intf.key_scan -> Record_key.t list

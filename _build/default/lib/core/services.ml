@@ -1,0 +1,100 @@
+open Dmx_page
+open Dmx_wal
+
+type t = {
+  disk : Disk.t;
+  bp : Buffer_pool.t;
+  wal : Wal.t;
+  locks : Dmx_lock.Lock_table.t;
+  txn_mgr : Dmx_txn.Txn_mgr.t;
+  catalog : Dmx_catalog.Catalog.t;
+  mutable last_recovery : Recovery.analysis option;
+}
+
+let setup ?dir ?(pool_capacity = 256) () =
+  Registry.freeze ();
+  let disk, wal, catalog =
+    match dir with
+    | None -> (Disk.in_memory (), Wal.in_memory (), Dmx_catalog.Catalog.create ())
+    | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      ( Disk.open_file (Filename.concat dir "pages.dmx"),
+        Wal.open_file (Filename.concat dir "wal.dmx"),
+        Dmx_catalog.Catalog.load ~path:(Filename.concat dir "catalog.dmx") )
+  in
+  let bp = Buffer_pool.create ~capacity:pool_capacity disk in
+  (* WAL rule: undo information must be durable before a dirty page reaches
+     the backing store. Extensions are not trusted to thread LSNs through
+     every page write, so the hook conservatively hardens the whole log. *)
+  Buffer_pool.set_flush_hook bp (fun _lsn -> Wal.flush wal);
+  let locks = Dmx_lock.Lock_table.create () in
+  let txn_mgr = Dmx_txn.Txn_mgr.create ~wal ~locks () in
+  let t = { disk; bp; wal; locks; txn_mgr; catalog; last_recovery = None } in
+  (* Force step of the commit protocol: all dirty pages plus the catalog
+     snapshot when DDL ran. *)
+  Dmx_txn.Txn_mgr.set_force_hook txn_mgr (fun () ->
+      Buffer_pool.flush_all bp;
+      if Dmx_catalog.Catalog.dirty catalog then
+        Dmx_catalog.Catalog.save catalog);
+  Dmx_txn.Txn_mgr.set_undo_dispatch txn_mgr (Undo.dispatch ~txn_mgr ~bp ~catalog);
+  t.last_recovery <- Some (Dmx_txn.Txn_mgr.recover txn_mgr);
+  t
+
+let begin_txn t =
+  let txn = Dmx_txn.Txn_mgr.begin_txn t.txn_mgr in
+  Ctx.make ~txn ~txn_mgr:t.txn_mgr ~bp:t.bp ~catalog:t.catalog
+
+let commit t ctx =
+  ignore t;
+  Dmx_txn.Txn_mgr.commit ctx.Ctx.txn_mgr ctx.Ctx.txn
+
+let abort t ctx =
+  ignore t;
+  Dmx_txn.Txn_mgr.abort ctx.Ctx.txn_mgr ctx.Ctx.txn
+
+let savepoint ctx name = Dmx_txn.Txn_mgr.savepoint ctx.Ctx.txn_mgr ctx.Ctx.txn name
+
+let rollback_to ctx name =
+  Dmx_txn.Txn_mgr.rollback_to ctx.Ctx.txn_mgr ctx.Ctx.txn name
+
+let with_txn t f =
+  let ctx = begin_txn t in
+  match f ctx with
+  | Ok v ->
+    commit t ctx;
+    Ok v
+  | Error _ as e ->
+    abort t ctx;
+    e
+  | exception e ->
+    if Dmx_txn.Txn.is_active ctx.Ctx.txn then abort t ctx;
+    raise e
+
+let close t =
+  List.iter
+    (fun txn -> Dmx_txn.Txn_mgr.abort t.txn_mgr txn)
+    (Dmx_txn.Txn_mgr.active_txns t.txn_mgr);
+  Buffer_pool.flush_all t.bp;
+  Dmx_catalog.Catalog.save t.catalog;
+  Wal.close t.wal;
+  Disk.close t.disk
+
+let simulate_crash t =
+  (* Volatile memory vanishes: no force, no catalog save, no clean abort. *)
+  Buffer_pool.drop_cache t.bp;
+  Wal.abandon t.wal;
+  Disk.close t.disk
+
+let io_stats t = Disk.stats t.disk
+
+let resolve_deadlock t =
+  match Dmx_lock.Deadlock.detect t.locks with
+  | None -> None
+  | Some victim -> begin
+    (match Dmx_txn.Txn_mgr.find_txn t.txn_mgr victim with
+    | Some txn -> Dmx_txn.Txn_mgr.abort t.txn_mgr txn
+    | None ->
+      (* a phantom edge from an extension controller; drop its waits *)
+      Dmx_lock.Lock_table.release_all t.locks victim);
+    Some victim
+  end

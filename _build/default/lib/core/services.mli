@@ -1,0 +1,47 @@
+(** Common-services assembly: wires the substrate into one environment,
+    freezes the registry, runs restart recovery and hands out transaction
+    contexts. This is the "common services environment" box of Figure 2. *)
+
+type t = {
+  disk : Dmx_page.Disk.t;
+  bp : Dmx_page.Buffer_pool.t;
+  wal : Dmx_wal.Wal.t;
+  locks : Dmx_lock.Lock_table.t;
+  txn_mgr : Dmx_txn.Txn_mgr.t;
+  catalog : Dmx_catalog.Catalog.t;
+  mutable last_recovery : Dmx_wal.Recovery.analysis option;
+}
+
+val setup : ?dir:string -> ?pool_capacity:int -> unit -> t
+(** [dir] selects durable operation: pages in [dir/pages.dmx], log in
+    [dir/wal.dmx], catalog snapshot in [dir/catalog.dmx]; omitted means fully
+    in-memory (tests, benches, temporaries). Freezes the registry — all
+    extensions must be registered before this call — then wires the
+    WAL-before-page hook, the force-at-commit hook and the undo dispatcher,
+    and runs restart recovery. *)
+
+val begin_txn : t -> Ctx.t
+val commit : t -> Ctx.t -> unit
+val abort : t -> Ctx.t -> unit
+val savepoint : Ctx.t -> string -> unit
+val rollback_to : Ctx.t -> string -> unit
+
+val with_txn : t -> (Ctx.t -> ('a, Error.t) result) -> ('a, Error.t) result
+(** Begin; commit on [Ok], abort on [Error] or exception. *)
+
+val close : t -> unit
+(** Clean shutdown: force pages, save the catalog, close files. *)
+
+val simulate_crash : t -> unit
+(** Abandon all volatile state without any clean-shutdown work: dirty pages
+    and buffered log records are lost, the catalog snapshot is not written,
+    active transactions simply stop. Reopening with {!setup} then exercises
+    restart recovery. Only meaningful for file-backed services. *)
+
+val io_stats : t -> Dmx_page.Io_stats.t
+
+val resolve_deadlock : t -> int option
+(** Run system-wide deadlock detection over the common lock table plus any
+    extension-registered lock controllers; abort the chosen victim (rolling
+    back its work through the log) and return its transaction id. [None] when
+    no cycle exists. *)

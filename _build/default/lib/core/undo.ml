@@ -1,0 +1,17 @@
+open Dmx_wal
+
+let dispatch ~txn_mgr ~bp ~catalog txn (r : Log_record.t) =
+  match r.Log_record.kind with
+  | Ext { source; rel_id; data } -> begin
+    let ctx = Ctx.make ~txn ~txn_mgr ~bp ~catalog in
+    match source with
+    | Smethod id ->
+      let (module M : Intf.STORAGE_METHOD) = Registry.storage_method id in
+      M.undo ctx ~rel_id ~data
+    | Attachment id ->
+      let (module M : Intf.ATTACHMENT) = Registry.attachment id in
+      M.undo ctx ~rel_id ~data
+    | Catalog ->
+      Dmx_catalog.Catalog.undo_op catalog (Dmx_catalog.Catalog.decode_op data)
+  end
+  | Begin | Commit | Abort | Savepoint _ | Clr _ -> ()

@@ -1,0 +1,19 @@
+(** The log-driven undo dispatcher.
+
+    "The common recovery log is used to drive the storage method and
+    attachment implementations to undo the partial effects of the aborted
+    relation modification. The same log-based driver also drives storage
+    method and attachment implementations during transaction abort and during
+    system restart recovery" (paper p. 223).
+
+    Installed into {!Dmx_txn.Txn_mgr} by {!Services.setup}; routes each [Ext]
+    record to the undo entry point of the owning extension through the
+    registry, or to the catalog facility for catalog records. *)
+
+val dispatch :
+  txn_mgr:Dmx_txn.Txn_mgr.t ->
+  bp:Dmx_page.Buffer_pool.t ->
+  catalog:Dmx_catalog.Catalog.t ->
+  Dmx_txn.Txn.t ->
+  Dmx_wal.Log_record.t ->
+  unit

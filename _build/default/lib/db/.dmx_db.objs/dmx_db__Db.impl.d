@@ -1,0 +1,1 @@
+lib/db/db.ml: Dmx_attach Dmx_authz Dmx_catalog Dmx_core Dmx_ddl Dmx_query Dmx_smethod Error Filename Relation Result Services

@@ -1,0 +1,1 @@
+lib/db/db.mli: Ctx Dmx_authz Dmx_catalog Dmx_core Dmx_query Dmx_value Error Record Record_key Schema Services Value

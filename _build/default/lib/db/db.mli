@@ -1,0 +1,89 @@
+(** The database facade: everything assembled.
+
+    [register_defaults] binds the built-in extension suite "at the factory"
+    (six storage methods, eight attachment types) in a fixed canonical order,
+    so extension ids in persisted catalogs stay stable across runs.
+    Applications may register additional extensions before
+    {!open_database}. *)
+
+open Dmx_value
+open Dmx_core
+
+type t = {
+  services : Services.t;
+  cache : Dmx_query.Plan_cache.t;
+  authz : Dmx_authz.Authz.t;
+  mutable user : string;
+}
+
+val register_defaults : unit -> unit
+(** Idempotent. Registration order (and therefore ids): heap, btree, memory,
+    temp, readonly, foreign; btree_index, hash_index, rtree_index, join_index,
+    check, refint, trigger, stats, agg. *)
+
+val open_database :
+  ?dir:string -> ?user:string -> ?pool_capacity:int -> unit -> t
+(** [user] defaults to ["admin"], which is always an administrator. Runs
+    restart recovery when [dir] holds an existing database.
+    [pool_capacity] sizes the buffer pool (default 256 frames). *)
+
+val close : t -> unit
+val set_user : t -> string -> unit
+
+(** {2 Transactions} *)
+
+val begin_txn : t -> Ctx.t
+val commit : t -> Ctx.t -> unit
+val abort : t -> Ctx.t -> unit
+val with_txn : t -> (Ctx.t -> ('a, Error.t) result) -> ('a, Error.t) result
+
+(** {2 DDL (authorization: creator gets all privileges; CONTROL to drop)} *)
+
+val create_relation :
+  t -> Ctx.t -> name:string -> schema:Schema.t -> ?storage_method:string ->
+  ?attrs:(string * string) list -> unit ->
+  (Dmx_catalog.Descriptor.t, Error.t) result
+
+val drop_relation : t -> Ctx.t -> name:string -> (unit, Error.t) result
+
+val create_attachment :
+  t -> Ctx.t -> relation:string -> attachment_type:string -> name:string ->
+  ?attrs:(string * string) list -> unit -> (unit, Error.t) result
+
+val drop_attachment :
+  t -> Ctx.t -> relation:string -> attachment_type:string -> name:string ->
+  (unit, Error.t) result
+
+(** {2 DML} *)
+
+val relation :
+  t -> Ctx.t -> string -> (Dmx_catalog.Descriptor.t, Error.t) result
+
+val insert :
+  t -> Ctx.t -> relation:string -> Record.t -> (Record_key.t, Error.t) result
+
+val update :
+  t -> Ctx.t -> relation:string -> Record_key.t -> Record.t ->
+  (Record_key.t, Error.t) result
+
+val delete :
+  t -> Ctx.t -> relation:string -> Record_key.t -> (Record.t, Error.t) result
+
+val query :
+  t -> Ctx.t -> Dmx_query.Query.t -> ?params:Value.t array -> unit ->
+  (Record.t list, Error.t) result
+(** Through the bound-plan cache: first use translates, later uses run the
+    saved plan, invalidated plans re-translate automatically. *)
+
+val explain :
+  t -> Ctx.t -> Dmx_query.Query.t -> (string, Error.t) result
+
+(** {2 Grants} *)
+
+val grant :
+  t -> user:string -> privs:Dmx_authz.Authz.priv list -> relation:string ->
+  (unit, Error.t) result
+
+val revoke :
+  t -> user:string -> privs:Dmx_authz.Authz.priv list -> relation:string ->
+  (unit, Error.t) result

@@ -1,0 +1,1 @@
+lib/ddl/ddl.ml: Ctx Dmx_catalog Dmx_core Dmx_lock Dmx_txn Dmx_wal Error Fmt Intf Registry Result

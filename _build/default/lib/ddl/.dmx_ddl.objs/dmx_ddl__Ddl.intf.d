@@ -1,0 +1,1 @@
+lib/ddl/ddl.mli: Attrlist Descriptor Dmx_catalog Dmx_core Dmx_value Schema

@@ -1,0 +1,37 @@
+(** Data definition.
+
+    "The data definition language of the DBMS has been extended to allow
+    specification of a storage method or attachment type and an
+    attribute/value list for extension-specific parameters. Storage method and
+    attachment implementations supply generic operations to validate and
+    process the attribute lists" (paper p. 222).
+
+    All DDL is transactional: catalog changes are logged ([Catalog]-source Ext
+    records) and undone on abort; the release of dropped storage is deferred
+    to commit through the deferred-action queue, "making drop (destroy)
+    operations undoable without logging the entire state of the relation or
+    access path" (p. 224). *)
+
+open Dmx_value
+open Dmx_catalog
+
+val create_relation :
+  Dmx_core.Ctx.t -> name:string -> schema:Schema.t -> storage_method:string ->
+  ?attrs:Attrlist.t -> unit -> (Descriptor.t, Dmx_core.Error.t) result
+
+val drop_relation :
+  Dmx_core.Ctx.t -> name:string -> (unit, Dmx_core.Error.t) result
+
+val create_attachment :
+  Dmx_core.Ctx.t -> relation:string -> attachment_type:string ->
+  name:string -> ?attrs:Attrlist.t -> unit -> (unit, Dmx_core.Error.t) result
+(** E.g. [create_attachment ctx ~relation:"employee"
+    ~attachment_type:"btree_index" ~name:"emp_dept"
+    ~attrs:[("fields", "dept")] ()]. *)
+
+val drop_attachment :
+  Dmx_core.Ctx.t -> relation:string -> attachment_type:string ->
+  name:string -> (unit, Dmx_core.Error.t) result
+
+val find_relation :
+  Dmx_core.Ctx.t -> string -> (Descriptor.t, Dmx_core.Error.t) result

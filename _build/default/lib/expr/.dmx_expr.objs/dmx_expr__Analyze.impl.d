@@ -1,0 +1,1 @@
+lib/expr/analyze.ml: Array Dmx_value Eval Expr Float List Option String Value

@@ -1,0 +1,1 @@
+lib/expr/analyze.mli: Dmx_value Expr Value

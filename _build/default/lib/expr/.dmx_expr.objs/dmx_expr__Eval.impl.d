@@ -1,0 +1,1 @@
+lib/expr/eval.ml: Array Dmx_value Expr Float Fmt Func Int64 List Option String Value

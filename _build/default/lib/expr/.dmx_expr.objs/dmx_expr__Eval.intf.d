@@ -1,0 +1,1 @@
+lib/expr/eval.mli: Dmx_value Expr Format Record Value

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Array Codec Dmx_value Fmt Int List Stdlib Value

@@ -1,0 +1,1 @@
+lib/expr/func.ml: Dmx_value Float Fmt Hashtbl Int64 List String Value

@@ -1,0 +1,1 @@
+lib/expr/func.mli: Dmx_value Value

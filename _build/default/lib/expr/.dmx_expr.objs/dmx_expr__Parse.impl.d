@@ -1,0 +1,1 @@
+lib/expr/parse.ml: Buffer Dmx_value Expr Fmt Int64 List Schema String Value

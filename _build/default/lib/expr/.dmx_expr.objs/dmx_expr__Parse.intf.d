@@ -1,0 +1,1 @@
+lib/expr/parse.mli: Dmx_value Expr Schema

@@ -1,0 +1,179 @@
+open Dmx_value
+
+exception Error of string
+
+type truth = True | False | Unknown
+
+let err fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let pp_truth ppf t =
+  Fmt.string ppf
+    (match t with True -> "TRUE" | False -> "FALSE" | Unknown -> "UNKNOWN")
+
+let truth_of_bool b = if b then True else False
+
+let t_and a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let t_or a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+let t_not = function True -> False | False -> True | Unknown -> Unknown
+
+let value_of_truth = function
+  | True -> Value.Bool true
+  | False -> Value.Bool false
+  | Unknown -> Value.Null
+
+let truth_of_value = function
+  | Value.Null -> Unknown
+  | Value.Bool b -> truth_of_bool b
+  | v -> err "expected boolean, got %a" Value.pp v
+
+(* Numeric coercion: Int op Float promotes to Float. *)
+let arith op a b =
+  let open Value in
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> begin
+    match (op : Expr.arith) with
+    | Add -> Int (Int64.add x y)
+    | Sub -> Int (Int64.sub x y)
+    | Mul -> Int (Int64.mul x y)
+    | Div -> if y = 0L then err "division by zero" else Int (Int64.div x y)
+    | Mod -> if y = 0L then err "division by zero" else Int (Int64.rem x y)
+  end
+  | (Int _ | Float _), (Int _ | Float _) ->
+    let x = Option.get (to_float a) and y = Option.get (to_float b) in
+    begin
+      match (op : Expr.arith) with
+      | Add -> Float (x +. y)
+      | Sub -> Float (x -. y)
+      | Mul -> Float (x *. y)
+      | Div -> if y = 0. then err "division by zero" else Float (x /. y)
+      | Mod -> err "mod on float"
+    end
+  | String x, String y when op = Expr.Add -> String (x ^ y)
+  | _ -> err "arithmetic on %a and %a" Value.pp a Value.pp b
+
+let compare_values a b =
+  let open Value in
+  match a, b with
+  | Int x, Float y -> Some (Float.compare (Int64.to_float x) y)
+  | Float x, Int y -> Some (Float.compare x (Int64.to_float y))
+  | _ -> begin
+    match type_of a, type_of b with
+    | Some ta, Some tb when ta = tb -> Some (Value.compare a b)
+    | _ -> None
+  end
+
+let cmp op a b =
+  match a, b with
+  | Value.Null, _ | _, Value.Null -> Unknown
+  | _ -> begin
+    match compare_values a b with
+    | None -> err "cannot compare %a with %a" Value.pp a Value.pp b
+    | Some c ->
+      truth_of_bool
+        (match (op : Expr.cmp) with
+        | Eq -> c = 0
+        | Ne -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0)
+  end
+
+(* LIKE matching by backtracking on '%'. *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si =
+    if pi >= np then si >= ns
+    else
+      match pattern.[pi] with
+      | '%' ->
+        let rec try_from k = k <= ns && (go (pi + 1) k || try_from (k + 1)) in
+        try_from si
+      | '_' -> si < ns && go (pi + 1) (si + 1)
+      | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+  in
+  go 0 0
+
+let rec eval_v params record (e : Expr.t) : Value.t =
+  match e with
+  | Const v -> v
+  | Field i ->
+    if i < 0 || i >= Array.length record then err "field $%d out of range" i
+    else record.(i)
+  | Param i ->
+    if i < 0 || i >= Array.length params then err "parameter ?%d not supplied" i
+    else params.(i)
+  | Not a -> value_of_truth (t_not (eval_t params record a))
+  | And (a, b) ->
+    value_of_truth (t_and (eval_t params record a) (eval_t params record b))
+  | Or (a, b) ->
+    value_of_truth (t_or (eval_t params record a) (eval_t params record b))
+  | Cmp (op, a, b) ->
+    value_of_truth (cmp op (eval_v params record a) (eval_v params record b))
+  | Is_null a -> Value.Bool (eval_v params record a = Value.Null)
+  | Arith (op, a, b) ->
+    arith op (eval_v params record a) (eval_v params record b)
+  | Neg a -> begin
+    match eval_v params record a with
+    | Value.Null -> Value.Null
+    | Value.Int i -> Value.Int (Int64.neg i)
+    | Value.Float f -> Value.Float (-.f)
+    | v -> err "negation of %a" Value.pp v
+  end
+  | Like (a, pattern) -> begin
+    match eval_v params record a with
+    | Value.Null -> Value.Null
+    | Value.String s -> Value.Bool (like_match ~pattern s)
+    | v -> err "LIKE on %a" Value.pp v
+  end
+  | In_list (a, vs) -> begin
+    match eval_v params record a with
+    | Value.Null -> Value.Null
+    | v ->
+      let any_null = List.exists (fun x -> x = Value.Null) vs in
+      let hit =
+        List.exists (fun x -> cmp Expr.Eq v x = True) vs
+      in
+      if hit then Value.Bool true
+      else if any_null then Value.Null
+      else Value.Bool false
+  end
+  | Between (a, lo, hi) ->
+    let v = eval_v params record a in
+    let lo = eval_v params record lo in
+    let hi = eval_v params record hi in
+    value_of_truth (t_and (cmp Expr.Ge v lo) (cmp Expr.Le v hi))
+  | Call (name, args) -> begin
+    match Func.find name with
+    | None -> err "unknown function %s" name
+    | Some (f, null_call) ->
+      let vals = List.map (eval_v params record) args in
+      if (not null_call) && List.exists (fun v -> v = Value.Null) vals then
+        Value.Null
+      else begin
+        (* a misbehaving user function must not crash the evaluator with an
+           untyped exception *)
+        try f vals with
+        | Error _ as e -> raise e
+        | Failure msg | Invalid_argument msg -> err "function %s: %s" name msg
+      end
+  end
+
+and eval_t params record e = truth_of_value (eval_v params record e)
+
+let no_params : Value.t array = [||]
+
+let eval ?(params = no_params) record e = eval_v params record e
+let truth ?(params = no_params) record e = eval_t params record e
+let test ?(params = no_params) record e = eval_t params record e = True

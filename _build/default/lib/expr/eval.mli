@@ -1,0 +1,29 @@
+(** Expression evaluation with SQL three-valued logic.
+
+    The common-services predicate evaluator. Storage methods and access paths
+    call {!test} on the current record while its field values are still in the
+    buffer pool; integrity constraint attachments and the query execution
+    engine share the same facility (paper p. 223–224). *)
+
+open Dmx_value
+
+exception Error of string
+
+type truth = True | False | Unknown
+
+val eval : ?params:Value.t array -> Record.t -> Expr.t -> Value.t
+(** Evaluate a scalar expression against a record. NULL propagates through
+    comparisons, arithmetic and (by default) function calls. Raises {!Error}
+    on type mismatches or unknown functions. *)
+
+val truth : ?params:Value.t array -> Record.t -> Expr.t -> truth
+(** Evaluate a predicate under three-valued logic. *)
+
+val test : ?params:Value.t array -> Record.t -> Expr.t -> bool
+(** [test r p] is [true] iff [truth r p = True] — the filtering rule: a record
+    qualifies only when the predicate is definitely true. *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE matching with [%] (any run) and [_] (any one char). *)
+
+val pp_truth : Format.formatter -> truth -> unit

@@ -1,0 +1,329 @@
+open Dmx_value
+
+type token =
+  | Tid of string
+  | Tint of int64
+  | Tfloat of float
+  | Tstring of string
+  | Tparam of int
+  | Top of string
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Teof
+
+exception Parse_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_ident_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_ident c = is_ident_start c || is_digit c || c = '.' in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      if !i < n && src.[!i] = '.' then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done;
+        emit (Tfloat (float_of_string (String.sub src start (!i - start))))
+      end
+      else emit (Tint (Int64.of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do incr i done;
+      emit (Tid (String.sub src start (!i - start)))
+    end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !i >= n then err "unterminated string literal"
+        else if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2;
+            loop ()
+          end
+          else incr i
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i;
+          loop ()
+        end
+      in
+      loop ();
+      emit (Tstring (Buffer.contents buf))
+    end
+    else if c = '?' then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      if !i = start then err "expected digits after ?"
+      else emit (Tparam (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '(' then (incr i; emit Tlparen)
+    else if c = ')' then (incr i; emit Trparen)
+    else if c = ',' then (incr i; emit Tcomma)
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" | "!=" ->
+        i := !i + 2;
+        emit (Top two)
+      | _ -> begin
+        match c with
+        | '=' | '<' | '>' | '+' | '-' | '*' | '/' | '%' ->
+          incr i;
+          emit (Top (String.make 1 c))
+        | _ -> err "unexpected character %C" c
+      end
+    end
+  done;
+  List.rev (Teof :: !toks)
+
+type state = { mutable toks : token list; schema : Schema.t }
+
+let peek st = match st.toks with [] -> Teof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t what =
+  if peek st = t then advance st else err "expected %s" what
+
+let kw st = match peek st with Tid s -> Some (String.uppercase_ascii s) | _ -> None
+
+let eat_kw st k =
+  if kw st = Some k then begin
+    advance st;
+    true
+  end
+  else false
+
+let require_kw st k = if not (eat_kw st k) then err "expected %s" k
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if eat_kw st "OR" then Expr.Or (lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  if eat_kw st "AND" then Expr.And (lhs, parse_and st) else lhs
+
+and parse_unary st =
+  if eat_kw st "NOT" then Expr.Not (parse_unary st) else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  match peek st with
+  | Top "=" ->
+    advance st;
+    Expr.Cmp (Eq, lhs, parse_add st)
+  | Top ("<>" | "!=") ->
+    advance st;
+    Expr.Cmp (Ne, lhs, parse_add st)
+  | Top "<" ->
+    advance st;
+    Expr.Cmp (Lt, lhs, parse_add st)
+  | Top "<=" ->
+    advance st;
+    Expr.Cmp (Le, lhs, parse_add st)
+  | Top ">" ->
+    advance st;
+    Expr.Cmp (Gt, lhs, parse_add st)
+  | Top ">=" ->
+    advance st;
+    Expr.Cmp (Ge, lhs, parse_add st)
+  | Tid _ -> begin
+    match kw st with
+    | Some "IS" ->
+      advance st;
+      let negated = eat_kw st "NOT" in
+      require_kw st "NULL";
+      if negated then Expr.Not (Expr.Is_null lhs) else Expr.Is_null lhs
+    | Some "LIKE" ->
+      advance st;
+      begin
+        match peek st with
+        | Tstring p ->
+          advance st;
+          Expr.Like (lhs, p)
+        | _ -> err "LIKE expects a string literal"
+      end
+    | Some "NOT" ->
+      advance st;
+      if eat_kw st "LIKE" then begin
+        match peek st with
+        | Tstring p ->
+          advance st;
+          Expr.Not (Expr.Like (lhs, p))
+        | _ -> err "LIKE expects a string literal"
+      end
+      else if eat_kw st "IN" then Expr.Not (parse_in st lhs)
+      else err "expected LIKE or IN after NOT"
+    | Some "IN" ->
+      advance st;
+      parse_in st lhs
+    | Some "BETWEEN" ->
+      advance st;
+      let lo = parse_add st in
+      require_kw st "AND";
+      let hi = parse_add st in
+      Expr.Between (lhs, lo, hi)
+    | _ -> lhs
+  end
+  | _ -> lhs
+
+and parse_in st lhs =
+  expect st Tlparen "(";
+  let rec items acc =
+    let v =
+      match peek st with
+      | Tint i ->
+        advance st;
+        Value.Int i
+      | Tfloat f ->
+        advance st;
+        Value.Float f
+      | Tstring s ->
+        advance st;
+        Value.String s
+      | Tid s when String.uppercase_ascii s = "NULL" ->
+        advance st;
+        Value.Null
+      | Tid s when String.uppercase_ascii s = "TRUE" ->
+        advance st;
+        Value.Bool true
+      | Tid s when String.uppercase_ascii s = "FALSE" ->
+        advance st;
+        Value.Bool false
+      | Top "-" ->
+        advance st;
+        begin
+          match peek st with
+          | Tint i ->
+            advance st;
+            Value.Int (Int64.neg i)
+          | Tfloat f ->
+            advance st;
+            Value.Float (-.f)
+          | _ -> err "expected number after -"
+        end
+      | _ -> err "IN list expects literals"
+    in
+    if peek st = Tcomma then begin
+      advance st;
+      items (v :: acc)
+    end
+    else List.rev (v :: acc)
+  in
+  let vs = items [] in
+  expect st Trparen ")";
+  Expr.In_list (lhs, vs)
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | Top "+" ->
+      advance st;
+      loop (Expr.Arith (Add, lhs, parse_mul st))
+    | Top "-" ->
+      advance st;
+      loop (Expr.Arith (Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | Top "*" ->
+      advance st;
+      loop (Expr.Arith (Mul, lhs, parse_atom st))
+    | Top "/" ->
+      advance st;
+      loop (Expr.Arith (Div, lhs, parse_atom st))
+    | Top "%" ->
+      advance st;
+      loop (Expr.Arith (Mod, lhs, parse_atom st))
+    | _ -> lhs
+  in
+  loop (parse_atom st)
+
+and parse_atom st =
+  match peek st with
+  | Tint i ->
+    advance st;
+    Expr.Const (Value.Int i)
+  | Tfloat f ->
+    advance st;
+    Expr.Const (Value.Float f)
+  | Tstring s ->
+    advance st;
+    Expr.Const (Value.String s)
+  | Tparam i ->
+    advance st;
+    Expr.Param i
+  | Top "-" ->
+    advance st;
+    Expr.Neg (parse_atom st)
+  | Tlparen ->
+    advance st;
+    let e = parse_or st in
+    expect st Trparen ")";
+    e
+  | Tid name -> begin
+    advance st;
+    match String.uppercase_ascii name with
+    | "NULL" -> Expr.Const Value.Null
+    | "TRUE" -> Expr.Const (Value.Bool true)
+    | "FALSE" -> Expr.Const (Value.Bool false)
+    | _ ->
+      if peek st = Tlparen then begin
+        advance st;
+        let rec args acc =
+          if peek st = Trparen then List.rev acc
+          else
+            let a = parse_or st in
+            if peek st = Tcomma then begin
+              advance st;
+              args (a :: acc)
+            end
+            else List.rev (a :: acc)
+        in
+        let args = args [] in
+        expect st Trparen ")";
+        Expr.Call (name, args)
+      end
+      else begin
+        match Schema.field_index st.schema name with
+        | Some i -> Expr.Field i
+        | None -> err "unknown column %S" name
+      end
+  end
+  | Trparen | Tcomma | Teof | Top _ -> err "unexpected token"
+
+let parse schema src =
+  match
+    let st = { toks = tokenize src; schema } in
+    let e = parse_or st in
+    if peek st <> Teof then err "trailing input" else e
+  with
+  | e -> Ok e
+  | exception Parse_error msg -> Error msg
+
+let parse_exn schema src =
+  match parse schema src with
+  | Ok e -> e
+  | Error msg -> invalid_arg ("Parse.parse_exn: " ^ msg)

@@ -1,0 +1,25 @@
+(** A small predicate parser for examples, the shell and tests.
+
+    Grammar (case-insensitive keywords):
+    {v
+    expr     ::= or
+    or       ::= and (OR and)*
+    and      ::= unary (AND unary)*
+    unary    ::= NOT unary | cmp
+    cmp      ::= add ((= | <> | != | < | <= | > | >=) add)?
+               | add IS [NOT] NULL
+               | add [NOT] LIKE string
+               | add [NOT] IN lparen literal (comma literal)* rparen
+               | add BETWEEN add AND add
+    add      ::= mul ((+|-) mul)*
+    mul      ::= atom ((star|/|percent) atom)*
+    atom     ::= literal | identifier | ?n | lparen expr rparen
+               | identifier lparen args rparen
+    literal  ::= integer | float | string | TRUE | FALSE | NULL
+    v}
+    Identifiers are resolved to field positions through the supplied schema. *)
+
+open Dmx_value
+
+val parse : Schema.t -> string -> (Expr.t, string) result
+val parse_exn : Schema.t -> string -> Expr.t

@@ -1,0 +1,1 @@
+lib/lock/deadlock.ml: Hashtbl Int List Lock_table Map Option

@@ -1,0 +1,1 @@
+lib/lock/deadlock.mli: Lock_table

@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Fmt Hashtbl List Lock_mode String

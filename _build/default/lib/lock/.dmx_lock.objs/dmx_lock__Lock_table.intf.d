@@ -1,0 +1,1 @@
+lib/lock/lock_table.mli: Format Lock_mode

@@ -1,0 +1,16 @@
+(** System-wide deadlock detection.
+
+    Cycle search over the waits-for graph assembled from the common lock table
+    plus any extension-supplied lock controllers. The victim is the youngest
+    transaction in the first cycle found (largest txid — ids are assigned in
+    start order). *)
+
+type txid = int
+
+val find_cycle : (txid * txid) list -> txid list option
+(** A cycle as the list of transactions in it, if any. *)
+
+val detect : Lock_table.t -> txid option
+(** Run detection over {!Lock_table.all_edges}; returns the chosen victim. *)
+
+val choose_victim : txid list -> txid

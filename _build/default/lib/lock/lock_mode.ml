@@ -1,0 +1,38 @@
+type t = IS | IX | S | SIX | X
+
+let compatible a b =
+  match a, b with
+  | IS, (IS | IX | S | SIX) | (IX | S | SIX), IS -> true
+  | IX, IX -> true
+  | S, S -> true
+  | _ -> false
+
+(* Lattice:      X
+               /   \
+             SIX    |
+            /   \   |
+           S     IX |
+            \   /   |
+             IS ----+
+   sup is the least mode covering both. *)
+let sup a b =
+  if a = b then a
+  else
+    match a, b with
+    | X, _ | _, X -> X
+    | SIX, _ | _, SIX -> SIX
+    | S, IX | IX, S -> SIX
+    | S, IS | IS, S -> S
+    | IX, IS | IS, IX -> IX
+    | IS, IS | S, S | IX, IX -> a
+
+let leq a b = sup a b = b
+
+let to_string = function
+  | IS -> "IS"
+  | IX -> "IX"
+  | S -> "S"
+  | SIX -> "SIX"
+  | X -> "X"
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,19 @@
+(** Hierarchical lock modes.
+
+    The architecture assumes every storage method and attachment uses
+    locking-based concurrency control (paper p. 223); the common lock manager
+    offers the standard multi-granularity mode lattice. *)
+
+type t = IS | IX | S | SIX | X
+
+val compatible : t -> t -> bool
+(** Symmetric compatibility matrix. *)
+
+val sup : t -> t -> t
+(** Least upper bound in the lattice — the mode to hold after an upgrade. *)
+
+val leq : t -> t -> bool
+(** [leq a b]: holding [b] covers a request for [a]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,54 @@
+(** The common lock manager.
+
+    Resources form a two-level hierarchy: relations and records within them.
+    Requests are granted immediately when compatible with all other holders
+    (mode upgrades considered); otherwise the caller chooses between the
+    no-wait policy ([acquire] returns [Would_block]) and queueing ([enqueue]),
+    in which case released locks wake compatible waiters in FIFO order and the
+    waits-for graph feeds {!Deadlock}. All lock controllers "must be able to
+    participate in transaction commit and system-wide deadlock detection
+    events" (paper p. 223) — extensions supplying their own controller
+    register deadlock participants through {!add_external_edges_hook}. *)
+
+type resource =
+  | Relation of int
+  | Record of int * string  (** relation id, encoded record key *)
+
+type txid = int
+
+type outcome =
+  | Granted
+  | Would_block of txid list  (** current incompatible holders *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> txid:txid -> mode:Lock_mode.t -> resource -> outcome
+(** Try to acquire (or upgrade to) [mode]; never waits. *)
+
+val enqueue : t -> txid:txid -> mode:Lock_mode.t -> resource -> outcome
+(** Like {!acquire}, but a blocked request joins the wait queue and
+    contributes waits-for edges until granted or {!cancel_waits}. *)
+
+val holds : t -> txid:txid -> resource -> Lock_mode.t option
+val is_granted : t -> txid:txid -> resource -> bool
+(** Whether a previously enqueued request has been granted. *)
+
+val release_all : t -> txid -> unit
+(** Drop every lock and queued request of the transaction (commit/abort),
+    waking newly compatible waiters. *)
+
+val cancel_waits : t -> txid -> unit
+(** Drop only queued (not yet granted) requests. *)
+
+val waits_for_edges : t -> (txid * txid) list
+(** Edges waiter -> holder, for deadlock detection. *)
+
+val add_external_edges_hook : t -> (unit -> (txid * txid) list) -> unit
+(** Extensions running their own lock controller contribute their edges to
+    system-wide deadlock detection. *)
+
+val all_edges : t -> (txid * txid) list
+val locked_resources : t -> txid -> resource list
+val pp_resource : Format.formatter -> resource -> unit

@@ -1,0 +1,1 @@
+lib/page/buffer_pool.ml: Bytes Disk Fmt Fun Hashtbl

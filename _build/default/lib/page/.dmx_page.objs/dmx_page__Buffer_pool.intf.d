@@ -1,0 +1,1 @@
+lib/page/buffer_pool.mli: Disk

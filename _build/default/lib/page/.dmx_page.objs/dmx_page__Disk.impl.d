@@ -1,0 +1,1 @@
+lib/page/disk.ml: Array Bytes Fmt Int32 Int64 Io_stats String Unix

@@ -1,0 +1,1 @@
+lib/page/disk.mli: Io_stats

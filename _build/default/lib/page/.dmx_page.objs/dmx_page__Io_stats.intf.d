@@ -1,0 +1,1 @@
+lib/page/io_stats.mli: Format

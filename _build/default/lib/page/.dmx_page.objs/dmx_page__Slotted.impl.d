@@ -1,0 +1,1 @@
+lib/page/slotted.ml: Bytes Char List String

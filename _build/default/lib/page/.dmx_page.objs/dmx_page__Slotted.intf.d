@@ -1,0 +1,1 @@
+lib/page/slotted.mli:

@@ -1,0 +1,129 @@
+type frame = {
+  page_id : int;
+  data : bytes;
+  mutable dirty : bool;
+  mutable pin_count : int;
+  mutable page_lsn : int64;
+  mutable last_used : int;
+}
+
+type t = {
+  disk : Disk.t;
+  cap : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable tick : int;
+  mutable flush_hook : int64 -> unit;
+}
+
+let create ?(capacity = 256) disk =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  {
+    disk;
+    cap = capacity;
+    frames = Hashtbl.create capacity;
+    tick = 0;
+    flush_hook = ignore;
+  }
+
+let disk t = t.disk
+let capacity t = t.cap
+let set_flush_hook t hook = t.flush_hook <- hook
+
+let touch t frame =
+  t.tick <- t.tick + 1;
+  frame.last_used <- t.tick
+
+let write_back t frame =
+  if frame.dirty then begin
+    t.flush_hook frame.page_lsn;
+    Disk.write t.disk frame.page_id frame.data;
+    frame.dirty <- false
+  end
+
+(* Evict the least-recently-used unpinned frame to make room. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun _ f best ->
+        if f.pin_count > 0 then best
+        else
+          match best with
+          | Some b when b.last_used <= f.last_used -> best
+          | _ -> Some f)
+      t.frames None
+  in
+  match victim with
+  | None -> failwith "Buffer_pool: all frames pinned"
+  | Some f ->
+    write_back t f;
+    Hashtbl.remove t.frames f.page_id
+
+let ensure_room t =
+  while Hashtbl.length t.frames >= t.cap do
+    evict_one t
+  done
+
+let install t page_id data =
+  ensure_room t;
+  let frame =
+    { page_id; data; dirty = false; pin_count = 1; page_lsn = 0L; last_used = 0 }
+  in
+  touch t frame;
+  Hashtbl.replace t.frames page_id frame;
+  frame
+
+let pin t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some frame ->
+    (Disk.stats t.disk).pool_hits <- (Disk.stats t.disk).pool_hits + 1;
+    frame.pin_count <- frame.pin_count + 1;
+    touch t frame;
+    frame
+  | None ->
+    (Disk.stats t.disk).pool_misses <- (Disk.stats t.disk).pool_misses + 1;
+    install t page_id (Disk.read t.disk page_id)
+
+let unpin ?(dirty = false) ?lsn t frame =
+  if frame.pin_count <= 0 then failwith "Buffer_pool.unpin: frame not pinned";
+  if dirty then frame.dirty <- true;
+  (match lsn with
+  | Some l when l > frame.page_lsn -> frame.page_lsn <- l
+  | _ -> ());
+  frame.pin_count <- frame.pin_count - 1;
+  touch t frame
+
+let alloc t =
+  let page_id = Disk.alloc t.disk in
+  let frame = install t page_id (Bytes.make (Disk.page_size t.disk) '\000') in
+  frame.dirty <- true;
+  frame
+
+let with_page t page_id f =
+  let frame = pin t page_id in
+  Fun.protect ~finally:(fun () -> unpin t frame) (fun () -> f frame)
+
+let with_page_mut t page_id ~lsn f =
+  let frame = pin t page_id in
+  Fun.protect
+    ~finally:(fun () -> unpin ~dirty:true ~lsn t frame)
+    (fun () -> f frame)
+
+let flush_page t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | None -> ()
+  | Some frame -> write_back t frame
+
+let flush_all t =
+  Hashtbl.iter (fun _ f -> write_back t f) t.frames;
+  Disk.sync t.disk
+
+let drop_cache t =
+  Hashtbl.iter
+    (fun _ f ->
+      if f.pin_count > 0 then
+        failwith
+          (Fmt.str "Buffer_pool.drop_cache: page %d still pinned" f.page_id))
+    t.frames;
+  Hashtbl.reset t.frames
+
+let cached_pages t = Hashtbl.length t.frames

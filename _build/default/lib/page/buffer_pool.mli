@@ -1,0 +1,57 @@
+(** Buffer pool.
+
+    Fixed-capacity page cache over a {!Disk} store with pin/unpin, LRU
+    eviction of unpinned frames, and a write-ahead-log hook: before a dirty
+    frame reaches the backing store, the registered hook is called with the
+    frame's latest LSN so the log can be forced first.
+
+    The paper expects filter predicates to be evaluated "while the field
+    values from the relation storage or access path are still in the buffer
+    pool" — storage methods therefore work directly on pinned frame bytes. *)
+
+type t
+
+type frame = private {
+  page_id : int;
+  data : bytes;  (** one page; mutate in place while pinned *)
+  mutable dirty : bool;
+  mutable pin_count : int;
+  mutable page_lsn : int64;
+  mutable last_used : int;
+}
+
+val create : ?capacity:int -> Disk.t -> t
+(** [capacity] defaults to 256 frames. *)
+
+val disk : t -> Disk.t
+val capacity : t -> int
+val set_flush_hook : t -> (int64 -> unit) -> unit
+
+val pin : t -> int -> frame
+(** Fetch (or find cached) page; increments the pin count. Raises [Failure]
+    when every frame is pinned. *)
+
+val unpin : ?dirty:bool -> ?lsn:int64 -> t -> frame -> unit
+(** Release one pin; [dirty] marks the frame modified and [lsn] records the
+    log record covering the modification. *)
+
+val alloc : t -> frame
+(** Allocate a fresh page on the disk and return its (pinned, dirty) frame. *)
+
+val with_page : t -> int -> (frame -> 'a) -> 'a
+(** Pin, apply, unpin (not dirty). *)
+
+val with_page_mut : t -> int -> lsn:int64 -> (frame -> 'a) -> 'a
+(** Pin, apply, unpin dirty with [lsn]. *)
+
+val flush_page : t -> int -> unit
+val flush_all : t -> unit
+(** Write every dirty frame (and fsync file-backed stores): the force step of
+    the undo/no-redo commit protocol. *)
+
+val drop_cache : t -> unit
+(** Forget all unpinned frames without writing them — simulates losing
+    volatile memory in a crash (used by recovery tests). Raises [Failure] if
+    any frame is still pinned. *)
+
+val cached_pages : t -> int

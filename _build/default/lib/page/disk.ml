@@ -1,0 +1,166 @@
+let default_page_size = 4096
+
+type backend =
+  | Mem of bytes array ref
+  | File of Unix.file_descr
+
+type t = {
+  page_size : int;
+  backend : backend;
+  mutable pages : int;  (* allocated user pages; ids 1..pages *)
+  stats : Io_stats.t;
+  mutable closed : bool;
+}
+
+let page_size t = t.page_size
+let page_count t = t.pages
+let stats t = t.stats
+let is_file_backed t = match t.backend with File _ -> true | Mem _ -> false
+
+let in_memory ?(page_size = default_page_size) () =
+  {
+    page_size;
+    backend = Mem (ref [||]);
+    pages = 0;
+    stats = Io_stats.create ();
+    closed = false;
+  }
+
+(* File layout: page 0 is a header holding magic, page size and the allocated
+   page count; user page [id] lives at offset [id * page_size]. *)
+let magic = "DMXPAGES"
+
+let header_bytes t =
+  let b = Bytes.make t.page_size '\000' in
+  Bytes.blit_string magic 0 b 0 (String.length magic);
+  Bytes.set_int32_le b 8 (Int32.of_int t.page_size);
+  Bytes.set_int32_le b 12 (Int32.of_int t.pages);
+  b
+
+let really_pread fd ~off buf =
+  let n = Bytes.length buf in
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int off) Unix.SEEK_SET);
+  let rec loop done_ =
+    if done_ < n then begin
+      let r = Unix.read fd buf done_ (n - done_) in
+      if r = 0 then failwith "Disk: short read";
+      loop (done_ + r)
+    end
+  in
+  loop 0
+
+let really_pwrite fd ~off buf =
+  let n = Bytes.length buf in
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int off) Unix.SEEK_SET);
+  let rec loop done_ =
+    if done_ < n then begin
+      let w = Unix.write fd buf done_ (n - done_) in
+      loop (done_ + w)
+    end
+  in
+  loop 0
+
+let write_header t =
+  match t.backend with
+  | Mem _ -> ()
+  | File fd -> really_pwrite fd ~off:0 (header_bytes t)
+
+let open_file ?(page_size = default_page_size) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size = 0 then begin
+    let t =
+      {
+        page_size;
+        backend = File fd;
+        pages = 0;
+        stats = Io_stats.create ();
+        closed = false;
+      }
+    in
+    write_header t;
+    t
+  end
+  else begin
+    let hdr = Bytes.create page_size in
+    (* Read just the fixed part first in case page size differs. *)
+    let fixed = Bytes.create 16 in
+    really_pread fd ~off:0 fixed;
+    if Bytes.sub_string fixed 0 8 <> magic then
+      failwith (Fmt.str "Disk.open_file: %s is not a dmx page store" path);
+    let stored_ps = Int32.to_int (Bytes.get_int32_le fixed 8) in
+    if stored_ps <> page_size then
+      failwith
+        (Fmt.str "Disk.open_file: %s has page size %d, expected %d" path
+           stored_ps page_size);
+    ignore hdr;
+    let pages = Int32.to_int (Bytes.get_int32_le fixed 12) in
+    {
+      page_size;
+      backend = File fd;
+      pages;
+      stats = Io_stats.create ();
+      closed = false;
+    }
+  end
+
+let check_open t = if t.closed then invalid_arg "Disk: store is closed"
+
+let check_id t id =
+  if id < 1 || id > t.pages then
+    invalid_arg (Fmt.str "Disk: page %d out of range (1..%d)" id t.pages)
+
+let alloc t =
+  check_open t;
+  t.pages <- t.pages + 1;
+  t.stats.page_allocs <- t.stats.page_allocs + 1;
+  let id = t.pages in
+  let zero = Bytes.make t.page_size '\000' in
+  begin
+    match t.backend with
+    | Mem store ->
+      let arr = !store in
+      if Array.length arr < id then begin
+        let bigger =
+          Array.make (max 8 (2 * Array.length arr)) Bytes.empty
+        in
+        Array.blit arr 0 bigger 0 (Array.length arr);
+        store := bigger
+      end;
+      !store.(id - 1) <- zero
+    | File fd ->
+      really_pwrite fd ~off:(id * t.page_size) zero;
+      write_header t
+  end;
+  id
+
+let read t id =
+  check_open t;
+  check_id t id;
+  t.stats.page_reads <- t.stats.page_reads + 1;
+  match t.backend with
+  | Mem store -> Bytes.copy !store.(id - 1)
+  | File fd ->
+    let buf = Bytes.create t.page_size in
+    really_pread fd ~off:(id * t.page_size) buf;
+    buf
+
+let write t id data =
+  check_open t;
+  check_id t id;
+  if Bytes.length data <> t.page_size then
+    invalid_arg "Disk.write: data is not one page";
+  t.stats.page_writes <- t.stats.page_writes + 1;
+  match t.backend with
+  | Mem store -> !store.(id - 1) <- Bytes.copy data
+  | File fd -> really_pwrite fd ~off:(id * t.page_size) data
+
+let sync t =
+  check_open t;
+  match t.backend with Mem _ -> () | File fd -> Unix.fsync fd
+
+let close t =
+  if not t.closed then begin
+    (match t.backend with Mem _ -> () | File fd -> Unix.close fd);
+    t.closed <- true
+  end

@@ -1,0 +1,41 @@
+(** Page-addressed backing store.
+
+    Two backends share one interface: a file-backed store (durable; used by
+    recoverable storage methods and for restart-recovery tests) and a
+    memory-backed store (used by temporary relations, tests and benches).
+    All reads/writes are whole pages and are counted in {!Io_stats}. *)
+
+type t
+
+val default_page_size : int
+(** 4096 bytes. *)
+
+val in_memory : ?page_size:int -> unit -> t
+
+val open_file : ?page_size:int -> string -> t
+(** Opens (creating if needed) a file-backed store. Page 0 is reserved for the
+    store header (page size, page count); user pages start at 1. An existing
+    file must have a matching page size. *)
+
+val page_size : t -> int
+val page_count : t -> int
+(** Number of allocated user pages. *)
+
+val stats : t -> Io_stats.t
+
+val alloc : t -> int
+(** Allocate a fresh zeroed page and return its id (>= 1). *)
+
+val read : t -> int -> bytes
+(** [read t id] is a fresh copy of page [id]. Raises [Invalid_argument] for an
+    unallocated id. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t id data] stores the page; [data] must be exactly one page. *)
+
+val sync : t -> unit
+(** Force pages to stable storage (fsync for files; no-op in memory). *)
+
+val close : t -> unit
+
+val is_file_backed : t -> bool

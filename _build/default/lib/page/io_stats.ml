@@ -1,0 +1,32 @@
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable page_allocs : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+}
+
+let create () =
+  { page_reads = 0; page_writes = 0; page_allocs = 0; pool_hits = 0; pool_misses = 0 }
+
+let reset t =
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.page_allocs <- 0;
+  t.pool_hits <- 0;
+  t.pool_misses <- 0
+
+let copy t = { t with page_reads = t.page_reads }
+
+let diff ~after ~before =
+  {
+    page_reads = after.page_reads - before.page_reads;
+    page_writes = after.page_writes - before.page_writes;
+    page_allocs = after.page_allocs - before.page_allocs;
+    pool_hits = after.pool_hits - before.pool_hits;
+    pool_misses = after.pool_misses - before.pool_misses;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "reads=%d writes=%d allocs=%d hits=%d misses=%d" t.page_reads
+    t.page_writes t.page_allocs t.pool_hits t.pool_misses

@@ -1,0 +1,19 @@
+(** I/O accounting.
+
+    The cost-estimation protocol (paper p. 223) is expressed in I/O and CPU
+    units; benches validate cost estimates against these counters rather than
+    against wall-clock alone. *)
+
+type t = {
+  mutable page_reads : int;  (** pages read from the backing store *)
+  mutable page_writes : int;  (** pages written to the backing store *)
+  mutable page_allocs : int;
+  mutable pool_hits : int;  (** pins satisfied from the buffer pool *)
+  mutable pool_misses : int;  (** pins that had to read the backing store *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val diff : after:t -> before:t -> t
+val pp : Format.formatter -> t -> unit

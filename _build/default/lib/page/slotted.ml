@@ -1,0 +1,206 @@
+(* Layout (little-endian u16s):
+     [0..1]   slot count
+     [2..3]   data start (lowest payload offset; free space ends here)
+     [4..]    slot directory: per slot (offset u16, length u16)
+   Payloads are packed from the page end downward. A tombstone has
+   offset = 0xffff. *)
+
+type slot = int
+
+let dead = 0xffff
+let header_size = 4
+let slot_size = 4
+
+let get16 page off = Char.code (Bytes.get page off) lor (Char.code (Bytes.get page (off + 1)) lsl 8)
+
+let set16 page off v =
+  Bytes.set page off (Char.chr (v land 0xff));
+  Bytes.set page (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let slot_count page = get16 page 0
+let data_start page = get16 page 2
+let set_slot_count page n = set16 page 0 n
+let set_data_start page off = set16 page 2 off
+
+let slot_off _page s = header_size + (s * slot_size)
+
+let slot_entry page s =
+  let off = get16 page (slot_off page s) in
+  let len = get16 page (slot_off page s + 2) in
+  (off, len)
+
+let set_slot_entry page s ~off ~len =
+  set16 page (slot_off page s) off;
+  set16 page (slot_off page s + 2) len
+
+let init page =
+  set_slot_count page 0;
+  set_data_start page (Bytes.length page)
+
+let live_count page =
+  let n = slot_count page in
+  let rec loop i acc =
+    if i >= n then acc
+    else
+      let off, _ = slot_entry page i in
+      loop (i + 1) (if off = dead then acc else acc + 1)
+  in
+  loop 0 0
+
+let dir_end page = header_size + (slot_count page * slot_size)
+let free_space page = max 0 (data_start page - dir_end page - slot_size)
+let max_payload page_size = page_size - header_size - slot_size
+
+let read page s =
+  if s < 0 || s >= slot_count page then None
+  else
+    let off, len = slot_entry page s in
+    if off = dead then None else Some (Bytes.sub_string page off len)
+
+(* Rewrite all live payloads packed against the page end, fixing offsets.
+   Reclaims space left by deletes and shrinking updates. *)
+let compact page =
+  let n = slot_count page in
+  let live = ref [] in
+  for s = 0 to n - 1 do
+    let off, len = slot_entry page s in
+    if off <> dead then live := (s, Bytes.sub page off len) :: !live
+  done;
+  let pos = ref (Bytes.length page) in
+  (* !live is in descending slot order; packing order is irrelevant. *)
+  List.iter
+    (fun (s, payload) ->
+      let len = Bytes.length payload in
+      pos := !pos - len;
+      Bytes.blit payload 0 page !pos len;
+      set_slot_entry page s ~off:!pos ~len)
+    !live;
+  set_data_start page !pos
+
+(* Tombstone states: (dead, 1) = pending (not reusable yet), (dead, 0) =
+   released. Only released tombstones are candidates for reuse. *)
+let find_dead_slot page =
+  let n = slot_count page in
+  let rec loop s =
+    if s >= n then None
+    else
+      let off, len = slot_entry page s in
+      if off = dead && len = 0 then Some s else loop (s + 1)
+  in
+  loop 0
+
+let garbage page =
+  let n = slot_count page in
+  let used = ref 0 in
+  for s = 0 to n - 1 do
+    let off, len = slot_entry page s in
+    if off <> dead then used := !used + len
+  done;
+  Bytes.length page - data_start page - !used
+
+let insert page payload =
+  let len = String.length payload in
+  let reuse = find_dead_slot page in
+  let dir_cost = if reuse = None then slot_size else 0 in
+  let room () = data_start page - dir_end page - dir_cost in
+  if room () < len && garbage page > 0 then compact page;
+  if room () < len then None
+  else begin
+    let off = data_start page - len in
+    Bytes.blit_string payload 0 page off len;
+    set_data_start page off;
+    let s =
+      match reuse with
+      | Some s -> s
+      | None ->
+        let s = slot_count page in
+        set_slot_count page (s + 1);
+        s
+    in
+    set_slot_entry page s ~off ~len;
+    Some s
+  end
+
+let delete page s =
+  if s < 0 || s >= slot_count page then false
+  else
+    let off, len = slot_entry page s in
+    if off = dead then false
+    else begin
+      set_slot_entry page s ~off:dead ~len:1;
+      ignore len;
+      true
+    end
+
+let make_reusable page s =
+  if s >= 0 && s < slot_count page then begin
+    let off, _ = slot_entry page s in
+    if off = dead then set_slot_entry page s ~off:dead ~len:0
+  end
+
+let insert_at page s payload =
+  if s < 0 || s >= slot_count page then false
+  else
+    let off, _ = slot_entry page s in
+    if off <> dead then false
+    else begin
+      let len = String.length payload in
+      if data_start page - dir_end page < len then compact page;
+      if data_start page - dir_end page < len then false
+      else begin
+        let off = data_start page - len in
+        Bytes.blit_string payload 0 page off len;
+        set_data_start page off;
+        set_slot_entry page s ~off ~len;
+        true
+      end
+    end
+
+let update page s payload =
+  if s < 0 || s >= slot_count page then false
+  else
+    let off, len = slot_entry page s in
+    if off = dead then false
+    else
+      let new_len = String.length payload in
+      if new_len <= len then begin
+        (* Shrink or same-size: overwrite in place. *)
+        let off = off + len - new_len in
+        Bytes.blit_string payload 0 page off new_len;
+        set_slot_entry page s ~off ~len:new_len;
+        true
+      end
+      else begin
+        (* Grow: tombstone, reclaim, reinsert into the same slot. The original
+           payload is saved so a failed grow restores the record. *)
+        let original = Bytes.sub_string page off len in
+        set_slot_entry page s ~off:dead ~len:0;
+        compact page;
+        let put data =
+          let n = String.length data in
+          let off = data_start page - n in
+          Bytes.blit_string data 0 page off n;
+          set_data_start page off;
+          set_slot_entry page s ~off ~len:n
+        in
+        let room = data_start page - dir_end page in
+        if room < new_len then begin
+          put original;
+          false
+        end
+        else begin
+          put payload;
+          true
+        end
+      end
+
+let iter page f =
+  let n = slot_count page in
+  for s = 0 to n - 1 do
+    match read page s with None -> () | Some payload -> f s payload
+  done
+
+let fold page ~init ~f =
+  let acc = ref init in
+  iter page (fun s payload -> acc := f !acc s payload);
+  !acc

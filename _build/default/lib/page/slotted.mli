@@ -1,0 +1,55 @@
+(** Slotted-page record layout.
+
+    Classic layout over one page of bytes: a slot directory grows from the
+    page head, record payloads grow from the tail. Slot numbers are stable
+    across deletes (tombstoned) so RID record keys stay valid, and in-place
+    update is supported when the new payload fits — otherwise the caller
+    relocates the record and the record key changes, which the architecture
+    allows (attachments receive both old and new keys on update). *)
+
+type slot = int
+
+val init : bytes -> unit
+(** Format an empty slotted page in place. *)
+
+val slot_count : bytes -> int
+(** Directory size, including tombstones. *)
+
+val live_count : bytes -> int
+val free_space : bytes -> int
+(** Bytes available for one more insert (directory entry accounted). *)
+
+val max_payload : int -> int
+(** [max_payload page_size] is the largest payload one empty page accepts. *)
+
+val insert : bytes -> string -> slot option
+(** Copy a payload into the page; [None] when it does not fit even after
+    compaction. Tombstoned slots are reused. *)
+
+val read : bytes -> slot -> string option
+(** [None] for tombstones and out-of-range slots. *)
+
+val update : bytes -> slot -> string -> bool
+(** Replace payload in place (possibly after compaction); [false] when the new
+    payload does not fit or the slot is dead. *)
+
+val delete : bytes -> slot -> bool
+(** Tombstone a slot; [false] when already dead. A fresh tombstone is
+    *pending*: its payload space is reclaimed but the slot itself is not
+    reused until {!make_reusable} — the heap storage method defers that call
+    to commit of the deleting transaction, so that undo of the delete can
+    reinstate the record in its original slot ({!insert_at}) and no concurrent
+    transaction captures the record id meanwhile. *)
+
+val make_reusable : bytes -> slot -> unit
+(** Release a pending tombstone for reuse (a no-op on live or already-released
+    slots). *)
+
+val insert_at : bytes -> slot -> string -> bool
+(** Re-occupy a specific dead slot (undo of delete). [false] when the slot is
+    live or the payload no longer fits. *)
+
+val iter : bytes -> (slot -> string -> unit) -> unit
+(** Live records in slot order. *)
+
+val fold : bytes -> init:'a -> f:('a -> slot -> string -> 'a) -> 'a

@@ -1,0 +1,1 @@
+lib/query/executor.ml: Analyze Array Dmx_attach Dmx_catalog Dmx_core Dmx_expr Dmx_value Error Eval Expr Intf List Option Plan Record Registry Relation Result Value

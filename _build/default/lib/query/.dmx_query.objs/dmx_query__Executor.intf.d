@@ -1,0 +1,1 @@
+lib/query/executor.mli: Dmx_core Dmx_value Plan Record Value

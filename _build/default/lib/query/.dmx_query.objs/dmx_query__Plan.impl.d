@@ -1,0 +1,1 @@
+lib/query/plan.ml: Descriptor Dmx_catalog Dmx_core Dmx_expr Expr Fmt List

@@ -1,0 +1,1 @@
+lib/query/plan.mli: Descriptor Dmx_catalog Dmx_core Dmx_expr Expr

@@ -1,0 +1,1 @@
+lib/query/plan_cache.ml: Executor Hashtbl Plan Planner Query Result

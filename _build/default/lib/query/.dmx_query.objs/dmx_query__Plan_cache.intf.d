@@ -1,0 +1,1 @@
+lib/query/plan_cache.mli: Dmx_core Dmx_value Plan Query Record Value

@@ -1,0 +1,1 @@
+lib/query/planner.ml: Analyze Array Cost Ctx Dmx_attach Dmx_catalog Dmx_core Dmx_expr Dmx_value Error Expr Fmt Intf List Option Parse Plan Query Registry Result Schema

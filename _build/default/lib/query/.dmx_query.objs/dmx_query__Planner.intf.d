@@ -1,0 +1,1 @@
+lib/query/planner.mli: Dmx_core Plan Query

@@ -1,0 +1,1 @@
+lib/query/query.ml: Fmt String

@@ -1,0 +1,245 @@
+open Dmx_value
+open Dmx_expr
+open Dmx_core
+module Descriptor = Dmx_catalog.Descriptor
+
+type cursor = {
+  next : unit -> Record.t option;
+  close : unit -> unit;
+}
+
+let ( let* ) = Result.bind
+
+let empty_cursor = { next = (fun () -> None); close = (fun () -> ()) }
+
+(* Scan bounds over a composed key from a (parameter-bound) predicate. *)
+let bounds_of ~key_fields pred =
+  match pred with
+  | None -> (Intf.Unbounded, Intf.Unbounded)
+  | Some p -> begin
+    match Analyze.key_range ~key_fields p with
+    | None -> (Intf.Unbounded, Intf.Unbounded)
+    | Some (eq, range) ->
+      let extend v = Array.append eq [| v |] in
+      let lo =
+        match range.Analyze.lo with
+        | Analyze.Unbounded ->
+          if Array.length eq = 0 then Intf.Unbounded else Intf.Incl eq
+        | Analyze.Incl v -> Intf.Incl (extend v)
+        | Analyze.Excl v -> Intf.Excl (extend v)
+      in
+      let hi =
+        match range.Analyze.hi with
+        | Analyze.Unbounded ->
+          if Array.length eq = 0 then Intf.Unbounded else Intf.Incl eq
+        | Analyze.Incl v -> Intf.Incl (extend v)
+        | Analyze.Excl v -> Intf.Excl (extend v)
+      in
+      (lo, hi)
+  end
+
+let cursor_of_record_scan (scan : Intf.record_scan) =
+  {
+    next = (fun () -> Option.map snd (scan.rs_next ()));
+    close = scan.rs_close;
+  }
+
+(* Fetch-and-filter cursor over a stream of record keys. *)
+let fetch_cursor ctx (desc : Descriptor.t) pred keys_next close =
+  let (module M : Intf.STORAGE_METHOD) =
+    Registry.storage_method desc.smethod_id
+  in
+  let rec next () =
+    match keys_next () with
+    | None -> None
+    | Some key -> begin
+      match M.fetch ctx desc key () with
+      | None -> next ()  (* entry pointing at a record deleted by us *)
+      | Some record -> begin
+        match pred with
+        | Some p when not (Eval.test record p) -> next ()
+        | _ -> Some record
+      end
+    end
+  in
+  { next; close }
+
+let exec_single ctx (s : Plan.single) ~params =
+  let pred = Option.map (Expr.subst_params params) s.predicate in
+  match s.access with
+  | Plan.Seq_scan ->
+    let* scan = Relation.scan ctx s.desc ?filter:pred () in
+    Ok (cursor_of_record_scan scan)
+  | Plan.Keyed_storage { key_fields } ->
+    let lo, hi = bounds_of ~key_fields pred in
+    let* scan = Relation.scan ctx s.desc ~lo ~hi ?filter:pred () in
+    Ok (cursor_of_record_scan scan)
+  | Plan.Index_eq { at_id; instance; fields } -> begin
+    match Analyze.key_range ~key_fields:fields (Option.get pred) with
+    | Some (eq, _) when Array.length eq = Array.length fields ->
+      let* keys =
+        Relation.lookup ctx s.desc ~attachment_id:at_id ~instance ~key:eq
+      in
+      let remaining = ref keys in
+      let keys_next () =
+        match !remaining with
+        | [] -> None
+        | k :: rest ->
+          remaining := rest;
+          Some k
+      in
+      Ok (fetch_cursor ctx s.desc pred keys_next (fun () -> ()))
+    | _ ->
+      (* Parameters failed to produce a full key (e.g. NULL): no matches
+         under SQL semantics. *)
+      Ok empty_cursor
+  end
+  | Plan.Index_range { at_id; instance; fields } ->
+    let lo, hi = bounds_of ~key_fields:fields pred in
+    let* ks =
+      Relation.attachment_scan ctx s.desc ~attachment_id:at_id ~instance ~lo
+        ~hi ()
+    in
+    Ok (fetch_cursor ctx s.desc pred ks.Intf.ks_next ks.Intf.ks_close)
+  | Plan.Spatial { at_id; instance; rect_exprs } -> begin
+    let rect_vals =
+      Array.map
+        (fun e -> Eval.eval [||] (Expr.subst_params params e))
+        rect_exprs
+    in
+    match Array.exists (fun v -> v = Value.Null) rect_vals with
+    | true -> Ok empty_cursor
+    | false ->
+      let* keys =
+        Relation.lookup ctx s.desc ~attachment_id:at_id ~instance
+          ~key:rect_vals
+      in
+      let remaining = ref keys in
+      let keys_next () =
+        match !remaining with
+        | [] -> None
+        | k :: rest ->
+          remaining := rest;
+          Some k
+      in
+      Ok (fetch_cursor ctx s.desc pred keys_next (fun () -> ()))
+  end
+
+let extend_params params join_param v =
+  let arr = Array.make (max (Array.length params) (join_param + 1)) Value.Null in
+  Array.blit params 0 arr 0 (Array.length params);
+  arr.(join_param) <- v;
+  arr
+
+let exec_join ctx ~outer ~(inner_desc : Descriptor.t) ~my_field ~other_field
+    ~method_ ~params =
+  ignore other_field;
+  match (method_ : Plan.join_method) with
+  | Plan.Nested_loop { inner; join_param } ->
+    let* outer_cur = exec_single ctx outer ~params in
+    let state = ref None in  (* (outer record, inner cursor) *)
+    let rec next () =
+      match !state with
+      | Some (orec, (inner_cur : cursor)) -> begin
+        match inner_cur.next () with
+        | Some irec -> Some (Array.append orec irec)
+        | None ->
+          inner_cur.close ();
+          state := None;
+          next ()
+      end
+      | None -> begin
+        match outer_cur.next () with
+        | None -> None
+        | Some orec ->
+          let params' = extend_params params join_param orec.(my_field) in
+          (match exec_single ctx inner ~params:params' with
+          | Ok inner_cur ->
+            state := Some (orec, inner_cur);
+            next ()
+          | Error e -> Error.raise_err e)
+      end
+    in
+    Ok
+      {
+        next;
+        close =
+          (fun () ->
+            (match !state with
+            | Some (_, c) -> c.close ()
+            | None -> ());
+            outer_cur.close ());
+      }
+  | Plan.Via_join_index { at_id = _; instance } ->
+    let pred =
+      Option.map (Expr.subst_params params) outer.Plan.predicate
+    in
+    let pairs =
+      ref (Dmx_attach.Join_index.pairs_of_instance ctx outer.Plan.desc ~instance)
+    in
+    let (module MO : Intf.STORAGE_METHOD) =
+      Registry.storage_method outer.Plan.desc.Descriptor.smethod_id
+    in
+    let (module MI : Intf.STORAGE_METHOD) =
+      Registry.storage_method inner_desc.Descriptor.smethod_id
+    in
+    let rec next () =
+      match !pairs with
+      | [] -> None
+      | (okey, ikey) :: rest -> begin
+        pairs := rest;
+        match MO.fetch ctx outer.Plan.desc okey () with
+        | None -> next ()
+        | Some orec ->
+          if
+            match pred with
+            | Some p -> not (Eval.test orec p)
+            | None -> false
+          then next ()
+          else begin
+            match MI.fetch ctx inner_desc ikey () with
+            | None -> next ()
+            | Some irec -> Some (Array.append orec irec)
+          end
+      end
+    in
+    Ok { next; close = (fun () -> ()) }
+
+let project_cursor projection (c : cursor) =
+  match projection with
+  | None -> c
+  | Some fields ->
+    {
+      c with
+      next =
+        (fun () -> Option.map (fun r -> Record.project r fields) (c.next ()));
+    }
+
+let open_plan ctx (plan : Plan.t) ?(params = [||]) () =
+  let* base =
+    match plan.shape with
+    | Plan.Single s -> exec_single ctx s ~params
+    | Plan.Join { outer; inner_desc; my_field; other_field; method_ } ->
+      exec_join ctx ~outer ~inner_desc ~my_field ~other_field ~method_ ~params
+  in
+  Ok (project_cursor plan.projection base)
+
+let run ctx plan ?params () =
+  match open_plan ctx plan ?params () with
+  | Error _ as e -> e
+  | exception Eval.Error msg -> Error (Error.Internal ("evaluation: " ^ msg))
+  | Ok cursor ->
+    let rec drain acc =
+      match cursor.next () with
+      | None ->
+        cursor.close ();
+        Ok (List.rev acc)
+      | Some r -> drain (r :: acc)
+      | exception Error.Error e ->
+        cursor.close ();
+        Error e
+      | exception Eval.Error msg ->
+        cursor.close ();
+        Error (Error.Internal ("evaluation: " ^ msg))
+    in
+    drain []

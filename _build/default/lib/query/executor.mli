@@ -1,0 +1,22 @@
+(** Tuple-at-a-time plan execution.
+
+    Drives the generic interfaces directly: storage-method scans with filter
+    pushdown, access-path direct-by-key and key-sequential accesses followed
+    by record fetches through the storage method, nested-loop and join-index
+    joins. Parameters are substituted into the plan's predicates at open
+    time. *)
+
+open Dmx_value
+
+type cursor = {
+  next : unit -> Record.t option;
+  close : unit -> unit;
+}
+
+val open_plan :
+  Dmx_core.Ctx.t -> Plan.t -> ?params:Value.t array -> unit ->
+  (cursor, Dmx_core.Error.t) result
+
+val run :
+  Dmx_core.Ctx.t -> Plan.t -> ?params:Value.t array -> unit ->
+  (Record.t list, Dmx_core.Error.t) result

@@ -1,0 +1,78 @@
+open Dmx_expr
+open Dmx_catalog
+
+type access =
+  | Seq_scan
+  | Keyed_storage of { key_fields : int array }
+  | Index_eq of { at_id : int; instance : int; fields : int array }
+  | Index_range of { at_id : int; instance : int; fields : int array }
+  | Spatial of { at_id : int; instance : int; rect_exprs : Expr.t array }
+
+type single = {
+  desc : Descriptor.t;
+  access : access;
+  predicate : Expr.t option;
+  est : Dmx_core.Cost.estimate;
+}
+
+type join_method =
+  | Nested_loop of { inner : single; join_param : int }
+  | Via_join_index of { at_id : int; instance : int }
+
+type shape =
+  | Single of single
+  | Join of {
+      outer : single;
+      inner_desc : Descriptor.t;
+      my_field : int;
+      other_field : int;
+      method_ : join_method;
+    }
+
+type t = {
+  shape : shape;
+  projection : int array option;
+  deps : (int * int) list;
+  out_arity : int;
+}
+
+let valid ctx t =
+  List.for_all
+    (fun (rel_id, version) ->
+      match Dmx_catalog.Catalog.find_by_id ctx.Dmx_core.Ctx.catalog rel_id with
+      | Some d -> d.Descriptor.version = version
+      | None -> false)
+    t.deps
+
+let describe_access (desc : Descriptor.t) = function
+  | Seq_scan -> Fmt.str "seq_scan(%s)" desc.rel_name
+  | Keyed_storage _ -> Fmt.str "keyed_scan(%s)" desc.rel_name
+  | Index_eq { at_id; instance; _ } ->
+    Fmt.str "index_eq(%s via %s#%d)" desc.rel_name
+      (Dmx_core.Registry.attachment_name at_id)
+      instance
+  | Index_range { at_id; instance; _ } ->
+    Fmt.str "index_range(%s via %s#%d)" desc.rel_name
+      (Dmx_core.Registry.attachment_name at_id)
+      instance
+  | Spatial { at_id; instance; _ } ->
+    Fmt.str "spatial(%s via %s#%d)" desc.rel_name
+      (Dmx_core.Registry.attachment_name at_id)
+      instance
+
+let describe t =
+  match t.shape with
+  | Single s -> describe_access s.desc s.access
+  | Join { outer; inner_desc; method_; _ } -> begin
+    match method_ with
+    | Nested_loop { inner; _ } ->
+      Fmt.str "nested_loop(%s, %s)"
+        (describe_access outer.desc outer.access)
+        (describe_access inner.desc inner.access)
+    | Via_join_index { at_id; instance } ->
+      Fmt.str "join_index(%s, %s via %s#%d)"
+        (describe_access outer.desc outer.access)
+        inner_desc.rel_name
+        (Dmx_core.Registry.attachment_name at_id)
+        instance
+  end

@@ -1,0 +1,60 @@
+(** Bound query-execution plans.
+
+    "It is important to retain the translations of queries into query
+    execution plans that directly invoke the relation and access path
+    operations ... the common system will maintain and manage relation
+    descriptors ... fetch the relation descriptors from the system catalogs at
+    query compilation time and store them in the query access plan" (paper
+    p. 224). A plan embeds the relation descriptors and records dependencies
+    (relation id, descriptor version); {!valid} rechecks them before reuse. *)
+
+open Dmx_expr
+open Dmx_catalog
+
+type access =
+  | Seq_scan  (** storage method, full scan, filter pushdown *)
+  | Keyed_storage of { key_fields : int array }
+      (** storage method key-sequential access bounded by the predicate *)
+  | Index_eq of { at_id : int; instance : int; fields : int array }
+      (** access-path direct-by-key: all fields bound by equality *)
+  | Index_range of { at_id : int; instance : int; fields : int array }
+      (** access-path key-sequential access bounded by the predicate *)
+  | Spatial of { at_id : int; instance : int; rect_exprs : Expr.t array }
+      (** R-tree ENCLOSES lookup; [rect_exprs] is the query rectangle *)
+
+type single = {
+  desc : Descriptor.t;  (** descriptor embedded at translation time *)
+  access : access;
+  predicate : Expr.t option;
+  est : Dmx_core.Cost.estimate;
+}
+
+type join_method =
+  | Nested_loop of { inner : single; join_param : int }
+      (** the inner plan's predicate references [Param join_param], bound per
+          outer record to the outer join value *)
+  | Via_join_index of { at_id : int; instance : int }
+
+type shape =
+  | Single of single
+  | Join of {
+      outer : single;
+      inner_desc : Descriptor.t;
+      my_field : int;
+      other_field : int;
+      method_ : join_method;
+    }
+
+type t = {
+  shape : shape;
+  projection : int array option;  (** positions in the output record *)
+  deps : (int * int) list;  (** (relation id, descriptor version) *)
+  out_arity : int;
+}
+
+val valid : Dmx_core.Ctx.t -> t -> bool
+(** Dependencies still hold: every relation exists with an unchanged
+    descriptor version. *)
+
+val describe : t -> string
+(** One-line physical plan summary ("what EXPLAIN prints"). *)

@@ -1,0 +1,56 @@
+type stats = {
+  translations : int;
+  hits : int;
+  invalidations : int;
+}
+
+type t = {
+  table : (string, Plan.t) Hashtbl.t;
+  mutable translations : int;
+  mutable hits : int;
+  mutable invalidations : int;
+}
+
+let create () =
+  { table = Hashtbl.create 32; translations = 0; hits = 0; invalidations = 0 }
+
+let ( let* ) = Result.bind
+
+let bind t ctx q key =
+  let* plan = Planner.translate ctx q in
+  t.translations <- t.translations + 1;
+  Hashtbl.replace t.table key plan;
+  Ok plan
+
+let plan_for t ctx q =
+  let key = Query.key q in
+  match Hashtbl.find_opt t.table key with
+  | None -> bind t ctx q key
+  | Some plan ->
+    if Plan.valid ctx plan then begin
+      t.hits <- t.hits + 1;
+      Ok plan
+    end
+    else begin
+      t.invalidations <- t.invalidations + 1;
+      bind t ctx q key
+    end
+
+let execute t ctx q ?params () =
+  let* plan = plan_for t ctx q in
+  Executor.run ctx plan ?params ()
+
+let explain t ctx q =
+  let* plan = plan_for t ctx q in
+  Ok (Plan.describe plan)
+
+let peek t q = Hashtbl.find_opt t.table (Query.key q)
+let invalidate_all t = Hashtbl.reset t.table
+
+let stats t =
+  { translations = t.translations; hits = t.hits; invalidations = t.invalidations }
+
+let reset_stats t =
+  t.translations <- 0;
+  t.hits <- 0;
+  t.invalidations <- 0

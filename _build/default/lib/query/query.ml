@@ -1,0 +1,38 @@
+type join = {
+  j_relation : string;
+  j_my_field : string;
+  j_other_field : string;
+}
+
+type t = {
+  q_relation : string;
+  q_predicate : string option;
+  q_project : string list option;
+  q_join : join option;
+}
+
+let select ?where ?project q_relation =
+  { q_relation; q_predicate = where; q_project = project; q_join = None }
+
+let join ?where ?project q_relation ~on:(rel, my_field, other_field) =
+  {
+    q_relation;
+    q_predicate = where;
+    q_project = project;
+    q_join =
+      Some { j_relation = rel; j_my_field = my_field; j_other_field = other_field };
+  }
+
+let key t =
+  Fmt.str "SELECT %s FROM %s%s%s"
+    (match t.q_project with
+    | None -> "*"
+    | Some cols -> String.concat "," cols)
+    t.q_relation
+    (match t.q_join with
+    | None -> ""
+    | Some j ->
+      Fmt.str " JOIN %s ON %s=%s" j.j_relation j.j_my_field j.j_other_field)
+    (match t.q_predicate with None -> "" | Some p -> " WHERE " ^ p)
+
+let pp ppf t = Fmt.string ppf (key t)

@@ -1,0 +1,34 @@
+(** Query statements.
+
+    A deliberately small select-project-join language: enough to exercise the
+    planner protocol (eligible predicates, cost estimation, access-path
+    selection) and the bound-plan machinery the paper describes. Predicates
+    are textual and parsed against the relation schema at translation time;
+    [?n] parameters bind at execution. *)
+
+type join = {
+  j_relation : string;
+  j_my_field : string;  (** column of the primary relation *)
+  j_other_field : string;  (** column of the joined relation *)
+}
+
+type t = {
+  q_relation : string;
+  q_predicate : string option;
+  q_project : string list option;
+      (** column names; prefix joined columns resolve in the primary relation
+          first, then the joined one *)
+  q_join : join option;
+}
+
+val select : ?where:string -> ?project:string list -> string -> t
+
+val join :
+  ?where:string -> ?project:string list -> string ->
+  on:string * string * string -> t
+(** [join r ~on:(s, my_field, other_field)]. *)
+
+val key : t -> string
+(** Canonical cache key for the bound-plan cache. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rtree/rect.ml: Dmx_value Float Fmt

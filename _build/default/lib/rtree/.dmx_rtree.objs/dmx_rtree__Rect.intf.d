@@ -1,0 +1,1 @@
+lib/rtree/rect.mli: Dmx_value Format

@@ -1,0 +1,1 @@
+lib/rtree/rtree.ml: Array Buffer_pool Bytes Codec Disk Dmx_page Dmx_value Float Fmt List Option Rect String

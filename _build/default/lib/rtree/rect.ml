@@ -1,0 +1,52 @@
+type t = {
+  xlo : float;
+  ylo : float;
+  xhi : float;
+  yhi : float;
+}
+
+let make ~xlo ~ylo ~xhi ~yhi =
+  {
+    xlo = Float.min xlo xhi;
+    ylo = Float.min ylo yhi;
+    xhi = Float.max xlo xhi;
+    yhi = Float.max ylo yhi;
+  }
+
+let point x y = { xlo = x; ylo = y; xhi = x; yhi = y }
+let area r = (r.xhi -. r.xlo) *. (r.yhi -. r.ylo)
+
+let union a b =
+  {
+    xlo = Float.min a.xlo b.xlo;
+    ylo = Float.min a.ylo b.ylo;
+    xhi = Float.max a.xhi b.xhi;
+    yhi = Float.max a.yhi b.yhi;
+  }
+
+let intersects a b =
+  a.xlo <= b.xhi && b.xlo <= a.xhi && a.ylo <= b.yhi && b.ylo <= a.yhi
+
+let encloses outer inner =
+  outer.xlo <= inner.xlo && outer.ylo <= inner.ylo && outer.xhi >= inner.xhi
+  && outer.yhi >= inner.yhi
+
+let enlargement a b = area (union a b) -. area a
+let equal a b = a = b
+
+let enc e r =
+  let open Dmx_value.Codec.Enc in
+  float e r.xlo;
+  float e r.ylo;
+  float e r.xhi;
+  float e r.yhi
+
+let dec d =
+  let open Dmx_value.Codec.Dec in
+  let xlo = float d in
+  let ylo = float d in
+  let xhi = float d in
+  let yhi = float d in
+  { xlo; ylo; xhi; yhi }
+
+let pp ppf r = Fmt.pf ppf "[%g,%g;%g,%g]" r.xlo r.ylo r.xhi r.yhi

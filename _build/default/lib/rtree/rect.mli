@@ -1,0 +1,26 @@
+(** Axis-aligned rectangles for the R-tree. *)
+
+type t = {
+  xlo : float;
+  ylo : float;
+  xhi : float;
+  yhi : float;
+}
+
+val make : xlo:float -> ylo:float -> xhi:float -> yhi:float -> t
+(** Normalises so [xlo <= xhi] and [ylo <= yhi]. *)
+
+val point : float -> float -> t
+val area : t -> float
+val union : t -> t -> t
+val intersects : t -> t -> bool
+val encloses : t -> t -> bool
+(** [encloses outer inner]. *)
+
+val enlargement : t -> t -> float
+(** Area growth of [union a b] over [a] — Guttman's ChooseLeaf metric. *)
+
+val equal : t -> t -> bool
+val enc : Dmx_value.Codec.Enc.t -> t -> unit
+val dec : Dmx_value.Codec.Dec.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Page-based R-tree (Guttman 1984), the spatial access structure behind the
+    R-tree index attachment. Entries are (rectangle, opaque payload) pairs —
+    payloads are encoded record keys, and the same (rect, payload) pair is
+    stored at most once.
+
+    Insertion uses ChooseLeaf by least enlargement with quadratic node
+    splitting; the root page id is fixed (root splits push halves down).
+    Deletion is lazy (no CondenseTree reinsertion): entries are removed and
+    ancestor rectangles tightened, but underfull nodes persist — acceptable
+    for an access path whose contents mirror a relation, and it keeps
+    log-driven undo simple. *)
+
+type t
+
+val create : Dmx_page.Buffer_pool.t -> t
+val open_tree : Dmx_page.Buffer_pool.t -> root:int -> t
+val root : t -> int
+
+val insert : t -> rect:Rect.t -> payload:string -> unit
+val delete : t -> rect:Rect.t -> payload:string -> bool
+(** Remove the exact (rect, payload) entry. *)
+
+val search_overlapping : t -> Rect.t -> (Rect.t * string) list
+(** Entries whose rectangle intersects the query window. *)
+
+val search_enclosed_by : t -> Rect.t -> (Rect.t * string) list
+(** Entries whose rectangle the query rectangle fully encloses — the paper's
+    ENCLOSES predicate. *)
+
+val search_enclosing : t -> Rect.t -> (Rect.t * string) list
+(** Entries whose rectangle encloses the query rectangle. *)
+
+val count : t -> int
+val height : t -> int
+val iter : t -> (Rect.t -> string -> unit) -> unit
+
+val check_invariants : t -> (unit, string) result
+(** Every internal entry's rectangle must enclose its subtree's entries;
+    heights must be uniform. *)

@@ -1,0 +1,1 @@
+lib/smethod/btree_org.mli: Dmx_core

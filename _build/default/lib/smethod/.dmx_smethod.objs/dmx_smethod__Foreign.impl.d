@@ -1,0 +1,1 @@
+lib/smethod/foreign.ml: Codec Cost Ctx Dmx_catalog Dmx_core Dmx_expr Dmx_value Dmx_wal Error Fmt Intf List Option Record Record_key Registry Remote_server Result Scan_help

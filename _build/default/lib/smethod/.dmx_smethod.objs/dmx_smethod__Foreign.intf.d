@@ -1,0 +1,1 @@
+lib/smethod/foreign.mli: Dmx_core

@@ -1,0 +1,1 @@
+lib/smethod/heap.mli: Dmx_core

@@ -1,0 +1,1 @@
+lib/smethod/memory.ml: Codec Cost Ctx Dmx_catalog Dmx_core Dmx_expr Dmx_value Dmx_wal Error Fmt Hashtbl Int Intf List Map Record Record_key Registry Scan_help

@@ -1,0 +1,1 @@
+lib/smethod/memory.mli: Dmx_core

@@ -1,0 +1,1 @@
+lib/smethod/readonly.ml: Array Buffer_pool Bytes Codec Cost Ctx Dmx_catalog Dmx_core Dmx_expr Dmx_page Dmx_value Dmx_wal Error Fmt Fun Intf List Record Record_key Registry Scan_help Slotted String

@@ -1,0 +1,1 @@
+lib/smethod/readonly.mli: Dmx_catalog Dmx_core

@@ -1,0 +1,1 @@
+lib/smethod/remote_server.ml: Dmx_value Fmt Hashtbl Int Map Record

@@ -1,0 +1,1 @@
+lib/smethod/remote_server.mli: Dmx_value Record

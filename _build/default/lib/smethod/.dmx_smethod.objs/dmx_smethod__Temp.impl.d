@@ -1,0 +1,1 @@
+lib/smethod/temp.ml: Cost Dmx_catalog Dmx_core Dmx_expr Dmx_value Error Hashtbl Int Intf List Map Option Record Record_key Registry Scan_help

@@ -1,0 +1,1 @@
+lib/smethod/temp.mli: Dmx_core

@@ -1,0 +1,12 @@
+(** The B-tree-organised storage method.
+
+    "The records of the relation ... may be stored in the leaves of a B-tree
+    index" (paper p. 221). Record keys are composed from declared key fields
+    (DDL attribute [key], e.g. [key=id] or [key=dept,id]); key-sequential
+    access returns records in key order without a separate index, and the
+    cost estimator recognises predicates on the key prefix. *)
+
+include Dmx_core.Intf.STORAGE_METHOD
+
+val register : unit -> int
+val id : unit -> int

@@ -1,0 +1,16 @@
+(** The foreign-database gateway storage method.
+
+    Maps generic relation operations onto message exchanges with a
+    {!Remote_server} (DDL attributes [server] and [relation] name the target).
+    Record keys are the remote record identifiers. Undo information is logged
+    locally and undone by sending compensating messages, so vetoed
+    modifications and aborts behave exactly as for local storage; the cost
+    estimator charges one message round trip per remote operation. *)
+
+include Dmx_core.Intf.STORAGE_METHOD
+
+val register : unit -> int
+val id : unit -> int
+
+val message_cost : float
+(** I/O-unit charge per message round trip used by [estimate_scan]. *)

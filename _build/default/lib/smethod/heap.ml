@@ -1,0 +1,369 @@
+open Dmx_value
+open Dmx_page
+open Dmx_core
+module Descriptor = Dmx_catalog.Descriptor
+module Attrlist = Dmx_catalog.Attrlist
+module Catalog = Dmx_catalog.Catalog
+module Log_record = Dmx_wal.Log_record
+
+let reg_id : int option ref = ref None
+
+let id () =
+  match !reg_id with
+  | Some id -> id
+  | None -> invalid_arg "Heap: storage method not registered"
+
+(* ---- descriptor: data page list + advisory record count ---- *)
+
+type hdesc = { pages : int list; count : int }
+
+let enc_desc d =
+  let e = Codec.Enc.create () in
+  Codec.Enc.list e (fun e p -> Codec.Enc.varint e p) d.pages;
+  Codec.Enc.varint e d.count;
+  Codec.Enc.to_string e
+
+let dec_desc s =
+  let d = Codec.Dec.of_string s in
+  let pages = Codec.Dec.list d Codec.Dec.varint in
+  let count = Codec.Dec.varint d in
+  { pages; count }
+
+let hdesc_of (desc : Descriptor.t) = dec_desc desc.smethod_desc
+
+let store_desc ctx (desc : Descriptor.t) hd =
+  Catalog.set_smethod_desc ctx.Ctx.catalog ~rel_id:desc.rel_id (enc_desc hd)
+
+(* ---- log payloads ---- *)
+
+type op =
+  | Ins of Record_key.t * Record.t
+  | Del of Record_key.t * Record.t
+  | Upd of Record_key.t * Record_key.t * Record.t * Record.t
+
+let enc_op op =
+  let e = Codec.Enc.create () in
+  (match op with
+  | Ins (k, r) ->
+    Codec.Enc.byte e 0;
+    Record_key.enc e k;
+    Codec.Enc.record e r
+  | Del (k, r) ->
+    Codec.Enc.byte e 1;
+    Record_key.enc e k;
+    Codec.Enc.record e r
+  | Upd (ok, nk, orec, nrec) ->
+    Codec.Enc.byte e 2;
+    Record_key.enc e ok;
+    Record_key.enc e nk;
+    Codec.Enc.record e orec;
+    Codec.Enc.record e nrec);
+  Codec.Enc.to_string e
+
+let dec_op s =
+  let d = Codec.Dec.of_string s in
+  match Codec.Dec.byte d with
+  | 0 ->
+    let k = Record_key.dec d in
+    let r = Codec.Dec.record d in
+    Ins (k, r)
+  | 1 ->
+    let k = Record_key.dec d in
+    let r = Codec.Dec.record d in
+    Del (k, r)
+  | 2 ->
+    let ok = Record_key.dec d in
+    let nk = Record_key.dec d in
+    let orec = Codec.Dec.record d in
+    let nrec = Codec.Dec.record d in
+    Upd (ok, nk, orec, nrec)
+  | n -> failwith (Fmt.str "Heap: bad op tag %d" n)
+
+let log_op ctx rel_id op =
+  Ctx.log ctx ~source:(Log_record.Smethod (id ())) ~rel_id ~data:(enc_op op)
+
+(* ---- page helpers ---- *)
+
+let with_page ctx page f =
+  let frame = Buffer_pool.pin ctx.Ctx.bp page in
+  Fun.protect
+    ~finally:(fun () -> Buffer_pool.unpin ctx.Ctx.bp frame)
+    (fun () -> f frame.Buffer_pool.data)
+
+let with_page_mut ctx page f =
+  let frame = Buffer_pool.pin ctx.Ctx.bp page in
+  Fun.protect
+    ~finally:(fun () -> Buffer_pool.unpin ~dirty:true ctx.Ctx.bp frame)
+    (fun () -> f frame.Buffer_pool.data)
+
+let encode_payload record = Bytes.to_string (Codec.encode_record record)
+
+let rid_parts = function
+  | Record_key.Rid { page; slot } -> Some (page, slot)
+  | Record_key.Fields _ -> None
+
+(* ---- generic operations ---- *)
+
+module Impl = struct
+  let name = "heap"
+  let attr_specs = []
+
+  let create ctx ~rel_id (_schema : Schema.t) attrs =
+    ignore ctx;
+    ignore rel_id;
+    match Attrlist.validate attr_specs attrs with
+    | Error e -> Error (Error.Ddl_error e)
+    | Ok () -> Ok (enc_desc { pages = []; count = 0 })
+
+  let destroy ctx ~rel_id ~smethod_desc =
+    (* The page store has no deallocation; pages of dropped relations are
+       simply abandoned (see DESIGN.md). *)
+    ignore ctx;
+    ignore rel_id;
+    ignore smethod_desc
+
+  let insert ctx (desc : Descriptor.t) record =
+    let payload = encode_payload record in
+    let page_size = Disk.page_size (Buffer_pool.disk ctx.Ctx.bp) in
+    if String.length payload > Slotted.max_payload page_size then
+      Error
+        (Error.Schema_error
+           (Fmt.str "record of %d bytes exceeds page capacity"
+              (String.length payload)))
+    else begin
+      let hd = hdesc_of desc in
+      (* Look for room starting from the most recently added page. *)
+      let candidate =
+        List.find_opt
+          (fun p ->
+            with_page ctx p (fun data ->
+                Slotted.free_space data >= String.length payload))
+          (List.rev hd.pages)
+      in
+      let page, hd =
+        match candidate with
+        | Some p -> (p, hd)
+        | None ->
+          let frame = Buffer_pool.alloc ctx.Ctx.bp in
+          Slotted.init frame.Buffer_pool.data;
+          Buffer_pool.unpin ~dirty:true ctx.Ctx.bp frame;
+          let p = frame.Buffer_pool.page_id in
+          (p, { hd with pages = hd.pages @ [ p ] })
+      in
+      let slot =
+        with_page_mut ctx page (fun data -> Slotted.insert data payload)
+      in
+      match slot with
+      | None -> Error (Error.Internal "heap: page had room but insert failed")
+      | Some slot ->
+        let key = Record_key.rid ~page ~slot in
+        ignore (log_op ctx desc.rel_id (Ins (key, record)));
+        store_desc ctx desc { hd with count = hd.count + 1 };
+        Ok key
+    end
+
+  let read_rid ctx key =
+    match rid_parts key with
+    | None -> None
+    | Some (page, slot) ->
+      with_page ctx page (fun data -> Slotted.read data slot)
+
+  let fetch ctx (desc : Descriptor.t) key ?fields () =
+    ignore desc;
+    match read_rid ctx key with
+    | None -> None
+    | Some payload ->
+      let record = Codec.decode_record (Bytes.of_string payload) in
+      Some
+        (match fields with
+        | None -> record
+        | Some fs -> Record.project record fs)
+
+  let delete ctx (desc : Descriptor.t) key =
+    match rid_parts key with
+    | None -> Error (Error.Key_not_found (Record_key.to_string key))
+    | Some (page, slot) -> begin
+      match with_page ctx page (fun data -> Slotted.read data slot) with
+      | None -> Error (Error.Key_not_found (Record_key.to_string key))
+      | Some payload ->
+        let record = Codec.decode_record (Bytes.of_string payload) in
+        let ok = with_page_mut ctx page (fun data -> Slotted.delete data slot) in
+        if not ok then Error (Error.Key_not_found (Record_key.to_string key))
+        else begin
+          ignore (log_op ctx desc.rel_id (Del (key, record)));
+          (* Deferred reclamation: the slot becomes reusable only once the
+             deleting transaction commits. *)
+          let bp = ctx.Ctx.bp in
+          Ctx.defer ctx Dmx_txn.Txn.On_commit (fun () ->
+              let frame = Buffer_pool.pin bp page in
+              Slotted.make_reusable frame.Buffer_pool.data slot;
+              Buffer_pool.unpin ~dirty:true bp frame);
+          let hd = hdesc_of desc in
+          store_desc ctx desc { hd with count = max 0 (hd.count - 1) };
+          Ok record
+        end
+    end
+
+  let update ctx (desc : Descriptor.t) key new_record =
+    match rid_parts key with
+    | None -> Error (Error.Key_not_found (Record_key.to_string key))
+    | Some (page, slot) -> begin
+      match with_page ctx page (fun data -> Slotted.read data slot) with
+      | None -> Error (Error.Key_not_found (Record_key.to_string key))
+      | Some old_payload ->
+        let old_record = Codec.decode_record (Bytes.of_string old_payload) in
+        let payload = encode_payload new_record in
+        let in_place =
+          with_page_mut ctx page (fun data -> Slotted.update data slot payload)
+        in
+        if in_place then begin
+          ignore (log_op ctx desc.rel_id (Upd (key, key, old_record, new_record)));
+          Ok key
+        end
+        else begin
+          (* Does not fit: relocate; the record key changes. *)
+          match delete ctx desc key with
+          | Error _ as e -> e
+          | Ok _ -> begin
+            match insert ctx desc new_record with
+            | Error _ as e -> e
+            | Ok new_key -> Ok new_key
+          end
+        end
+    end
+
+  let key_fields _desc = None
+
+  let record_count ctx (desc : Descriptor.t) =
+    ignore ctx;
+    (hdesc_of desc).count
+
+  let scan ctx (desc : Descriptor.t) ?lo ?hi ?filter () =
+    (* RIDs have no user-meaningful order; key bounds are ignored (the
+       planner never produces them for address-keyed methods). *)
+    ignore lo;
+    ignore hi;
+    let pages = Array.of_list (hdesc_of desc).pages in
+    (* Position: index of the page and slot of the record the scan is "on". *)
+    let pos = ref (-1, -1) in
+    let next_raw () =
+      let rec advance page_idx slot =
+        if page_idx >= Array.length pages then None
+        else
+          let page = pages.(page_idx) in
+          let hit =
+            with_page ctx page (fun data ->
+                let n = Slotted.slot_count data in
+                let rec try_slot s =
+                  if s >= n then None
+                  else
+                    match Slotted.read data s with
+                    | Some payload -> Some (s, payload)
+                    | None -> try_slot (s + 1)
+                in
+                try_slot slot)
+          in
+          match hit with
+          | Some (s, payload) ->
+            pos := (page_idx, s);
+            Some
+              ( Record_key.rid ~page ~slot:s,
+                Codec.decode_record (Bytes.of_string payload) )
+          | None -> advance (page_idx + 1) 0
+      in
+      let page_idx, slot = !pos in
+      if page_idx < 0 then advance 0 0 else advance page_idx (slot + 1)
+    in
+    Scan_help.filtered ?filter ~next:next_raw
+      ~close:(fun () -> ())
+      ~capture:(fun () ->
+        let saved = !pos in
+        fun () -> pos := saved)
+      ()
+
+  let estimate_scan ctx (desc : Descriptor.t) ~eligible =
+    ignore ctx;
+    let hd = hdesc_of desc in
+    let pages = float_of_int (max 1 (List.length hd.pages)) in
+    let rows = float_of_int hd.count in
+    let sel =
+      List.fold_left
+        (fun acc p -> acc *. Dmx_expr.Analyze.selectivity p)
+        1.0 eligible
+    in
+    {
+      Cost.cost = Cost.make ~io:pages ~cpu:(rows *. 2.);
+      est_rows = rows *. sel;
+      matched = eligible;  (* the common filter service applies them all *)
+      residual = [];
+      ordered_by = None;
+    }
+
+  (* ---- log-driven undo (testable) ---- *)
+
+  let unlogged_delete ctx page slot =
+    with_page_mut ctx page (fun data ->
+        ignore (Slotted.delete data slot);
+        Slotted.make_reusable data slot)
+
+  let undo ctx ~rel_id ~data =
+    ignore rel_id;
+    match dec_op data with
+    | Ins (key, record) -> begin
+      match rid_parts key with
+      | None -> ()
+      | Some (page, slot) -> begin
+        match with_page ctx page (fun data -> Slotted.read data slot) with
+        | Some payload
+          when Record.equal
+                 (Codec.decode_record (Bytes.of_string payload))
+                 record ->
+          unlogged_delete ctx page slot
+        | Some _ | None -> ()  (* never applied or already undone *)
+      end
+    end
+    | Del (key, record) -> begin
+      match rid_parts key with
+      | None -> ()
+      | Some (page, slot) ->
+        with_page_mut ctx page (fun data ->
+            match Slotted.read data slot with
+            | Some _ -> ()  (* still present: delete never reached disk *)
+            | None ->
+              if not (Slotted.insert_at data slot (encode_payload record))
+              then
+                failwith
+                  (Fmt.str "heap undo: cannot reinstate record at %s"
+                     (Record_key.to_string key)))
+    end
+    | Upd (old_key, new_key, old_record, new_record) ->
+      if Record_key.equal old_key new_key then begin
+        match rid_parts old_key with
+        | None -> ()
+        | Some (page, slot) ->
+          with_page_mut ctx page (fun data ->
+              match Slotted.read data slot with
+              | Some payload
+                when Record.equal
+                       (Codec.decode_record (Bytes.of_string payload))
+                       new_record ->
+                ignore (Slotted.update data slot (encode_payload old_record))
+              | Some _ | None -> ())
+      end
+      else
+        (* Relocating updates are logged as Del + Ins by the calling code
+           path; a combined Upd with distinct keys is never written. *)
+        failwith "heap undo: unexpected relocating update record"
+end
+
+include Impl
+
+let register () =
+  match !reg_id with
+  | Some id -> id
+  | None ->
+    let id =
+      Registry.register_storage_method (module Impl : Intf.STORAGE_METHOD)
+    in
+    reg_id := Some id;
+    id

@@ -1,0 +1,21 @@
+(** The heap storage method: records in slotted pages, RID record keys.
+
+    The default recoverable storage method. Records live wherever they fit;
+    record keys are page/slot addresses, so updates that no longer fit in
+    place relocate the record and change its key (the architecture allows
+    this: attached procedures receive both old and new keys).
+
+    Undo discipline (testable, per the recovery policy): undo-insert deletes
+    the RID when it still holds the inserted record; undo-delete reinstates
+    the record in its original slot — guaranteed free because tombstones stay
+    *pending* (unreusable) until the deleting transaction commits, at which
+    point a deferred action releases them. *)
+
+include Dmx_core.Intf.STORAGE_METHOD
+
+val register : unit -> int
+(** Register with the procedure vectors; returns the storage-method id.
+    Idempotent. *)
+
+val id : unit -> int
+(** The registered id; raises if {!register} has not run. *)

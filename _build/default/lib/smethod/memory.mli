@@ -1,0 +1,16 @@
+(** The main-memory storage method.
+
+    The paper motivates "main memory data storage methods for selected high
+    traffic relations" (p. 220). Records live in an in-process table keyed by
+    a sequence number; no pages, no I/O. Operations are logged, so veto
+    handling, savepoints and in-session abort work exactly as for durable
+    methods, but contents do not survive a restart — restart undo of a loser
+    transaction finds no state and is a no-op (testable undo). *)
+
+include Dmx_core.Intf.STORAGE_METHOD
+
+val register : unit -> int
+val id : unit -> int
+
+val reset_all : unit -> unit
+(** Drop every in-memory relation's contents (simulates restart in tests). *)

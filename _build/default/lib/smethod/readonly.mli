@@ -1,0 +1,20 @@
+(** The write-once ("optical disk publishing") storage method.
+
+    The paper motivates "special facilities to support (read-only) optical
+    disk database publishing applications" (p. 220). Records may be appended
+    while the relation is being mastered; {!seal} finalises it, after which
+    every modification is refused at the generic interface with [Read_only] —
+    simulating the write-once medium. Updates and deletes are refused even
+    before sealing (the medium cannot rewrite). *)
+
+include Dmx_core.Intf.STORAGE_METHOD
+
+val register : unit -> int
+val id : unit -> int
+
+val seal : Dmx_core.Ctx.t -> Dmx_catalog.Descriptor.t -> unit
+(** Extension-specific operation: finalise the published relation. Immediate
+    and unlogged — seal when the mastering transaction is alone and about to
+    commit. *)
+
+val is_sealed : Dmx_catalog.Descriptor.t -> bool

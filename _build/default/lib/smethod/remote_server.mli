@@ -1,0 +1,40 @@
+(** Simulated remote database server.
+
+    Substitute for the paper's foreign database (p. 221: a storage method may
+    "support access to a foreign database by simulating relation accesses via
+    (remote) accesses to relations in the foreign database"). The server is
+    in-process but reachable *only* through the message protocol below; each
+    request/response round trip is counted so benches and cost estimates can
+    charge for it. *)
+
+open Dmx_value
+
+type t
+
+val create : name:string -> t
+(** Create (or return) the server registered under [name]. *)
+
+val find : string -> t option
+val message_count : t -> int
+val reset_stats : t -> unit
+val reset_all : unit -> unit
+
+type request =
+  | Create_rel of string
+  | Drop_rel of string
+  | Insert of string * Record.t
+  | Update of string * int * Record.t
+  | Delete of string * int
+  | Fetch of string * int
+  | Scan_next of string * int  (** first record with remote id > the given *)
+  | Count of string
+
+type response =
+  | Ok_unit
+  | Ok_id of int
+  | Ok_record of Record.t option
+  | Ok_scan of (int * Record.t) option
+  | Ok_count of int
+  | Remote_error of string
+
+val send : t -> request -> response

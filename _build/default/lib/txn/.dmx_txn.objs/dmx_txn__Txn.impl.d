@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Dmx_wal Fmt List Tmap

@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Dmx_wal Format Tmap

@@ -1,0 +1,1 @@
+lib/txn/txn_mgr.ml: Dmx_lock Dmx_wal Hashtbl Int64 List Log_record Recovery Set Txn Wal

@@ -1,0 +1,1 @@
+lib/txn/txn_mgr.mli: Dmx_lock Dmx_wal Log_record Recovery Txn Wal

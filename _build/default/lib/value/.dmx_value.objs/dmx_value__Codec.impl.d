@@ -1,0 +1,1 @@
+lib/value/codec.ml: Array Buffer Bytes Char Fmt Int64 List Schema String Value

@@ -1,0 +1,1 @@
+lib/value/record.ml: Array Fmt Value

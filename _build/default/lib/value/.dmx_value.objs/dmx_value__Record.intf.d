@@ -1,0 +1,1 @@
+lib/value/record.mli: Format Value

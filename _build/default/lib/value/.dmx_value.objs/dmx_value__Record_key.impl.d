@@ -1,0 +1,1 @@
+lib/value/record_key.ml: Array Codec Fmt Hashtbl Int Value

@@ -1,0 +1,1 @@
+lib/value/record_key.mli: Codec Format Value

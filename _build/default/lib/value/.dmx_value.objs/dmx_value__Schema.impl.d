@@ -1,0 +1,1 @@
+lib/value/schema.ml: Array Fmt Hashtbl String Value

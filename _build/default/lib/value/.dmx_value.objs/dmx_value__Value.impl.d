@@ -1,0 +1,1 @@
+lib/value/value.ml: Bool Float Fmt Hashtbl Int Int64 String

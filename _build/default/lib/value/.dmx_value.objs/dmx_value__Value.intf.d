@@ -1,0 +1,1 @@
+lib/value/value.mli: Format

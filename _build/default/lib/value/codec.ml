@@ -1,0 +1,170 @@
+module Enc = struct
+  type t = Buffer.t
+
+  let create ?(size = 64) () = Buffer.create size
+  let byte t n = Buffer.add_char t (Char.chr (n land 0xff))
+
+  let varint t n =
+    if n < 0 then invalid_arg "Codec.Enc.varint: negative";
+    let rec loop n =
+      if n < 0x80 then byte t n
+      else begin
+        byte t (0x80 lor (n land 0x7f));
+        loop (n lsr 7)
+      end
+    in
+    loop n
+
+  let int64 t i =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 i;
+    Buffer.add_bytes t b
+
+  let float t f = int64 t (Int64.bits_of_float f)
+  let bool t b = byte t (if b then 1 else 0)
+
+  let string t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
+  let bytes t b = string t (Bytes.to_string b)
+
+  (* Tags mirror Value.rank so encodings stay ordered-by-type. *)
+  let value t v =
+    match (v : Value.t) with
+    | Null -> byte t 0
+    | Bool b ->
+      byte t 1;
+      bool t b
+    | Int i ->
+      byte t 2;
+      int64 t i
+    | Float f ->
+      byte t 3;
+      float t f
+    | String s ->
+      byte t 4;
+      string t s
+
+  let record t r =
+    varint t (Array.length r);
+    Array.iter (value t) r
+
+  let list t f xs =
+    varint t (List.length xs);
+    List.iter (f t) xs
+
+  let option t f = function
+    | None -> byte t 0
+    | Some x ->
+      byte t 1;
+      f t x
+
+  let to_bytes t = Buffer.to_bytes t
+  let to_string t = Buffer.contents t
+end
+
+module Dec = struct
+  type t = { buf : string; mutable pos : int }
+
+  let of_string s = { buf = s; pos = 0 }
+  let of_bytes b = of_string (Bytes.to_string b)
+
+  let need t n =
+    if t.pos + n > String.length t.buf then failwith "Codec.Dec: truncated input"
+
+  let byte t =
+    need t 1;
+    let c = Char.code t.buf.[t.pos] in
+    t.pos <- t.pos + 1;
+    c
+
+  let varint t =
+    let rec loop shift acc =
+      let b = byte t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else loop (shift + 7) acc
+    in
+    loop 0 0
+
+  let int64 t =
+    need t 8;
+    let i = Bytes.get_int64_le (Bytes.unsafe_of_string t.buf) t.pos in
+    t.pos <- t.pos + 8;
+    i
+
+  let float t = Int64.float_of_bits (int64 t)
+
+  let bool t =
+    match byte t with
+    | 0 -> false
+    | 1 -> true
+    | n -> failwith (Fmt.str "Codec.Dec.bool: bad tag %d" n)
+
+  let string t =
+    let n = varint t in
+    need t n;
+    let s = String.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t = Bytes.of_string (string t)
+
+  let value t : Value.t =
+    match byte t with
+    | 0 -> Null
+    | 1 -> Bool (bool t)
+    | 2 -> Int (int64 t)
+    | 3 -> Float (float t)
+    | 4 -> String (string t)
+    | n -> failwith (Fmt.str "Codec.Dec.value: bad tag %d" n)
+
+  let record t =
+    let n = varint t in
+    Array.init n (fun _ -> value t)
+
+  let list t f =
+    let n = varint t in
+    List.init n (fun _ -> f t)
+
+  let option t f =
+    match byte t with
+    | 0 -> None
+    | 1 -> Some (f t)
+    | n -> failwith (Fmt.str "Codec.Dec.option: bad tag %d" n)
+
+  let at_end t = t.pos >= String.length t.buf
+  let remaining t = String.length t.buf - t.pos
+end
+
+let encode_record r =
+  let e = Enc.create () in
+  Enc.record e r;
+  Enc.to_bytes e
+
+let decode_record b = Dec.record (Dec.of_bytes b)
+
+let encode_schema s =
+  let e = Enc.create () in
+  Enc.list e
+    (fun e (c : Schema.column) ->
+      Enc.string e c.name;
+      Enc.string e (Value.ty_to_string c.ty);
+      Enc.bool e c.nullable)
+    (Schema.columns s);
+  Enc.to_bytes e
+
+let decode_schema b =
+  let d = Dec.of_bytes b in
+  let cols =
+    Dec.list d (fun d ->
+        let name = Dec.string d in
+        let ty =
+          match Value.ty_of_string (Dec.string d) with
+          | Some ty -> ty
+          | None -> failwith "Codec.decode_schema: bad type"
+        in
+        let nullable = Dec.bool d in
+        { Schema.name; ty; nullable })
+  in
+  Schema.make_exn cols

@@ -1,0 +1,55 @@
+(** Byte codecs for values, records and extension descriptors.
+
+    Extensions serialise their descriptor data and log payloads with these
+    primitives so the common system can store them opaquely (catalog fields,
+    log records, page payloads). *)
+
+(** Append-only encoder. *)
+module Enc : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+  val byte : t -> int -> unit
+  val varint : t -> int -> unit
+  (** Unsigned LEB128; [n] must be [>= 0]. *)
+
+  val int64 : t -> int64 -> unit
+  val float : t -> float -> unit
+  val bool : t -> bool -> unit
+  val string : t -> string -> unit
+  (** Length-prefixed. *)
+
+  val bytes : t -> bytes -> unit
+  val value : t -> Value.t -> unit
+  val record : t -> Value.t array -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val to_bytes : t -> bytes
+  val to_string : t -> string
+end
+
+(** Cursor-based decoder. Raises [Failure] on malformed input. *)
+module Dec : sig
+  type t
+
+  val of_bytes : bytes -> t
+  val of_string : string -> t
+  val byte : t -> int
+  val varint : t -> int
+  val int64 : t -> int64
+  val float : t -> float
+  val bool : t -> bool
+  val string : t -> string
+  val bytes : t -> bytes
+  val value : t -> Value.t
+  val record : t -> Value.t array
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+  val at_end : t -> bool
+  val remaining : t -> int
+end
+
+val encode_record : Value.t array -> bytes
+val decode_record : bytes -> Value.t array
+val encode_schema : Schema.t -> bytes
+val decode_schema : bytes -> Schema.t

@@ -1,0 +1,19 @@
+type t = Value.t array
+
+let project r fields = Array.map (fun i -> r.(i)) fields
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare_on fields a b =
+  let rec loop i =
+    if i >= Array.length fields then 0
+    else
+      let f = fields.(i) in
+      let c = Value.compare a.(f) b.(f) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let pp ppf r = Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any "; ") Value.pp) r
+let to_string r = Fmt.str "%a" pp r

@@ -1,0 +1,15 @@
+(** Record helpers.
+
+    A record is simply a [Value.t array] positionally matching a schema. *)
+
+type t = Value.t array
+
+val project : t -> int array -> t
+(** [project r fields] extracts the given field positions, in order. *)
+
+val equal : t -> t -> bool
+val compare_on : int array -> t -> t -> int
+(** Lexicographic comparison on the given field positions. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

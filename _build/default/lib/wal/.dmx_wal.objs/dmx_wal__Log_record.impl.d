@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Codec Dmx_value Fmt String

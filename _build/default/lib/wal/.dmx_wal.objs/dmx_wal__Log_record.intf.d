@@ -1,0 +1,1 @@
+lib/wal/log_record.mli: Dmx_value Format

@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: Fmt Int Int64 List Log_record Set Wal

@@ -1,0 +1,1 @@
+lib/wal/recovery.mli: Format Log_record Wal

@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Array Bytes Char Codec Dmx_value Fmt Hashtbl Int32 Int64 List Log_record Option String Unix

@@ -1,0 +1,1 @@
+lib/wal/wal.mli: Log_record

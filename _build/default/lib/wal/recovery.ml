@@ -1,0 +1,50 @@
+type analysis = {
+  winners : Log_record.txid list;
+  losers : Log_record.txid list;
+  undo_work : (Log_record.txid * Log_record.t list) list;
+}
+
+module Iset = Set.Make (Int)
+module I64set = Set.Make (Int64)
+
+let analyze wal =
+  let started = ref Iset.empty in
+  let finished = ref Iset.empty in
+  let winners = ref Iset.empty in
+  let compensated = ref I64set.empty in
+  Wal.iter wal (fun r ->
+      match r.Log_record.kind with
+      | Begin -> started := Iset.add r.txid !started
+      | Commit ->
+        finished := Iset.add r.txid !finished;
+        winners := Iset.add r.txid !winners
+      | Abort -> finished := Iset.add r.txid !finished
+      | Clr { undone } -> compensated := I64set.add undone !compensated
+      | Savepoint _ | Ext _ -> started := Iset.add r.txid !started);
+  let losers = Iset.diff !started !finished in
+  let undo_work =
+    Iset.fold
+      (fun txid acc ->
+        let work =
+          Wal.records_of_txn wal txid
+          |> List.filter (fun (r : Log_record.t) ->
+                 match r.kind with
+                 | Ext _ -> not (I64set.mem r.lsn !compensated)
+                 | Begin | Commit | Abort | Savepoint _ | Clr _ -> false)
+        in
+        (txid, work) :: acc)
+      losers []
+  in
+  {
+    winners = Iset.elements !winners;
+    losers = Iset.elements losers;
+    undo_work;
+  }
+
+let pp ppf a =
+  Fmt.pf ppf "winners=[%a] losers=[%a] undo=%d records"
+    Fmt.(list ~sep:(any ",") int)
+    a.winners
+    Fmt.(list ~sep:(any ",") int)
+    a.losers
+    (List.fold_left (fun n (_, rs) -> n + List.length rs) 0 a.undo_work)

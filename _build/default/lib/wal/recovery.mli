@@ -1,0 +1,19 @@
+(** Restart-recovery analysis.
+
+    Scans the log and classifies transactions into winners (Commit record
+    present) and losers. For each loser it computes the [Ext] records still
+    needing undo — records already compensated by a [Clr] (a crash during an
+    earlier rollback) are excluded. The caller (the extension architecture's
+    undo driver) dispatches each record to the owning extension's undo entry
+    point, newest first, then logs the terminal [Abort]. *)
+
+type analysis = {
+  winners : Log_record.txid list;
+  losers : Log_record.txid list;
+  undo_work : (Log_record.txid * Log_record.t list) list;
+      (** per loser, Ext records newest-first *)
+}
+
+val analyze : Wal.t -> analysis
+
+val pp : Format.formatter -> analysis -> unit

@@ -1,0 +1,195 @@
+open Dmx_value
+
+type backend =
+  | Mem
+  | File of { fd : Unix.file_descr; mutable size : int }
+
+type t = {
+  backend : backend;
+  mutable records : Log_record.t array;  (* index 0 holds LSN 1 *)
+  mutable count : int;
+  mutable flushed : Log_record.lsn;
+  mutable pending : (Log_record.txid * Log_record.kind) list;  (* newest first *)
+  by_txn : (Log_record.txid, Log_record.t list) Hashtbl.t;  (* newest first *)
+  mutable closed : bool;
+}
+
+let add_index t txid kind =
+  let lsn = Int64.of_int (t.count + 1) in
+  let r = { Log_record.lsn; txid; kind } in
+  if t.count >= Array.length t.records then begin
+    let bigger =
+      Array.make (max 64 (2 * Array.length t.records)) r
+    in
+    Array.blit t.records 0 bigger 0 t.count;
+    t.records <- bigger
+  end;
+  t.records.(t.count) <- r;
+  t.count <- t.count + 1;
+  let chain = Option.value ~default:[] (Hashtbl.find_opt t.by_txn txid) in
+  Hashtbl.replace t.by_txn txid (r :: chain);
+  r
+
+let in_memory () =
+  {
+    backend = Mem;
+    records = [||];
+    count = 0;
+    flushed = 0L;
+    pending = [];
+    by_txn = Hashtbl.create 16;
+    closed = false;
+  }
+
+(* Frame: [u32 len][payload][u32 sum-of-bytes checksum] *)
+let checksum s =
+  let acc = ref 0 in
+  String.iter (fun c -> acc := (!acc + Char.code c) land 0x3fffffff) s;
+  !acc
+
+let frame txid kind =
+  let e = Codec.Enc.create () in
+  Log_record.encode e txid kind;
+  let payload = Codec.Enc.to_string e in
+  let n = String.length payload in
+  let b = Bytes.create (n + 8) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.set_int32_le b (4 + n) (Int32.of_int (checksum payload));
+  b
+
+let really_write fd buf =
+  let n = Bytes.length buf in
+  let rec loop done_ =
+    if done_ < n then loop (done_ + Unix.write fd buf done_ (n - done_))
+  in
+  loop 0
+
+let open_file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let data =
+    let buf = Bytes.create size in
+    ignore (Unix.LargeFile.lseek fd 0L Unix.SEEK_SET);
+    let rec loop done_ =
+      if done_ < size then
+        let r = Unix.read fd buf done_ (size - done_) in
+        if r = 0 then () else loop (done_ + r)
+    in
+    loop 0;
+    Bytes.unsafe_to_string buf
+  in
+  let t =
+    {
+      backend = File { fd; size = 0 };
+      records = [||];
+      count = 0;
+      flushed = 0L;
+      pending = [];
+      by_txn = Hashtbl.create 16;
+      closed = false;
+    }
+  in
+  (* Replay frames; stop at the first torn/corrupt frame and truncate it. *)
+  let pos = ref 0 in
+  let valid_end = ref 0 in
+  (try
+     while !pos + 8 <= size do
+       let len = Int32.to_int (Bytes.get_int32_le (Bytes.of_string data) !pos) in
+       if len < 0 || !pos + 8 + len > size then raise Exit;
+       let payload = String.sub data (!pos + 4) len in
+       let sum =
+         Int32.to_int (Bytes.get_int32_le (Bytes.of_string data) (!pos + 4 + len))
+       in
+       if sum <> checksum payload then raise Exit;
+       let txid, kind = Log_record.decode (Codec.Dec.of_string payload) in
+       ignore (add_index t txid kind);
+       pos := !pos + 8 + len;
+       valid_end := !pos
+     done
+   with Exit | Failure _ -> ());
+  (match t.backend with
+  | File f ->
+    if !valid_end < size then Unix.ftruncate fd !valid_end;
+    f.size <- !valid_end
+  | Mem -> ());
+  t.flushed <- Int64.of_int t.count;
+  t
+
+let check_open t = if t.closed then invalid_arg "Wal: log is closed"
+
+let append t txid kind =
+  check_open t;
+  let r = add_index t txid kind in
+  (match t.backend with
+  | Mem -> t.flushed <- r.Log_record.lsn
+  | File _ -> t.pending <- (txid, kind) :: t.pending);
+  r.Log_record.lsn
+
+let last_lsn t = Int64.of_int t.count
+let flushed_lsn t = t.flushed
+
+let flush ?upto t =
+  check_open t;
+  let upto = Option.value ~default:(last_lsn t) upto in
+  if upto > t.flushed then begin
+    match t.backend with
+    | Mem -> ()
+    | File f ->
+      (* Write every pending record; fine-grained partial flush is not worth
+         the bookkeeping since pending records are contiguous. *)
+      let frames = List.rev_map (fun (txid, kind) -> frame txid kind) t.pending in
+      ignore (Unix.LargeFile.lseek f.fd (Int64.of_int f.size) Unix.SEEK_SET);
+      List.iter
+        (fun b ->
+          really_write f.fd b;
+          f.size <- f.size + Bytes.length b)
+        frames;
+      Unix.fsync f.fd;
+      t.pending <- [];
+      t.flushed <- last_lsn t
+  end
+
+let read t lsn =
+  check_open t;
+  let i = Int64.to_int lsn - 1 in
+  if i < 0 || i >= t.count then
+    invalid_arg (Fmt.str "Wal.read: no record at LSN %Ld" lsn);
+  t.records.(i)
+
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f t.records.(i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun r -> acc := f !acc r);
+  !acc
+
+let records_of_txn t txid =
+  Option.value ~default:[] (Hashtbl.find_opt t.by_txn txid)
+
+let record_count t = t.count
+
+let close t =
+  if not t.closed then begin
+    (try flush t with _ -> ());
+    (match t.backend with Mem -> () | File f -> Unix.close f.fd);
+    t.closed <- true
+  end
+
+let abandon t =
+  if not t.closed then begin
+    (match t.backend with Mem -> () | File f -> Unix.close f.fd);
+    t.closed <- true
+  end
+
+let simulate_torn_tail t ~bytes_to_truncate =
+  match t.backend with
+  | Mem -> invalid_arg "Wal.simulate_torn_tail: memory-backed log"
+  | File f ->
+    flush t;
+    let new_size = max 0 (f.size - bytes_to_truncate) in
+    Unix.ftruncate f.fd new_size;
+    f.size <- new_size

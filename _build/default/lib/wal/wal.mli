@@ -1,0 +1,45 @@
+(** The write-ahead log manager.
+
+    An append-only, LSN-addressed log shared by the transaction manager and
+    every extension. Extensions append [Ext] records through the common
+    services context; the rollback/abort/restart drivers read the log
+    backwards and dispatch undo to the owning extension.
+
+    LSNs are 1-based sequence numbers. A file-backed log buffers appended
+    records in memory and hardens them on {!flush} (the buffer-pool hook and
+    the commit protocol call it); torn tails are detected by checksum and
+    truncated on open. *)
+
+type t
+
+val in_memory : unit -> t
+val open_file : string -> t
+(** Opens (creating if needed) a log file, replaying existing records into the
+    in-memory index. *)
+
+val append : t -> Log_record.txid -> Log_record.kind -> Log_record.lsn
+val last_lsn : t -> Log_record.lsn
+val flushed_lsn : t -> Log_record.lsn
+
+val flush : ?upto:Log_record.lsn -> t -> unit
+(** Harden records up to [upto] (default: all). *)
+
+val read : t -> Log_record.lsn -> Log_record.t
+(** Raises [Invalid_argument] for an unknown LSN. *)
+
+val iter : t -> (Log_record.t -> unit) -> unit
+(** Forward scan over all records. *)
+
+val fold : t -> init:'a -> f:('a -> Log_record.t -> 'a) -> 'a
+
+val records_of_txn : t -> Log_record.txid -> Log_record.t list
+(** All records of a transaction, most recent first (drives rollback). *)
+
+val record_count : t -> int
+val close : t -> unit
+
+val abandon : t -> unit
+(** Close without writing buffered records — crash simulation. *)
+
+val simulate_torn_tail : t -> bytes_to_truncate:int -> unit
+(** Chop bytes off the end of a file-backed log (crash-injection tests). *)

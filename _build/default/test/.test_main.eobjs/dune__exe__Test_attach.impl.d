@@ -1,0 +1,1 @@
+test/test_attach.ml: Alcotest Array Dmx_attach Dmx_catalog Dmx_core Dmx_ddl Dmx_value Error Fmt Int64 List Option Registry Schema Services Test_util Value

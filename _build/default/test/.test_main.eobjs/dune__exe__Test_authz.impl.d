@@ -1,0 +1,1 @@
+test/test_authz.ml: Alcotest Authz Dmx_authz Dmx_core Filename List Sys

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Btree Buffer_pool Char Disk Dmx_btree Dmx_page Dmx_value Fmt Int Int64 Io_stats List Map Option QCheck QCheck_alcotest Random String Test_util Value

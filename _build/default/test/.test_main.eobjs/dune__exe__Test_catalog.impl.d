@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Attrlist Catalog Codec Descriptor Dmx_catalog Dmx_value Filename Fun Gen List QCheck QCheck_alcotest Schema Sys Test_util

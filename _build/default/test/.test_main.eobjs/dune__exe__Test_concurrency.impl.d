@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Array Bytes Ctx Dmx_catalog Dmx_core Dmx_ddl Dmx_lock Dmx_txn Dmx_value Error List Services Test_util

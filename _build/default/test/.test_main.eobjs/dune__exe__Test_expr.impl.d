@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Analyze Array Dmx_expr Dmx_value Eval Expr Fmt List Parse Test_util Value

@@ -1,0 +1,1 @@
+test/test_expr_prop.ml: Analyze Array Dmx_expr Dmx_value Eval Expr Fmt Gen List Parse QCheck QCheck_alcotest Test_util Value

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dmx_attach Dmx_core Dmx_ddl Dmx_page Dmx_smethod Dmx_value Error Int64 Intf List Option Record_key Registry Scan_help Schema Services Test_util Value

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Deadlock Dmx_lock List Lock_mode Lock_table

@@ -1,0 +1,1 @@
+test/test_page.ml: Alcotest Buffer_pool Bytes Disk Dmx_page Filename Fmt Hashtbl Io_stats List Option QCheck QCheck_alcotest Slotted String Sys

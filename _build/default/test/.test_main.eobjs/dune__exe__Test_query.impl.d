@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Astring_contains Dmx_authz Dmx_core Dmx_db Dmx_query Dmx_value Fmt List Schema String Test_util Value

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Dmx_attach Dmx_core Dmx_ddl Dmx_page Dmx_smethod Dmx_wal Error Filename Fmt Fun List Option Registry Services Sys Test_util Unix

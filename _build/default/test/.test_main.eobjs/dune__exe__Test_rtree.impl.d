@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Buffer_pool Disk Dmx_page Dmx_rtree Gen Int List QCheck QCheck_alcotest Rect Rtree Set

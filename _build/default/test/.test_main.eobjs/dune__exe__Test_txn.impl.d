@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Dmx_lock Dmx_txn Dmx_wal List Tmap Txn Txn_mgr

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dmx_attach Dmx_catalog Dmx_core Dmx_smethod Dmx_value Fmt Lazy List Record Record_key Schema Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Codec Dmx_value List Record Record_key Schema Test_util Value

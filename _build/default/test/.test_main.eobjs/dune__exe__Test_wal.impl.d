@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Dmx_value Dmx_wal Filename Fmt Fun List Log_record QCheck QCheck_alcotest Recovery Sys Unix Wal

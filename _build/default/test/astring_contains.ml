@@ -1,0 +1,9 @@
+(* Tiny substring test used by the suites (no astring dependency). *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else loop (i + 1)
+  in
+  nn = 0 || loop 0

@@ -1,0 +1,78 @@
+open Dmx_authz
+module Error = Dmx_core.Error
+
+let test_owner_and_grants () =
+  let a = Authz.create () in
+  Authz.grant_all a ~user:"alice" ~rel_id:1;
+  (match Authz.check a ~user:"alice" ~priv:Authz.Control ~rel_id:1 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "owner lacks control");
+  (match Authz.check a ~user:"bob" ~priv:Authz.Select ~rel_id:1 with
+  | Error (Error.Authorization_denied _) -> ()
+  | _ -> Alcotest.fail "bob read without a grant");
+  (* alice (CONTROL) grants bob SELECT *)
+  (match
+     Authz.grant a ~granter:"alice" ~user:"bob" ~privs:[ Authz.Select ]
+       ~rel_id:1
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "grant failed: %s" (Error.to_string e));
+  (match Authz.check a ~user:"bob" ~priv:Authz.Select ~rel_id:1 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "grant ineffective");
+  (* bob cannot grant onward without CONTROL *)
+  (match
+     Authz.grant a ~granter:"bob" ~user:"carol" ~privs:[ Authz.Select ]
+       ~rel_id:1
+   with
+  | Error (Error.Authorization_denied _) -> ()
+  | _ -> Alcotest.fail "bob granted without control");
+  (* revoke works *)
+  ignore
+    (Authz.revoke a ~granter:"alice" ~user:"bob" ~privs:[ Authz.Select ]
+       ~rel_id:1);
+  match Authz.check a ~user:"bob" ~priv:Authz.Select ~rel_id:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "revoke ineffective"
+
+let test_admin_and_scoping () =
+  let a = Authz.create () in
+  Authz.add_admin a "root";
+  (match Authz.check a ~user:"root" ~priv:Authz.Delete ~rel_id:42 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "admin denied");
+  Authz.grant_all a ~user:"alice" ~rel_id:1;
+  (* privileges are per relation *)
+  (match Authz.check a ~user:"alice" ~priv:Authz.Select ~rel_id:2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "privilege leaked across relations");
+  (* dropping a relation forgets its grants *)
+  Authz.drop_relation a ~rel_id:1;
+  Alcotest.(check (list string)) "grants gone" []
+    (List.map Authz.priv_to_string (Authz.privileges a ~user:"alice" ~rel_id:1))
+
+let test_persistence () =
+  let path = Filename.temp_file "dmx_authz" ".dmx" in
+  Sys.remove path;
+  let a = Authz.create ~path () in
+  Authz.add_admin a "root";
+  Authz.grant_all a ~user:"alice" ~rel_id:3;
+  ignore
+    (Authz.grant a ~granter:"alice" ~user:"bob"
+       ~privs:[ Authz.Select; Authz.Insert ] ~rel_id:3);
+  Authz.save a;
+  let a2 = Authz.load ~path in
+  Alcotest.(check bool) "admin persisted" true (Authz.is_admin a2 "root");
+  Alcotest.(check (list string)) "bob's privileges"
+    [ "SELECT"; "INSERT" ]
+    (List.map Authz.priv_to_string (Authz.privileges a2 ~user:"bob" ~rel_id:3)
+    |> List.sort (fun a b -> compare b a));
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "owner, grants, revokes" `Quick test_owner_and_grants;
+    Alcotest.test_case "admins and per-relation scoping" `Quick
+      test_admin_and_scoping;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+  ]

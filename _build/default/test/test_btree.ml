@@ -1,0 +1,256 @@
+open Dmx_value
+open Dmx_page
+open Dmx_btree
+open Test_util
+
+let make_tree () =
+  let d = Disk.in_memory () in
+  let bp = Buffer_pool.create ~capacity:128 d in
+  Btree.create bp
+
+let k n = [| vi n |]
+
+let test_insert_find () =
+  let t = make_tree () in
+  for i = 1 to 500 do
+    match Btree.insert t ~key:(k i) ~payload:(string_of_int i) with
+    | `Ok -> ()
+    | `Duplicate -> Alcotest.failf "dup at %d" i
+  done;
+  Alcotest.(check int) "count" 500 (Btree.count t);
+  Alcotest.(check bool) "height grew" true (Btree.height t > 1);
+  for i = 1 to 500 do
+    Alcotest.(check (option string))
+      (Fmt.str "find %d" i)
+      (Some (string_of_int i))
+      (Btree.find t ~key:(k i))
+  done;
+  Alcotest.(check (option string)) "absent" None (Btree.find t ~key:(k 501));
+  match Btree.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_duplicate () =
+  let t = make_tree () in
+  ignore (Btree.insert t ~key:(k 1) ~payload:"a");
+  Alcotest.(check bool) "dup refused" true
+    (Btree.insert t ~key:(k 1) ~payload:"b" = `Duplicate);
+  Alcotest.(check bool) "replace" true
+    (Btree.replace t ~key:(k 1) ~payload:"b" = `Replaced);
+  Alcotest.(check (option string)) "replaced" (Some "b") (Btree.find t ~key:(k 1))
+
+let test_delete () =
+  let t = make_tree () in
+  for i = 1 to 300 do
+    ignore (Btree.insert t ~key:(k i) ~payload:(string_of_int i))
+  done;
+  for i = 1 to 300 do
+    if i mod 2 = 0 then
+      Alcotest.(check bool) "delete" true (Btree.delete t ~key:(k i))
+  done;
+  Alcotest.(check bool) "delete absent" false (Btree.delete t ~key:(k 2));
+  Alcotest.(check int) "count after" 150 (Btree.count t);
+  for i = 1 to 300 do
+    let expect = if i mod 2 = 0 then None else Some (string_of_int i) in
+    Alcotest.(check (option string)) (Fmt.str "post %d" i) expect
+      (Btree.find t ~key:(k i))
+  done;
+  match Btree.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_random_order () =
+  let t = make_tree () in
+  let n = 1000 in
+  let perm = Array.init n (fun i -> i) in
+  let st = Random.State.make [| 42 |] in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  Array.iter
+    (fun i -> ignore (Btree.insert t ~key:(k i) ~payload:(string_of_int i)))
+    perm;
+  (* iteration is sorted *)
+  let last = ref (-1) in
+  Btree.iter t (fun key _ ->
+      let v = Int64.to_int (Option.get (Value.to_int key.(0))) in
+      Alcotest.(check bool) "ascending" true (v > !last);
+      last := v);
+  Alcotest.(check int) "all there" n (Btree.count t);
+  match Btree.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_cursor_range () =
+  let t = make_tree () in
+  for i = 0 to 99 do
+    ignore (Btree.insert t ~key:(k i) ~payload:(string_of_int i))
+  done;
+  let collect c =
+    let rec loop acc =
+      match Btree.next c with
+      | None -> List.rev acc
+      | Some (key, _) ->
+        loop (Int64.to_int (Option.get (Value.to_int key.(0))) :: acc)
+    in
+    loop []
+  in
+  let got = collect (Btree.cursor ~lo:(Btree.Incl (k 10)) ~hi:(Btree.Excl (k 15)) t) in
+  Alcotest.(check (list int)) "range" [ 10; 11; 12; 13; 14 ] got;
+  let got = collect (Btree.cursor ~lo:(Btree.Excl (k 95)) t) in
+  Alcotest.(check (list int)) "open hi" [ 96; 97; 98; 99 ] got
+
+let test_cursor_prefix () =
+  let t = make_tree () in
+  List.iter
+    (fun (a, b) ->
+      ignore
+        (Btree.insert t ~key:[| vs a; vi b |] ~payload:(a ^ string_of_int b)))
+    [ ("eng", 1); ("eng", 2); ("ops", 1); ("eng", 3); ("hr", 9) ];
+  let c =
+    Btree.cursor ~lo:(Btree.Incl [| vs "eng" |]) ~hi:(Btree.Incl [| vs "eng" |]) t
+  in
+  let rec collect acc =
+    match Btree.next c with
+    | None -> List.rev acc
+    | Some (_, p) -> collect (p :: acc)
+  in
+  Alcotest.(check (list string)) "prefix scan" [ "eng1"; "eng2"; "eng3" ]
+    (collect [])
+
+let test_cursor_survives_delete () =
+  let t = make_tree () in
+  for i = 0 to 20 do
+    ignore (Btree.insert t ~key:(k i) ~payload:(string_of_int i))
+  done;
+  let c = Btree.cursor t in
+  let step () =
+    match Btree.next c with
+    | Some (key, _) -> Int64.to_int (Option.get (Value.to_int key.(0)))
+    | None -> Alcotest.fail "unexpected end"
+  in
+  Alcotest.(check int) "first" 0 (step ());
+  Alcotest.(check int) "second" 1 (step ());
+  (* Delete the item the cursor is on: scan is positioned just after it. *)
+  ignore (Btree.delete t ~key:(k 1));
+  Alcotest.(check int) "after deleted current" 2 (step ());
+  (* Delete ahead of the cursor too. *)
+  ignore (Btree.delete t ~key:(k 3));
+  Alcotest.(check int) "skips deleted ahead" 4 (step ())
+
+let test_cursor_capture_restore () =
+  let t = make_tree () in
+  for i = 0 to 9 do
+    ignore (Btree.insert t ~key:(k i) ~payload:(string_of_int i))
+  done;
+  let c = Btree.cursor t in
+  ignore (Btree.next c);
+  ignore (Btree.next c);
+  let saved = Btree.position c in
+  ignore (Btree.next c);
+  ignore (Btree.next c);
+  Btree.seek c saved;
+  match Btree.next c with
+  | Some (key, _) ->
+    Alcotest.(check int) "resumes after saved position" 2
+      (Int64.to_int (Option.get (Value.to_int key.(0))))
+  | None -> Alcotest.fail "cursor exhausted"
+
+let test_large_payloads () =
+  let t = make_tree () in
+  (* payloads near page capacity force frequent splits *)
+  for i = 0 to 63 do
+    ignore (Btree.insert t ~key:(k i) ~payload:(String.make 900 (Char.chr (65 + (i mod 26)))))
+  done;
+  Alcotest.(check int) "count" 64 (Btree.count t);
+  match Btree.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_string_keys_order () =
+  let t = make_tree () in
+  let words = [ "pear"; "apple"; "fig"; "grape"; "banana"; "kiwi" ] in
+  List.iter (fun w -> ignore (Btree.insert t ~key:[| vs w |] ~payload:w)) words;
+  let got = ref [] in
+  Btree.iter t (fun _ p -> got := p :: !got);
+  Alcotest.(check (list string)) "sorted strings"
+    (List.sort String.compare words)
+    (List.rev !got)
+
+(* qcheck property: model-based comparison against a Map *)
+let prop_model =
+  QCheck.Test.make ~name:"btree matches Map model" ~count:60
+    QCheck.(
+      list (pair (int_range 0 200) (oneofl [ `Ins; `Del ])))
+    (fun ops ->
+      let t = make_tree () in
+      let module M = Map.Make (Int) in
+      let model = ref M.empty in
+      List.iter
+        (fun (i, op) ->
+          match op with
+          | `Ins ->
+            let payload = string_of_int i in
+            (match Btree.insert t ~key:(k i) ~payload with
+            | `Ok -> model := M.add i payload !model
+            | `Duplicate -> assert (M.mem i !model))
+          | `Del ->
+            let deleted = Btree.delete t ~key:(k i) in
+            assert (deleted = M.mem i !model);
+            model := M.remove i !model)
+        ops;
+      (match Btree.check_invariants t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      let tree_list = ref [] in
+      Btree.iter t (fun key p ->
+          tree_list := (Int64.to_int (Option.get (Value.to_int key.(0))), p) :: !tree_list);
+      List.rev !tree_list = M.bindings !model)
+
+(* Under a 4-frame pool every operation evicts and reloads pages; contents
+   and invariants must survive the churn. *)
+let test_tiny_pool_stress () =
+  let d = Disk.in_memory () in
+  let bp = Buffer_pool.create ~capacity:4 d in
+  let t = Btree.create bp in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    let key = (i * 7919) mod n in
+    ignore (Btree.insert t ~key:(k key) ~payload:(string_of_int key))
+  done;
+  for i = 0 to (n / 2) - 1 do
+    ignore (Btree.delete t ~key:(k (i * 2)))
+  done;
+  (match Btree.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "count under eviction" (n / 2) (Btree.count t);
+  for i = 0 to n - 1 do
+    let expect = if i mod 2 = 0 then None else Some (string_of_int i) in
+    if i mod 37 = 0 || i mod 37 = 1 then
+      Alcotest.(check (option string)) (Fmt.str "probe %d" i) expect
+        (Btree.find t ~key:(k i))
+  done;
+  Alcotest.(check bool) "pages really evicted" true
+    ((Disk.stats d).Io_stats.page_writes > 100)
+
+let suite =
+  [
+    Alcotest.test_case "insert + find (500)" `Quick test_insert_find;
+    Alcotest.test_case "tiny buffer pool stress" `Quick test_tiny_pool_stress;
+    Alcotest.test_case "duplicates and replace" `Quick test_duplicate;
+    Alcotest.test_case "delete half" `Quick test_delete;
+    Alcotest.test_case "random insertion order (1000)" `Quick test_random_order;
+    Alcotest.test_case "cursor ranges" `Quick test_cursor_range;
+    Alcotest.test_case "cursor prefix bounds" `Quick test_cursor_prefix;
+    Alcotest.test_case "cursor survives deletes" `Quick
+      test_cursor_survives_delete;
+    Alcotest.test_case "cursor capture/restore" `Quick
+      test_cursor_capture_restore;
+    Alcotest.test_case "large payloads split" `Quick test_large_payloads;
+    Alcotest.test_case "string key order" `Quick test_string_keys_order;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

@@ -1,0 +1,187 @@
+(* Property tests for the expression layer: codec roundtrips, parameter
+   substitution, analysis invariants. *)
+open Dmx_value
+open Dmx_expr
+
+(* random expression generator over a 4-field record (int, string, int, int) *)
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Expr.Const (Value.int n)) (int_range (-100) 100);
+        map (fun s -> Expr.Const (Value.String s)) (string_size (int_range 0 6));
+        return (Expr.Const Value.Null);
+        map (fun b -> Expr.Const (Value.Bool b)) bool;
+        map (fun i -> Expr.Field i) (int_range 0 3);
+        map (fun i -> Expr.Param i) (int_range 0 2);
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map2 (fun a b -> Expr.And (a, b)) (self (depth - 1)) (self (depth - 1));
+            map2 (fun a b -> Expr.Or (a, b)) (self (depth - 1)) (self (depth - 1));
+            map (fun a -> Expr.Not a) (self (depth - 1));
+            map3
+              (fun c a b -> Expr.Cmp (c, a, b))
+              (oneofl [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ])
+              (self (depth - 1))
+              (self (depth - 1));
+            map (fun a -> Expr.Is_null a) (self (depth - 1));
+            map3
+              (fun op a b -> Expr.Arith (op, a, b))
+              (oneofl [ Expr.Add; Expr.Sub; Expr.Mul ])
+              (self (depth - 1))
+              (self (depth - 1));
+            map2 (fun a p -> Expr.Like (a, p)) (self (depth - 1))
+              (string_size (int_range 0 5));
+            map2
+              (fun a vs -> Expr.In_list (a, vs))
+              (self (depth - 1))
+              (list_size (int_range 0 3) (map Value.int (int_range 0 9)));
+            map3
+              (fun a b c -> Expr.Between (a, b, c))
+              (self (depth - 1))
+              (self (depth - 1))
+              (self (depth - 1));
+            map
+              (fun args -> Expr.Call ("abs", args))
+              (map (fun a -> [ a ]) (self (depth - 1)));
+          ])
+    3
+
+let arb_expr = QCheck.make gen_expr ~print:Expr.to_string
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"expr codec roundtrip" ~count:300 arb_expr (fun e ->
+      Expr.equal e (Expr.decode (Expr.encode e)))
+
+let sample_record = [| Value.int 5; Value.String "abc"; Value.Null; Value.int 9 |]
+let params = [| Value.int 7; Value.String "p"; Value.Null |]
+
+(* evaluating with explicit params = evaluating the substituted expression *)
+let prop_subst_params =
+  QCheck.Test.make ~name:"subst_params preserves evaluation" ~count:300
+    arb_expr (fun e ->
+      let direct =
+        match Eval.eval ~params sample_record e with
+        | v -> Ok v
+        | exception Eval.Error m -> Error m
+      in
+      let substituted =
+        match Eval.eval sample_record (Expr.subst_params params e) with
+        | v -> Ok v
+        | exception Eval.Error m -> Error m
+      in
+      match direct, substituted with
+      | Ok a, Ok b -> Value.equal a b
+      | Error _, Error _ -> true
+      | _ -> false)
+
+(* evaluation is deterministic *)
+let prop_eval_deterministic =
+  QCheck.Test.make ~name:"evaluation is deterministic" ~count:200 arb_expr
+    (fun e ->
+      let run () =
+        match Eval.truth ~params sample_record e with
+        | t -> Some t
+        | exception Eval.Error _ -> None
+      in
+      run () = run ())
+
+(* conjoin . conjuncts is semantically the identity *)
+let prop_conjuncts_conjoin =
+  QCheck.Test.make ~name:"conjoin(conjuncts e) evaluates like e" ~count:200
+    arb_expr (fun e ->
+      match Analyze.conjoin (Analyze.conjuncts e) with
+      | None -> false
+      | Some e' ->
+        let run x =
+          match Eval.truth ~params sample_record x with
+          | t -> Some t
+          | exception Eval.Error _ -> None
+        in
+        run e = run e')
+
+let prop_selectivity_bounded =
+  QCheck.Test.make ~name:"selectivity in [0,1]" ~count:300 arb_expr (fun e ->
+      let s = Analyze.selectivity e in
+      s >= 0.0 && s <= 1.0)
+
+(* fields_used is sound: evaluation touches only listed fields *)
+let prop_fields_used_sound =
+  QCheck.Test.make ~name:"fields_used covers evaluation" ~count:200 arb_expr
+    (fun e ->
+      let used = Expr.fields_used e in
+      (* poison unused fields; evaluation outcome must not change *)
+      let poisoned =
+        Array.mapi
+          (fun i v -> if List.mem i used then v else Value.String "POISON")
+          sample_record
+      in
+      let run r =
+        match Eval.truth ~params r e with
+        | t -> Fmt.str "%a" Eval.pp_truth t
+        | exception Eval.Error _ -> "error"
+      in
+      run sample_record = run poisoned)
+
+(* NOT flips truth and preserves UNKNOWN *)
+let prop_not_involution =
+  QCheck.Test.make ~name:"NOT is an involution on truth" ~count:200 arb_expr
+    (fun e ->
+      let t x =
+        match Eval.truth ~params sample_record x with
+        | v -> Some v
+        | exception Eval.Error _ -> None
+      in
+      match t e, t (Expr.Not (Expr.Not e)) with
+      | Some a, Some b -> a = b
+      | None, None -> true
+      | _ -> false)
+
+(* the predicate parser never crashes: any input yields Ok or Error *)
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser is total" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 40) Gen.printable)
+    (fun src ->
+      let schema = Test_util.emp_schema in
+      match Parse.parse schema src with
+      | Ok _ | Error _ -> true)
+
+(* parsed expressions survive the codec *)
+let prop_parse_then_codec =
+  QCheck.Test.make ~name:"parse -> codec roundtrip" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          oneofl
+            [
+              "id = 7"; "salary > 100 AND dept = 'eng'";
+              "name LIKE 'a%' OR id IN (1,2,3)";
+              "salary BETWEEN 1 AND 9 AND NOT (id IS NULL)";
+              "abs(salary) - 3 * id >= ?0";
+              "lower(name) = 'x' AND (id = 1 OR id = 2)";
+            ]))
+    (fun src ->
+      match Parse.parse Test_util.emp_schema src with
+      | Error _ -> false
+      | Ok e -> Expr.equal e (Expr.decode (Expr.encode e)))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_parser_total;
+    QCheck_alcotest.to_alcotest prop_parse_then_codec;
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_subst_params;
+    QCheck_alcotest.to_alcotest prop_eval_deterministic;
+    QCheck_alcotest.to_alcotest prop_conjuncts_conjoin;
+    QCheck_alcotest.to_alcotest prop_selectivity_bounded;
+    QCheck_alcotest.to_alcotest prop_fields_used_sound;
+    QCheck_alcotest.to_alcotest prop_not_involution;
+  ]

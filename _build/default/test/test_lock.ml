@@ -1,0 +1,172 @@
+open Dmx_lock
+module LT = Lock_table
+module LM = Lock_mode
+
+let rel = LT.Relation 1
+let rec_a = LT.Record (1, "a")
+
+let test_mode_matrix () =
+  let compat = LM.compatible in
+  (* the classic multi-granularity matrix *)
+  Alcotest.(check bool) "IS/IS" true (compat LM.IS LM.IS);
+  Alcotest.(check bool) "IS/IX" true (compat LM.IS LM.IX);
+  Alcotest.(check bool) "IS/S" true (compat LM.IS LM.S);
+  Alcotest.(check bool) "IS/SIX" true (compat LM.IS LM.SIX);
+  Alcotest.(check bool) "IS/X" false (compat LM.IS LM.X);
+  Alcotest.(check bool) "IX/IX" true (compat LM.IX LM.IX);
+  Alcotest.(check bool) "IX/S" false (compat LM.IX LM.S);
+  Alcotest.(check bool) "IX/SIX" false (compat LM.IX LM.SIX);
+  Alcotest.(check bool) "S/S" true (compat LM.S LM.S);
+  Alcotest.(check bool) "S/SIX" false (compat LM.S LM.SIX);
+  Alcotest.(check bool) "SIX/SIX" false (compat LM.SIX LM.SIX);
+  Alcotest.(check bool) "X/X" false (compat LM.X LM.X);
+  (* symmetry *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "symmetric" (compat a b) (compat b a))
+        [ LM.IS; LM.IX; LM.S; LM.SIX; LM.X ])
+    [ LM.IS; LM.IX; LM.S; LM.SIX; LM.X ]
+
+let test_sup_lattice () =
+  Alcotest.(check bool) "S+IX=SIX" true (LM.sup LM.S LM.IX = LM.SIX);
+  Alcotest.(check bool) "IS+S=S" true (LM.sup LM.IS LM.S = LM.S);
+  Alcotest.(check bool) "anything+X=X" true (LM.sup LM.IS LM.X = LM.X);
+  Alcotest.(check bool) "leq refl" true (LM.leq LM.S LM.S);
+  Alcotest.(check bool) "IS leq X" true (LM.leq LM.IS LM.X);
+  Alcotest.(check bool) "X not leq S" false (LM.leq LM.X LM.S)
+
+let test_grant_conflict () =
+  let t = LT.create () in
+  Alcotest.(check bool) "t1 S" true (LT.acquire t ~txid:1 ~mode:LM.S rel = LT.Granted);
+  Alcotest.(check bool) "t2 S shares" true
+    (LT.acquire t ~txid:2 ~mode:LM.S rel = LT.Granted);
+  (match LT.acquire t ~txid:3 ~mode:LM.X rel with
+  | LT.Would_block holders ->
+    Alcotest.(check (list int)) "blockers" [ 1; 2 ] (List.sort compare holders)
+  | LT.Granted -> Alcotest.fail "X granted over S");
+  (* reacquiring a held lock is free *)
+  Alcotest.(check bool) "re-grant" true
+    (LT.acquire t ~txid:1 ~mode:LM.S rel = LT.Granted)
+
+let test_upgrade () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~txid:1 ~mode:LM.S rel);
+  (* upgrade S->X with no other holders: granted, mode is now X *)
+  Alcotest.(check bool) "upgrade alone" true
+    (LT.acquire t ~txid:1 ~mode:LM.X rel = LT.Granted);
+  Alcotest.(check bool) "holds X" true (LT.holds t ~txid:1 rel = Some LM.X);
+  (* a second holder blocks the upgrade *)
+  let t = LT.create () in
+  ignore (LT.acquire t ~txid:1 ~mode:LM.S rel);
+  ignore (LT.acquire t ~txid:2 ~mode:LM.S rel);
+  (match LT.acquire t ~txid:1 ~mode:LM.X rel with
+  | LT.Would_block [ 2 ] -> ()
+  | _ -> Alcotest.fail "upgrade should block on the other holder")
+
+let test_release_wakes_fifo () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~txid:1 ~mode:LM.X rel);
+  ignore (LT.enqueue t ~txid:2 ~mode:LM.S rel);
+  ignore (LT.enqueue t ~txid:3 ~mode:LM.S rel);
+  Alcotest.(check bool) "2 waiting" false (LT.is_granted t ~txid:2 rel);
+  LT.release_all t 1;
+  (* both S waiters are compatible: granted together *)
+  Alcotest.(check bool) "2 granted" true (LT.is_granted t ~txid:2 rel);
+  Alcotest.(check bool) "3 granted" true (LT.is_granted t ~txid:3 rel)
+
+let test_fifo_no_starvation () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~txid:1 ~mode:LM.S rel);
+  (* X waits; a later S must NOT jump the queue *)
+  ignore (LT.enqueue t ~txid:2 ~mode:LM.X rel);
+  ignore (LT.enqueue t ~txid:3 ~mode:LM.S rel);
+  LT.release_all t 1;
+  Alcotest.(check bool) "X granted first" true (LT.is_granted t ~txid:2 rel);
+  Alcotest.(check bool) "S still waits" false (LT.is_granted t ~txid:3 rel);
+  LT.release_all t 2;
+  Alcotest.(check bool) "then S" true (LT.is_granted t ~txid:3 rel)
+
+let test_record_vs_relation () =
+  let t = LT.create () in
+  (* record locks under intention locks coexist *)
+  ignore (LT.acquire t ~txid:1 ~mode:LM.IX rel);
+  ignore (LT.acquire t ~txid:1 ~mode:LM.X rec_a);
+  Alcotest.(check bool) "t2 IX on rel" true
+    (LT.acquire t ~txid:2 ~mode:LM.IX rel = LT.Granted);
+  (match LT.acquire t ~txid:2 ~mode:LM.X rec_a with
+  | LT.Would_block [ 1 ] -> ()
+  | _ -> Alcotest.fail "record conflict missed");
+  Alcotest.(check bool) "other record free" true
+    (LT.acquire t ~txid:2 ~mode:LM.X (LT.Record (1, "b")) = LT.Granted)
+
+let test_deadlock_detection () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~txid:1 ~mode:LM.X rec_a);
+  ignore (LT.acquire t ~txid:2 ~mode:LM.X (LT.Record (1, "b")));
+  ignore (LT.enqueue t ~txid:1 ~mode:LM.X (LT.Record (1, "b")));
+  Alcotest.(check (option int)) "no cycle yet" None (Deadlock.detect t);
+  ignore (LT.enqueue t ~txid:2 ~mode:LM.X rec_a);
+  (match Deadlock.detect t with
+  | Some victim -> Alcotest.(check int) "youngest is victim" 2 victim
+  | None -> Alcotest.fail "deadlock missed");
+  (* aborting the victim clears the cycle *)
+  LT.release_all t 2;
+  Alcotest.(check (option int)) "cycle gone" None (Deadlock.detect t);
+  Alcotest.(check bool) "t1 now granted" true (LT.is_granted t ~txid:1 (LT.Record (1, "b")))
+
+let test_three_way_deadlock () =
+  let t = LT.create () in
+  let r i = LT.Record (1, string_of_int i) in
+  ignore (LT.acquire t ~txid:1 ~mode:LM.X (r 1));
+  ignore (LT.acquire t ~txid:2 ~mode:LM.X (r 2));
+  ignore (LT.acquire t ~txid:3 ~mode:LM.X (r 3));
+  ignore (LT.enqueue t ~txid:1 ~mode:LM.X (r 2));
+  ignore (LT.enqueue t ~txid:2 ~mode:LM.X (r 3));
+  Alcotest.(check (option int)) "no cycle" None (Deadlock.detect t);
+  ignore (LT.enqueue t ~txid:3 ~mode:LM.X (r 1));
+  match Deadlock.detect t with
+  | Some v -> Alcotest.(check int) "victim" 3 v
+  | None -> Alcotest.fail "3-way deadlock missed"
+
+let test_external_edges () =
+  (* "all lock controllers must be able to participate in ... system-wide
+     deadlock detection": an extension-owned controller contributes edges *)
+  let t = LT.create () in
+  ignore (LT.acquire t ~txid:1 ~mode:LM.X rec_a);
+  ignore (LT.enqueue t ~txid:2 ~mode:LM.X rec_a);
+  (* extension reports: tx1 waits for tx2 inside its own controller *)
+  LT.add_external_edges_hook t (fun () -> [ (1, 2) ]);
+  match Deadlock.detect t with
+  | Some v -> Alcotest.(check int) "victim across controllers" 2 v
+  | None -> Alcotest.fail "cross-controller deadlock missed"
+
+let test_cancel_waits () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~txid:1 ~mode:LM.X rel);
+  ignore (LT.enqueue t ~txid:2 ~mode:LM.S rel);
+  LT.cancel_waits t 2;
+  Alcotest.(check int) "no edges" 0 (List.length (LT.waits_for_edges t));
+  LT.release_all t 1;
+  Alcotest.(check bool) "cancelled waiter not granted" false
+    (LT.is_granted t ~txid:2 rel)
+
+let suite =
+  [
+    Alcotest.test_case "compatibility matrix" `Quick test_mode_matrix;
+    Alcotest.test_case "sup lattice" `Quick test_sup_lattice;
+    Alcotest.test_case "grant and conflict" `Quick test_grant_conflict;
+    Alcotest.test_case "mode upgrade" `Quick test_upgrade;
+    Alcotest.test_case "release wakes compatible FIFO" `Quick
+      test_release_wakes_fifo;
+    Alcotest.test_case "FIFO prevents starvation" `Quick test_fifo_no_starvation;
+    Alcotest.test_case "record vs relation granularity" `Quick
+      test_record_vs_relation;
+    Alcotest.test_case "deadlock detection + victim" `Quick
+      test_deadlock_detection;
+    Alcotest.test_case "three-way deadlock" `Quick test_three_way_deadlock;
+    Alcotest.test_case "extension lock controllers join detection" `Quick
+      test_external_edges;
+    Alcotest.test_case "cancel waits" `Quick test_cancel_waits;
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "dmx"
+    [
+      ("value", Test_value.suite);
+      ("expr", Test_expr.suite);
+      ("expr-prop", Test_expr_prop.suite);
+      ("page", Test_page.suite);
+      ("btree", Test_btree.suite);
+      ("rtree", Test_rtree.suite);
+      ("wal", Test_wal.suite);
+      ("lock", Test_lock.suite);
+      ("txn", Test_txn.suite);
+      ("catalog", Test_catalog.suite);
+      ("smethod", Test_smethod.suite);
+      ("attach", Test_attach.suite);
+      ("integration", Test_integration.suite);
+      ("recovery", Test_recovery.suite);
+      ("query", Test_query.suite);
+      ("concurrency", Test_concurrency.suite);
+      ("authz", Test_authz.suite);
+      ("property", Test_property.suite);
+    ]

@@ -1,0 +1,264 @@
+open Dmx_page
+
+let page () =
+  let b = Bytes.make 512 '\xAA' in
+  Slotted.init b;
+  b
+
+let test_slotted_basic () =
+  let p = page () in
+  Alcotest.(check int) "empty" 0 (Slotted.slot_count p);
+  let s0 = Option.get (Slotted.insert p "hello") in
+  let s1 = Option.get (Slotted.insert p "world!") in
+  Alcotest.(check (option string)) "read 0" (Some "hello") (Slotted.read p s0);
+  Alcotest.(check (option string)) "read 1" (Some "world!") (Slotted.read p s1);
+  Alcotest.(check int) "live" 2 (Slotted.live_count p)
+
+let test_slotted_delete_pending () =
+  let p = page () in
+  let s0 = Option.get (Slotted.insert p "aaa") in
+  Alcotest.(check bool) "delete" true (Slotted.delete p s0);
+  Alcotest.(check bool) "double delete" false (Slotted.delete p s0);
+  Alcotest.(check (option string)) "tombstone" None (Slotted.read p s0);
+  (* pending tombstones are not reused *)
+  let s1 = Option.get (Slotted.insert p "bbb") in
+  Alcotest.(check bool) "no reuse while pending" true (s1 <> s0);
+  (* released tombstones are reused *)
+  Slotted.make_reusable p s0;
+  let s2 = Option.get (Slotted.insert p "ccc") in
+  Alcotest.(check int) "reuse released slot" s0 s2
+
+let test_slotted_insert_at () =
+  let p = page () in
+  let s0 = Option.get (Slotted.insert p "payload") in
+  ignore (Slotted.delete p s0);
+  Alcotest.(check bool) "reinstate" true (Slotted.insert_at p s0 "payload");
+  Alcotest.(check (option string)) "back" (Some "payload") (Slotted.read p s0);
+  Alcotest.(check bool) "occupied refuses" false (Slotted.insert_at p s0 "x")
+
+let test_slotted_update () =
+  let p = page () in
+  let s = Option.get (Slotted.insert p "abcdef") in
+  Alcotest.(check bool) "shrink" true (Slotted.update p s "xy");
+  Alcotest.(check (option string)) "after shrink" (Some "xy") (Slotted.read p s);
+  Alcotest.(check bool) "grow" true (Slotted.update p s (String.make 100 'z'));
+  Alcotest.(check (option string))
+    "after grow"
+    (Some (String.make 100 'z'))
+    (Slotted.read p s)
+
+let test_slotted_update_too_big () =
+  let p = page () in
+  let s = Option.get (Slotted.insert p "abc") in
+  let huge = String.make 600 'q' in
+  Alcotest.(check bool) "grow beyond page" false (Slotted.update p s huge);
+  Alcotest.(check (option string)) "original intact" (Some "abc") (Slotted.read p s)
+
+let test_slotted_fill_compact () =
+  let p = page () in
+  (* Fill with records, delete alternate ones, release them, verify space is
+     reclaimed by further inserts. *)
+  let slots = ref [] in
+  (try
+     while true do
+       match Slotted.insert p "0123456789" with
+       | Some s -> slots := s :: !slots
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  let n = List.length !slots in
+  Alcotest.(check bool) "filled several" true (n > 10);
+  List.iteri
+    (fun i s ->
+      if i mod 2 = 0 then begin
+        ignore (Slotted.delete p s);
+        Slotted.make_reusable p s
+      end)
+    !slots;
+  let refills = ref 0 in
+  (try
+     while true do
+       match Slotted.insert p "0123456789" with
+       | Some _ -> incr refills
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check bool)
+    (Fmt.str "reclaimed %d" !refills)
+    true
+    (!refills >= (n / 2) - 1)
+
+let test_disk_mem_roundtrip () =
+  let d = Disk.in_memory ~page_size:256 () in
+  let p1 = Disk.alloc d in
+  let p2 = Disk.alloc d in
+  Alcotest.(check int) "ids" 1 p1;
+  Alcotest.(check int) "ids" 2 p2;
+  let data = Bytes.make 256 'x' in
+  Disk.write d p1 data;
+  Alcotest.(check bytes) "read back" data (Disk.read d p1);
+  Alcotest.(check bool) "fresh zeroed" true
+    (Bytes.for_all (fun c -> c = '\000') (Disk.read d p2));
+  (match Disk.read d 99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of range read accepted");
+  (* the failed read raised before being counted *)
+  Alcotest.(check int) "reads counted" 2 (Disk.stats d).Io_stats.page_reads
+
+let test_disk_file_persistence () =
+  let path = Filename.temp_file "dmx_disk" ".pages" in
+  Sys.remove path;
+  let d = Disk.open_file ~page_size:256 path in
+  let p1 = Disk.alloc d in
+  let data = Bytes.make 256 'y' in
+  Disk.write d p1 data;
+  Disk.sync d;
+  Disk.close d;
+  let d2 = Disk.open_file ~page_size:256 path in
+  Alcotest.(check int) "page count persisted" 1 (Disk.page_count d2);
+  Alcotest.(check bytes) "data persisted" data (Disk.read d2 p1);
+  Disk.close d2;
+  Sys.remove path
+
+let test_buffer_pool_pin_evict () =
+  let d = Disk.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~capacity:2 d in
+  let f1 = Buffer_pool.alloc bp in
+  Bytes.set f1.Buffer_pool.data 0 'a';
+  Buffer_pool.unpin ~dirty:true bp f1;
+  let f2 = Buffer_pool.alloc bp in
+  Buffer_pool.unpin ~dirty:true bp f2;
+  let f3 = Buffer_pool.alloc bp in
+  (* capacity 2: one of the first two was evicted and written back *)
+  Buffer_pool.unpin ~dirty:true bp f3;
+  Alcotest.(check bool) "write-back happened" true
+    ((Disk.stats d).Io_stats.page_writes >= 1);
+  let f1' = Buffer_pool.pin bp f1.Buffer_pool.page_id in
+  Alcotest.(check char) "data survived eviction" 'a'
+    (Bytes.get f1'.Buffer_pool.data 0);
+  Buffer_pool.unpin bp f1'
+
+let test_buffer_pool_all_pinned () =
+  let d = Disk.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~capacity:1 d in
+  let f1 = Buffer_pool.alloc bp in
+  (match Buffer_pool.alloc bp with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "should fail when all frames pinned");
+  Buffer_pool.unpin ~dirty:true bp f1
+
+let test_buffer_pool_flush_hook () =
+  let d = Disk.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~capacity:4 d in
+  let called = ref 0 in
+  Buffer_pool.set_flush_hook bp (fun _ -> incr called);
+  let f = Buffer_pool.alloc bp in
+  Buffer_pool.unpin ~dirty:true ~lsn:42L bp f;
+  Buffer_pool.flush_all bp;
+  Alcotest.(check int) "hook ran for dirty page" 1 !called;
+  Buffer_pool.flush_all bp;
+  Alcotest.(check int) "clean page skipped" 1 !called
+
+let test_drop_cache () =
+  let d = Disk.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~capacity:4 d in
+  let f = Buffer_pool.alloc bp in
+  Bytes.set f.Buffer_pool.data 0 'z';
+  Buffer_pool.unpin ~dirty:true bp f;
+  (* dirty page lost without flush: simulates crash *)
+  Buffer_pool.drop_cache bp;
+  let f' = Buffer_pool.pin bp f.Buffer_pool.page_id in
+  Alcotest.(check char) "unflushed change gone" '\000'
+    (Bytes.get f'.Buffer_pool.data 0);
+  Buffer_pool.unpin bp f'
+
+(* Model property: random insert/delete/update/release sequences against a
+   Hashtbl model; slots stay stable, contents match, space is recovered. *)
+let prop_slotted_model =
+  QCheck.Test.make ~name:"slotted page matches model" ~count:80
+    (QCheck.make
+       QCheck.Gen.(
+         list
+           (oneof
+              [
+                map (fun n -> `Ins (String.make n 'a')) (int_range 0 39);
+                map (fun s -> `Del s) (int_range 0 30);
+                map2
+                  (fun s n -> `Upd (s, String.make n 'b'))
+                  (int_range 0 30) (int_range 0 59);
+                map (fun s -> `Release s) (int_range 0 30);
+              ])))
+    (fun ops ->
+      let p = Bytes.make 512 '\000' in
+      Slotted.init p;
+      let model : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      let pending : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Ins payload -> begin
+            match Slotted.insert p payload with
+            | Some s ->
+              if Hashtbl.mem model s then
+                QCheck.Test.fail_reportf "slot %d reused while live" s;
+              if Hashtbl.mem pending s then
+                QCheck.Test.fail_reportf "slot %d reused while pending" s;
+              Hashtbl.replace model s payload
+            | None -> ()  (* full *)
+          end
+          | `Del s ->
+            let was_live = Hashtbl.mem model s in
+            let deleted = Slotted.delete p s in
+            if deleted <> was_live then
+              QCheck.Test.fail_reportf "delete(%d) = %b but live = %b" s
+                deleted was_live;
+            if was_live then begin
+              Hashtbl.remove model s;
+              Hashtbl.replace pending s ()
+            end
+          | `Upd (s, payload) ->
+            let was_live = Hashtbl.mem model s in
+            let updated = Slotted.update p s payload in
+            if updated then begin
+              if not was_live then
+                QCheck.Test.fail_reportf "update succeeded on dead slot %d" s;
+              Hashtbl.replace model s payload
+            end
+            else if was_live then begin
+              (* growth failure: original payload must be intact *)
+              if Slotted.read p s <> Some (Hashtbl.find model s) then
+                QCheck.Test.fail_report "failed update corrupted the record"
+            end
+          | `Release s ->
+            Slotted.make_reusable p s;
+            Hashtbl.remove pending s)
+        ops;
+      (* final contents agree *)
+      Hashtbl.iter
+        (fun s payload ->
+          if Slotted.read p s <> Some payload then
+            QCheck.Test.fail_reportf "slot %d diverged" s)
+        model;
+      Slotted.live_count p = Hashtbl.length model)
+
+let suite =
+  [
+    Alcotest.test_case "slotted basic" `Quick test_slotted_basic;
+    QCheck_alcotest.to_alcotest prop_slotted_model;
+    Alcotest.test_case "slotted delete / pending reuse" `Quick
+      test_slotted_delete_pending;
+    Alcotest.test_case "slotted insert_at" `Quick test_slotted_insert_at;
+    Alcotest.test_case "slotted update" `Quick test_slotted_update;
+    Alcotest.test_case "slotted oversized update" `Quick
+      test_slotted_update_too_big;
+    Alcotest.test_case "slotted fill + compaction" `Quick
+      test_slotted_fill_compact;
+    Alcotest.test_case "disk memory backend" `Quick test_disk_mem_roundtrip;
+    Alcotest.test_case "disk file persistence" `Quick
+      test_disk_file_persistence;
+    Alcotest.test_case "buffer pool pin/evict" `Quick test_buffer_pool_pin_evict;
+    Alcotest.test_case "buffer pool all pinned" `Quick
+      test_buffer_pool_all_pinned;
+    Alcotest.test_case "buffer pool WAL hook" `Quick test_buffer_pool_flush_hook;
+    Alcotest.test_case "drop cache (crash sim)" `Quick test_drop_cache;
+  ]

@@ -1,0 +1,495 @@
+(* Planner, bound-plan cache and executor. *)
+open Dmx_value
+open Test_util
+module Db = Dmx_db.Db
+module Query = Dmx_query.Query
+module Plan_cache = Dmx_query.Plan_cache
+module Error = Dmx_core.Error
+
+let open_db () =
+  ignore (fresh_services ());  (* ensures registration + resets volatile state *)
+  Db.open_database ()
+
+let seed_employees ?(distinct_depts = 4) db ctx n =
+  let dept_names = [| "eng"; "ops"; "hr"; "sales" |] in
+  let desc =
+    check_ok "create"
+      (Db.create_relation db ctx ~name:"employee" ~schema:emp_schema ())
+  in
+  ignore desc;
+  for i = 1 to n do
+    let dept =
+      if distinct_depts <= 4 then dept_names.(i mod 4)
+      else Fmt.str "d%d" (i mod distinct_depts)
+    in
+    ignore
+      (check_ok "insert"
+         (Db.insert db ctx ~relation:"employee"
+            (emp i (Fmt.str "u%d" i) dept (1000 + i))))
+  done
+
+let test_access_selection () =
+  let db = open_db () in
+  let r =
+    Db.with_txn db (fun ctx ->
+        seed_employees ~distinct_depts:100 db ctx 2000;
+        check_ok "index"
+          (Db.create_attachment db ctx ~relation:"employee"
+             ~attachment_type:"btree_index" ~name:"by_dept"
+             ~attrs:[ ("fields", "dept") ] ());
+        (* selective point query: the index wins *)
+        let q = Query.select ~where:"dept = 'd7'" "employee" in
+        let plan = check_ok "explain" (Db.explain db ctx q) in
+        Alcotest.(check bool)
+          (Fmt.str "picks index: %s" plan)
+          true
+          (String.length plan >= 8 && String.sub plan 0 8 = "index_eq");
+        let rows = check_ok "run" (Db.query db ctx q ()) in
+        Alcotest.(check int) "d7 rows" 20 (List.length rows);
+        List.iter
+          (fun r -> Alcotest.check value_testable "dept" (vs "d7") r.(2))
+          rows;
+        (* no predicate: sequential scan *)
+        let q2 = Query.select "employee" in
+        let plan2 = check_ok "explain2" (Db.explain db ctx q2) in
+        Alcotest.(check bool)
+          (Fmt.str "seq scan: %s" plan2)
+          true
+          (String.sub plan2 0 8 = "seq_scan");
+        Alcotest.(check int) "all rows" 2000
+          (List.length (check_ok "run2" (Db.query db ctx q2 ())));
+        Ok ())
+  in
+  ignore (check_ok "txn" r);
+  Db.close db
+
+let test_hash_beats_btree_for_point () =
+  let db = open_db () in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            seed_employees db ctx 1000;
+            check_ok "btree"
+              (Db.create_attachment db ctx ~relation:"employee"
+                 ~attachment_type:"btree_index" ~name:"bt_id"
+                 ~attrs:[ ("fields", "id") ] ());
+            check_ok "hash"
+              (Db.create_attachment db ctx ~relation:"employee"
+                 ~attachment_type:"hash_index" ~name:"h_id"
+                 ~attrs:[ ("fields", "id"); ("unique", "true") ] ());
+            let q = Query.select ~where:"id = 42" "employee" in
+            let plan = check_ok "explain" (Db.explain db ctx q) in
+            Alcotest.(check bool)
+              (Fmt.str "hash wins: %s" plan)
+              true
+              (Astring_contains.contains plan "hash_index");
+            let rows = check_ok "run" (Db.query db ctx q ()) in
+            Alcotest.(check int) "one row" 1 (List.length rows);
+            (* range query: hash is irrelevant, btree used *)
+            let q2 = Query.select ~where:"id > 990" "employee" in
+            let plan2 = check_ok "explain2" (Db.explain db ctx q2) in
+            Alcotest.(check bool)
+              (Fmt.str "btree for range: %s" plan2)
+              true
+              (Astring_contains.contains plan2 "btree_index");
+            Alcotest.(check int) "range rows" 10
+              (List.length (check_ok "run2" (Db.query db ctx q2 ())));
+            Ok ())));
+  Db.close db
+
+let test_keyed_storage_scan () =
+  let db = open_db () in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            ignore
+              (check_ok "create"
+                 (Db.create_relation db ctx ~name:"kv" ~schema:emp_schema
+                    ~storage_method:"btree" ~attrs:[ ("key", "id") ] ()));
+            for i = 1 to 100 do
+              ignore
+                (check_ok "ins"
+                   (Db.insert db ctx ~relation:"kv" (emp i "x" "d" i)))
+            done;
+            let q = Query.select ~where:"id >= 10 AND id < 20" "kv" in
+            let plan = check_ok "explain" (Db.explain db ctx q) in
+            Alcotest.(check bool)
+              (Fmt.str "keyed: %s" plan)
+              true
+              (Astring_contains.contains plan "keyed_scan");
+            Alcotest.(check int) "rows" 10
+              (List.length (check_ok "run" (Db.query db ctx q ())));
+            Ok ())));
+  Db.close db
+
+let test_spatial_plan () =
+  let db = open_db () in
+  let schema =
+    Schema.make_exn
+      [
+        Schema.column ~nullable:false "id" Value.Tint;
+        Schema.column ~nullable:false "xlo" Value.Tfloat;
+        Schema.column ~nullable:false "ylo" Value.Tfloat;
+        Schema.column ~nullable:false "xhi" Value.Tfloat;
+        Schema.column ~nullable:false "yhi" Value.Tfloat;
+      ]
+  in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            ignore
+              (check_ok "create"
+                 (Db.create_relation db ctx ~name:"parcels" ~schema ()));
+            check_ok "rtree"
+              (Db.create_attachment db ctx ~relation:"parcels"
+                 ~attachment_type:"rtree_index" ~name:"parcel_rt"
+                 ~attrs:[ ("rect", "xlo,ylo,xhi,yhi") ] ());
+            for i = 0 to 2499 do
+              let x = float_of_int (i mod 50) *. 10. in
+              let y = float_of_int (i / 50) *. 10. in
+              ignore
+                (check_ok "ins"
+                   (Db.insert db ctx ~relation:"parcels"
+                      [| vi i; vf x; vf y; vf (x +. 5.); vf (y +. 5.) |]))
+            done;
+            let q =
+              Query.select
+                ~where:"encloses(0.0, 0.0, 28.0, 28.0, xlo, ylo, xhi, yhi)"
+                "parcels"
+            in
+            let plan = check_ok "explain" (Db.explain db ctx q) in
+            Alcotest.(check bool)
+              (Fmt.str "spatial: %s" plan)
+              true
+              (Astring_contains.contains plan "spatial");
+            let rows = check_ok "run" (Db.query db ctx q ()) in
+            (* parcels fully inside [0,28]^2: x,y in {0,10,20}, extent 5 *)
+            Alcotest.(check int) "enclosed parcels" 9 (List.length rows);
+            Ok ())));
+  Db.close db
+
+let test_plan_cache_and_invalidation () =
+  let db = open_db () in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            seed_employees db ctx 50;
+            check_ok "index"
+              (Db.create_attachment db ctx ~relation:"employee"
+                 ~attachment_type:"btree_index" ~name:"by_dept"
+                 ~attrs:[ ("fields", "dept") ] ());
+            Ok ())));
+  Plan_cache.reset_stats db.Db.cache;
+  let q = Query.select ~where:"dept = 'ops'" "employee" in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            ignore (check_ok "run1" (Db.query db ctx q ()));
+            ignore (check_ok "run2" (Db.query db ctx q ()));
+            ignore (check_ok "run3" (Db.query db ctx q ()));
+            Ok ())));
+  let s = Plan_cache.stats db.Db.cache in
+  Alcotest.(check int) "one translation" 1 s.Plan_cache.translations;
+  Alcotest.(check int) "two reuses" 2 s.hits;
+  (* dropping the index bumps the descriptor version: the saved plan is
+     invalid and re-translated automatically at next invocation *)
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            check_ok "drop index"
+              (Db.drop_attachment db ctx ~relation:"employee"
+                 ~attachment_type:"btree_index" ~name:"by_dept");
+            Ok ())));
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            let rows = check_ok "run4" (Db.query db ctx q ()) in
+            Alcotest.(check int) "still correct" 13 (List.length rows);
+            let plan = check_ok "explain" (Db.explain db ctx q) in
+            Alcotest.(check bool)
+              (Fmt.str "fell back to scan: %s" plan)
+              true
+              (String.sub plan 0 8 = "seq_scan");
+            Ok ())));
+  let s = Plan_cache.stats db.Db.cache in
+  Alcotest.(check int) "retranslated" 1 s.Plan_cache.invalidations;
+  Db.close db
+
+let test_params () =
+  let db = open_db () in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            seed_employees db ctx 30;
+            check_ok "index"
+              (Db.create_attachment db ctx ~relation:"employee"
+                 ~attachment_type:"btree_index" ~name:"by_id"
+                 ~attrs:[ ("fields", "id"); ("unique", "true") ] ());
+            Ok ())));
+  Plan_cache.reset_stats db.Db.cache;
+  let q = Query.select ~where:"id = ?0" "employee" in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            let run p =
+              check_ok "run" (Db.query db ctx q ~params:[| vi p |] ())
+            in
+            let r1 = run 7 in
+            Alcotest.(check int) "one row" 1 (List.length r1);
+            Alcotest.check value_testable "id 7" (vi 7) (List.hd r1).(0);
+            let r2 = run 23 in
+            Alcotest.check value_testable "id 23" (vi 23) (List.hd r2).(0);
+            Alcotest.(check int) "no match" 0 (List.length (run 999));
+            Ok ())));
+  let s = Plan_cache.stats db.Db.cache in
+  Alcotest.(check int) "one plan, three runs" 1 s.Plan_cache.translations;
+  Alcotest.(check int) "reused" 2 s.hits;
+  Db.close db
+
+let dept_schema =
+  Schema.make_exn
+    [
+      Schema.column ~nullable:false "name" Value.Tstring;
+      Schema.column "building" Value.Tstring;
+    ]
+
+let seed_join db ctx =
+  ignore
+    (check_ok "dept"
+       (Db.create_relation db ctx ~name:"dept" ~schema:dept_schema ()));
+  List.iter
+    (fun (n, b) ->
+      ignore
+        (check_ok "d" (Db.insert db ctx ~relation:"dept" [| vs n; vs b |])))
+    [ ("eng", "b1"); ("ops", "b2"); ("hr", "b3"); ("sales", "b4") ];
+  seed_employees db ctx 40
+
+let test_nested_loop_join () =
+  let db = open_db () in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            seed_join db ctx;
+            let q =
+              Query.join "employee"
+                ~on:("dept", "dept", "name")
+                ~where:"salary > 1035"
+                ~project:[ "name"; "building" ]
+            in
+            let plan = check_ok "explain" (Db.explain db ctx q) in
+            Alcotest.(check bool)
+              (Fmt.str "nested loop: %s" plan)
+              true
+              (Astring_contains.contains plan "nested_loop");
+            let rows = check_ok "run" (Db.query db ctx q ()) in
+            Alcotest.(check int) "joined rows" 5 (List.length rows);
+            List.iter
+              (fun r -> Alcotest.(check int) "projected" 2 (Array.length r))
+              rows;
+            Ok ())));
+  Db.close db
+
+let test_join_index_join () =
+  let db = open_db () in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            seed_join db ctx;
+            check_ok "ji"
+              (Db.create_attachment db ctx ~relation:"employee"
+                 ~attachment_type:"join_index" ~name:"emp_dept"
+                 ~attrs:
+                   [ ("field", "dept"); ("other", "dept");
+                     ("other_field", "name") ]
+                 ());
+            let q = Query.join "employee" ~on:("dept", "dept", "name") in
+            let plan = check_ok "explain" (Db.explain db ctx q) in
+            Alcotest.(check bool)
+              (Fmt.str "join index: %s" plan)
+              true
+              (Astring_contains.contains plan "join_index");
+            let rows = check_ok "run" (Db.query db ctx q ()) in
+            Alcotest.(check int) "all pairs" 40 (List.length rows);
+            (* same answer as nested loop *)
+            let q2 =
+              Query.join "employee" ~on:("dept", "dept", "name")
+                ~where:"id < 1000000"
+            in
+            let rows2 = check_ok "run2" (Db.query db ctx q2 ()) in
+            Alcotest.(check int) "consistent" (List.length rows)
+              (List.length rows2);
+            Ok ())));
+  Db.close db
+
+let test_authorization () =
+  let db = open_db () in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            seed_employees db ctx 5;
+            Ok ())));
+  Db.set_user db "bob";
+  let q = Query.select "employee" in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            (match Db.query db ctx q () with
+            | Error (Error.Authorization_denied _) -> ()
+            | _ -> Alcotest.fail "bob read without SELECT");
+            (match Db.insert db ctx ~relation:"employee" (emp 99 "x" "y" 1) with
+            | Error (Error.Authorization_denied _) -> ()
+            | _ -> Alcotest.fail "bob wrote without INSERT");
+            Ok ())));
+  Db.set_user db "admin";
+  check_ok "grant"
+    (Db.grant db ~user:"bob" ~privs:[ Dmx_authz.Authz.Select ]
+       ~relation:"employee");
+  Db.set_user db "bob";
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            Alcotest.(check int) "bob reads now" 5
+              (List.length (check_ok "q" (Db.query db ctx q ())));
+            (* still can't create attachments (CONTROL) *)
+            (match
+               Db.create_attachment db ctx ~relation:"employee"
+                 ~attachment_type:"btree_index" ~name:"sneaky"
+                 ~attrs:[ ("fields", "id") ] ()
+             with
+            | Error (Error.Authorization_denied _) -> ()
+            | _ -> Alcotest.fail "bob altered without CONTROL");
+            Ok ())));
+  Db.set_user db "admin";
+  check_ok "revoke"
+    (Db.revoke db ~user:"bob" ~privs:[ Dmx_authz.Authz.Select ]
+       ~relation:"employee");
+  Db.set_user db "bob";
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            (match Db.query db ctx q () with
+            | Error (Error.Authorization_denied _) -> ()
+            | _ -> Alcotest.fail "bob read after revoke");
+            Ok ())));
+  Db.close db
+
+let test_projection_and_predicates () =
+  let db = open_db () in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            seed_employees db ctx 20;
+            let q =
+              Query.select ~where:"salary > 1010 AND dept <> 'hr'"
+                ~project:[ "name"; "salary" ] "employee"
+            in
+            let rows = check_ok "run" (Db.query db ctx q ()) in
+            List.iter
+              (fun r ->
+                Alcotest.(check int) "two cols" 2 (Array.length r);
+                match Value.to_int r.(1) with
+                | Some s -> Alcotest.(check bool) "salary" true (s > 1010L)
+                | None -> Alcotest.fail "bad projection")
+              rows;
+            Ok ())));
+  Db.close db
+
+let test_query_edge_cases () =
+  let db = open_db () in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            seed_employees db ctx 20;
+            check_ok "pk"
+              (Db.create_attachment db ctx ~relation:"employee"
+                 ~attachment_type:"btree_index" ~name:"pk"
+                 ~attrs:[ ("fields", "id"); ("unique", "true") ] ());
+            (* NULL parameter in a point query: no matches, no crash *)
+            let q = Query.select ~where:"id = ?0" "employee" in
+            Alcotest.(check int) "null param" 0
+              (List.length
+                 (check_ok "nullq"
+                    (Db.query db ctx q ~params:[| Value.Null |] ())));
+            (* missing parameter surfaces as a typed error *)
+            (match Db.query db ctx q () with
+            | Error (Error.Internal _) -> ()
+            | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e)
+            | Ok _ -> Alcotest.fail "missing parameter accepted");
+            (* unknown relation *)
+            (match Db.query db ctx (Query.select "phantom") () with
+            | Error (Error.No_such_relation _) -> ()
+            | _ -> Alcotest.fail "phantom relation queried");
+            (* unknown column in predicate *)
+            (match Db.query db ctx (Query.select ~where:"nosuch = 1" "employee") () with
+            | Error (Error.Schema_error _) -> ()
+            | _ -> Alcotest.fail "unknown column accepted");
+            (* unknown column in projection *)
+            (match
+               Db.query db ctx (Query.select ~project:[ "nosuch" ] "employee") ()
+             with
+            | Error (Error.Schema_error _) -> ()
+            | _ -> Alcotest.fail "unknown projection accepted");
+            (* predicate that is always false *)
+            Alcotest.(check int) "contradiction" 0
+              (List.length
+                 (check_ok "f"
+                    (Db.query db ctx
+                       (Query.select ~where:"id = 1 AND id = 2" "employee")
+                       ())));
+            (* division by zero inside a predicate: typed error, not a crash *)
+            (match
+               Db.query db ctx
+                 (Query.select ~where:"salary / 0 = 1" "employee") ()
+             with
+            | Error (Error.Internal _) -> ()
+            | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e)
+            | Ok _ -> Alcotest.fail "division by zero ignored");
+            Ok ())));
+  Db.close db
+
+let test_join_projection_inner_columns () =
+  let db = open_db () in
+  ignore
+    (check_ok "txn"
+       (Db.with_txn db (fun ctx ->
+            seed_join db ctx;
+            (* project a column that exists only on the inner relation, plus
+               one from the outer *)
+            let q =
+              Query.join "employee" ~on:("dept", "dept", "name")
+                ~project:[ "building"; "id" ]
+            in
+            let rows = check_ok "run" (Db.query db ctx q ()) in
+            Alcotest.(check int) "all rows joined" 40 (List.length rows);
+            List.iter
+              (fun r ->
+                Alcotest.(check int) "two columns" 2 (Array.length r);
+                match r.(0) with
+                | Value.String s ->
+                  Alcotest.(check bool) "building value" true
+                    (String.length s = 2 && s.[0] = 'b')
+                | v -> Alcotest.failf "bad building %a" Value.pp v)
+              rows;
+            Ok ())));
+  Db.close db
+
+let suite =
+  [
+    Alcotest.test_case "cost-based access selection" `Quick
+      test_access_selection;
+    Alcotest.test_case "query edge cases" `Quick test_query_edge_cases;
+    Alcotest.test_case "join projecting inner columns" `Quick
+      test_join_projection_inner_columns;
+    Alcotest.test_case "hash vs btree point/range" `Quick
+      test_hash_beats_btree_for_point;
+    Alcotest.test_case "keyed storage scan" `Quick test_keyed_storage_scan;
+    Alcotest.test_case "spatial ENCLOSES plan" `Quick test_spatial_plan;
+    Alcotest.test_case "plan cache + invalidation" `Quick
+      test_plan_cache_and_invalidation;
+    Alcotest.test_case "parameterised plans" `Quick test_params;
+    Alcotest.test_case "nested-loop join" `Quick test_nested_loop_join;
+    Alcotest.test_case "join-index join" `Quick test_join_index_join;
+    Alcotest.test_case "uniform authorization" `Quick test_authorization;
+    Alcotest.test_case "projection + residual predicates" `Quick
+      test_projection_and_predicates;
+  ]

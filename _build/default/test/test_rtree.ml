@@ -1,0 +1,152 @@
+open Dmx_page
+open Dmx_rtree
+
+let make_tree () =
+  let d = Disk.in_memory () in
+  let bp = Buffer_pool.create ~capacity:128 d in
+  Rtree.create bp
+
+let rect x y w h = Rect.make ~xlo:x ~ylo:y ~xhi:(x +. w) ~yhi:(y +. h)
+
+let test_rect_ops () =
+  let a = rect 0. 0. 10. 10. in
+  let b = rect 5. 5. 10. 10. in
+  let c = rect 20. 20. 1. 1. in
+  Alcotest.(check bool) "intersects" true (Rect.intersects a b);
+  Alcotest.(check bool) "disjoint" false (Rect.intersects a c);
+  Alcotest.(check bool) "encloses" true (Rect.encloses a (rect 1. 1. 2. 2.));
+  Alcotest.(check bool) "not encloses" false (Rect.encloses a b);
+  Alcotest.(check (float 0.001)) "area" 100. (Rect.area a);
+  Alcotest.(check (float 0.001)) "union area" 225. (Rect.area (Rect.union a b));
+  (* normalisation *)
+  let flipped = Rect.make ~xlo:10. ~ylo:10. ~xhi:0. ~yhi:0. in
+  Alcotest.(check (float 0.001)) "normalised" 100. (Rect.area flipped);
+  Alcotest.(check bool) "enlargement zero" true
+    (Rect.enlargement a (rect 1. 1. 1. 1.) = 0.)
+
+let test_insert_search () =
+  let t = make_tree () in
+  for i = 0 to 199 do
+    let x = float_of_int (i mod 20) *. 10. in
+    let y = float_of_int (i / 20) *. 10. in
+    Rtree.insert t ~rect:(rect x y 5. 5.) ~payload:(string_of_int i)
+  done;
+  Alcotest.(check int) "count" 200 (Rtree.count t);
+  Alcotest.(check bool) "height grew" true (Rtree.height t > 1);
+  (match Rtree.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* window query *)
+  let hits = Rtree.search_overlapping t (rect 0. 0. 25. 25.) in
+  (* cells with x in {0,10,20}, y in {0,10,20} = 9 *)
+  Alcotest.(check int) "overlap hits" 9 (List.length hits);
+  let enclosed = Rtree.search_enclosed_by t (rect 0. 0. 26. 26.) in
+  Alcotest.(check int) "enclosed" 9 (List.length enclosed);
+  (* enclosing: which data rects enclose a small probe *)
+  let enclosing = Rtree.search_enclosing t (rect 1. 1. 2. 2.) in
+  Alcotest.(check int) "enclosing" 1 (List.length enclosing)
+
+let test_delete () =
+  let t = make_tree () in
+  for i = 0 to 49 do
+    Rtree.insert t
+      ~rect:(rect (float_of_int i) 0. 1. 1.)
+      ~payload:(string_of_int i)
+  done;
+  Alcotest.(check bool) "delete" true
+    (Rtree.delete t ~rect:(rect 7. 0. 1. 1.) ~payload:"7");
+  Alcotest.(check bool) "double delete" false
+    (Rtree.delete t ~rect:(rect 7. 0. 1. 1.) ~payload:"7");
+  Alcotest.(check bool) "wrong payload" false
+    (Rtree.delete t ~rect:(rect 8. 0. 1. 1.) ~payload:"9");
+  Alcotest.(check int) "count" 49 (Rtree.count t);
+  match Rtree.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_duplicate_rects () =
+  let t = make_tree () in
+  (* many entries with identical rectangles, distinct payloads *)
+  for i = 0 to 99 do
+    Rtree.insert t ~rect:(rect 5. 5. 1. 1.) ~payload:(string_of_int i)
+  done;
+  Alcotest.(check int) "all kept" 100 (Rtree.count t);
+  let hits = Rtree.search_enclosed_by t (rect 0. 0. 10. 10.) in
+  Alcotest.(check int) "all found" 100 (List.length hits);
+  Alcotest.(check bool) "delete one" true
+    (Rtree.delete t ~rect:(rect 5. 5. 1. 1.) ~payload:"42");
+  Alcotest.(check int) "one gone" 99 (Rtree.count t)
+
+(* Property: search results match a naive scan over a random set. *)
+let prop_search_matches_naive =
+  QCheck.Test.make ~name:"rtree search = naive filter" ~count:40
+    QCheck.(
+      list_of_size (Gen.int_range 1 120)
+        (quad (float_range 0. 100.) (float_range 0. 100.)
+           (float_range 0.1 20.) (float_range 0.1 20.)))
+    (fun rects ->
+      let t = make_tree () in
+      let entries =
+        List.mapi
+          (fun i (x, y, w, h) ->
+            let r = rect x y w h in
+            Rtree.insert t ~rect:r ~payload:(string_of_int i);
+            (r, string_of_int i))
+          rects
+      in
+      (match Rtree.check_invariants t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      let q = rect 25. 25. 50. 50. in
+      let naive p = List.filter (fun (r, _) -> p r) entries in
+      let sort l = List.sort compare (List.map snd l) in
+      sort (Rtree.search_overlapping t q)
+      = sort (naive (fun r -> Rect.intersects r q))
+      && sort (Rtree.search_enclosed_by t q)
+         = sort (naive (fun r -> Rect.encloses q r))
+      && sort (Rtree.search_enclosing t q)
+         = sort (naive (fun r -> Rect.encloses r q)))
+
+(* Property: insert/delete sequences keep invariants and contents. *)
+let prop_model =
+  QCheck.Test.make ~name:"rtree matches set model" ~count:40
+    QCheck.(
+      list
+        (pair (int_range 0 30)
+           (oneofl [ `Ins; `Del ])))
+    (fun ops ->
+      let t = make_tree () in
+      let module S = Set.Make (Int) in
+      let model = ref S.empty in
+      let rect_of i = rect (float_of_int (i * 3)) (float_of_int (i * 7 mod 50)) 2. 2. in
+      List.iter
+        (fun (i, op) ->
+          match op with
+          | `Ins ->
+            if not (S.mem i !model) then begin
+              Rtree.insert t ~rect:(rect_of i) ~payload:(string_of_int i);
+              model := S.add i !model
+            end
+          | `Del ->
+            let deleted =
+              Rtree.delete t ~rect:(rect_of i) ~payload:(string_of_int i)
+            in
+            if deleted <> S.mem i !model then QCheck.Test.fail_report "delete mismatch";
+            model := S.remove i !model)
+        ops;
+      (match Rtree.check_invariants t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      let contents = ref [] in
+      Rtree.iter t (fun _ p -> contents := int_of_string p :: !contents);
+      List.sort_uniq compare !contents = S.elements !model)
+
+let suite =
+  [
+    Alcotest.test_case "rect operations" `Quick test_rect_ops;
+    Alcotest.test_case "insert + search (200)" `Quick test_insert_search;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "duplicate rectangles" `Quick test_duplicate_rects;
+    QCheck_alcotest.to_alcotest prop_search_matches_naive;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

@@ -1,0 +1,359 @@
+(* Storage-method edge cases exercised directly through the generic
+   interfaces. *)
+open Dmx_value
+open Dmx_core
+open Test_util
+module Ddl = Dmx_ddl.Ddl
+module Relation = Dmx_core.Relation
+
+let big_string n c = String.make n c
+
+let test_heap_grows_pages () =
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  let desc =
+    check_ok "create"
+      (Ddl.create_relation ctx ~name:"t" ~schema:emp_schema
+         ~storage_method:"heap" ())
+  in
+  (* large-ish records force multiple pages *)
+  let keys =
+    List.init 300 (fun i ->
+        check_ok "ins"
+          (Relation.insert ctx desc
+             [| vi i; vs (big_string 100 'x'); vs "d"; vi i |]))
+  in
+  Alcotest.(check int) "count" 300
+    (check_ok "count" (Relation.record_count ctx desc));
+  (* keys span multiple pages *)
+  let pages =
+    List.filter_map
+      (function Record_key.Rid { page; _ } -> Some page | _ -> None)
+      keys
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "many pages" true (List.length pages > 3);
+  (* every key fetches its record *)
+  List.iteri
+    (fun i key ->
+      match check_ok "fetch" (Relation.fetch ctx desc key ()) with
+      | Some r -> Alcotest.check value_testable "id" (vi i) r.(0)
+      | None -> Alcotest.failf "record %d lost" i)
+    keys;
+  Services.commit services ctx
+
+let test_heap_update_relocates () =
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  let desc =
+    check_ok "create"
+      (Ddl.create_relation ctx ~name:"t" ~schema:emp_schema
+         ~storage_method:"heap" ())
+  in
+  (* fill the first page almost completely so a grown record must move *)
+  let key0 =
+    check_ok "ins" (Relation.insert ctx desc [| vi 0; vs "small"; vs "d"; vi 0 |])
+  in
+  for i = 1 to 30 do
+    ignore
+      (check_ok "fill"
+         (Relation.insert ctx desc
+            [| vi i; vs (big_string 120 'f'); vs "d"; vi i |]))
+  done;
+  let new_key =
+    check_ok "grow"
+      (Relation.update ctx desc key0
+         [| vi 0; vs (big_string 600 'G'); vs "d"; vi 0 |])
+  in
+  (* whether it moved or not, old key resolves to nothing if key changed *)
+  (match check_ok "fetch new" (Relation.fetch ctx desc new_key ()) with
+  | Some r -> Alcotest.(check int) "grown" 600
+      (String.length (Option.get (Value.to_string_opt r.(1))))
+  | None -> Alcotest.fail "updated record lost");
+  if not (Record_key.equal key0 new_key) then begin
+    match check_ok "fetch old" (Relation.fetch ctx desc key0 ()) with
+    | None -> ()
+    | Some _ -> Alcotest.fail "old key still resolves after relocation"
+  end;
+  Alcotest.(check int) "still 31 records" 31
+    (check_ok "count" (Relation.record_count ctx desc));
+  Services.commit services ctx
+
+let test_heap_under_tiny_pool_file_backed () =
+  (* evictions + reloads through a 8-frame pool against a real file *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "dmx_tiny_%d_%f" (Unix.getpid ()) (Unix.gettimeofday ()))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      ignore (Lazy.force registered);
+      let services = Dmx_core.Services.setup ~dir ~pool_capacity:8 () in
+      let ctx = Services.begin_txn services in
+      let desc =
+        check_ok "create"
+          (Ddl.create_relation ctx ~name:"t" ~schema:emp_schema
+             ~storage_method:"heap" ())
+      in
+      let keys =
+        List.init 500 (fun i ->
+            check_ok "ins"
+              (Relation.insert ctx desc
+                 [| vi i; vs (big_string 80 'y'); vs "d"; vi i |]))
+      in
+      (* random access pattern forces evict + reread *)
+      List.iteri
+        (fun i key ->
+          if i mod 7 = 0 then
+            match check_ok "fetch" (Relation.fetch ctx desc key ()) with
+            | Some r -> Alcotest.check value_testable "id" (vi i) r.(0)
+            | None -> Alcotest.failf "record %d lost under eviction" i)
+        keys;
+      Services.commit services ctx;
+      let io = Services.io_stats services in
+      Alcotest.(check bool) "evictions wrote pages" true
+        (io.Dmx_page.Io_stats.page_writes > 8);
+      Services.close services)
+
+let test_temp_unlogged_semantics () =
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  let desc =
+    check_ok "create"
+      (Ddl.create_relation ctx ~name:"scratch" ~schema:emp_schema
+         ~storage_method:"temp" ())
+  in
+  ignore (check_ok "ins" (Relation.insert ctx desc (emp 1 "a" "d" 1)));
+  Services.commit services ctx;
+  (* writes in an aborted transaction persist: temp is unlogged by design *)
+  let ctx = Services.begin_txn services in
+  let desc = check_ok "find" (Ddl.find_relation ctx "scratch") in
+  ignore (check_ok "ins2" (Relation.insert ctx desc (emp 2 "b" "d" 2)));
+  Services.abort services ctx;
+  let ctx = Services.begin_txn services in
+  let desc = check_ok "find" (Ddl.find_relation ctx "scratch") in
+  Alcotest.(check int) "abort did not undo temp writes" 2
+    (count_records ctx desc);
+  Services.commit services ctx
+
+let test_readonly_overflow_pages () =
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  let desc =
+    check_ok "create"
+      (Ddl.create_relation ctx ~name:"pub" ~schema:emp_schema
+         ~storage_method:"readonly" ())
+  in
+  for i = 1 to 200 do
+    ignore
+      (check_ok "append"
+         (Relation.insert ctx desc
+            [| vi i; vs (big_string 90 'p'); vs "d"; vi i |]))
+  done;
+  Dmx_smethod.Readonly.seal ctx desc;
+  Alcotest.(check bool) "sealed" true (Dmx_smethod.Readonly.is_sealed desc);
+  Alcotest.(check int) "all published" 200 (count_records ctx desc);
+  Services.commit services ctx
+
+let test_foreign_unreachable_server () =
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  (match
+     Ddl.create_relation ctx ~name:"f" ~schema:emp_schema
+       ~storage_method:"foreign"
+       ~attrs:[ ("server", "no_such_server"); ("relation", "r") ] ()
+   with
+  | Error (Error.Internal _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e)
+  | Ok _ -> Alcotest.fail "unreachable server accepted");
+  Services.abort services ctx
+
+let test_foreign_missing_attrs () =
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  (match
+     Ddl.create_relation ctx ~name:"f" ~schema:emp_schema
+       ~storage_method:"foreign" ~attrs:[ ("server", "x") ] ()
+   with
+  | Error (Error.Ddl_error _) -> ()
+  | _ -> Alcotest.fail "missing required attribute accepted");
+  Services.abort services ctx
+
+let test_btree_org_composite_key () =
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  let schema =
+    Schema.make_exn
+      [
+        Schema.column ~nullable:false "id" Value.Tint;
+        Schema.column "name" Value.Tstring;
+        Schema.column ~nullable:false "dept" Value.Tstring;
+        Schema.column "salary" Value.Tint;
+      ]
+  in
+  let desc =
+    check_ok "create"
+      (Ddl.create_relation ctx ~name:"t" ~schema
+         ~storage_method:"btree" ~attrs:[ ("key", "dept,id") ] ())
+  in
+  List.iter
+    (fun (i, d) ->
+      ignore
+        (check_ok "ins" (Relation.insert ctx desc (emp i "x" d (i * 10)))))
+    [ (2, "eng"); (1, "ops"); (3, "eng"); (1, "eng"); (2, "ops") ];
+  (* prefix scan on the leading key field *)
+  let scan =
+    check_ok "scan"
+      (Relation.scan ctx desc ~lo:(Intf.Incl [| vs "eng" |])
+         ~hi:(Intf.Incl [| vs "eng" |]) ())
+  in
+  let rows = Dmx_core.Scan_help.record_scan_to_list scan |> List.map snd in
+  Alcotest.(check (list int)) "eng ids in key order" [ 1; 2; 3 ]
+    (List.map (fun r -> Int64.to_int (Option.get (Value.to_int r.(0)))) rows);
+  (* null key field refused via NOT NULL requirement *)
+  (match
+     Ddl.create_relation ctx ~name:"bad" ~schema:emp_schema
+       ~storage_method:"btree" ~attrs:[ ("key", "name") ] ()
+   with
+  | Error (Error.Ddl_error _) -> ()
+  | _ -> Alcotest.fail "nullable key field accepted");
+  Services.commit services ctx
+
+let test_create_bad_attrs () =
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  (* unknown attribute rejected by the common validation *)
+  (match
+     Ddl.create_relation ctx ~name:"t" ~schema:emp_schema
+       ~storage_method:"heap" ~attrs:[ ("nosuch", "1") ] ()
+   with
+  | Error (Error.Ddl_error _) -> ()
+  | _ -> Alcotest.fail "unknown attribute accepted");
+  (* unknown storage method *)
+  (match
+     Ddl.create_relation ctx ~name:"t" ~schema:emp_schema
+       ~storage_method:"martian" ()
+   with
+  | Error (Error.Ddl_error _) -> ()
+  | _ -> Alcotest.fail "unknown storage method accepted");
+  Services.abort services ctx
+
+(* "Given a key, a direct-by-key access returns selected data fields from a
+   record in the relation" — ?fields projection across storage methods. *)
+let test_fetch_selected_fields () =
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  List.iter
+    (fun (rel, sm, attrs) ->
+      let desc =
+        check_ok "create"
+          (Ddl.create_relation ctx ~name:rel ~schema:emp_schema
+             ~storage_method:sm ~attrs ())
+      in
+      let key = check_ok "ins" (Relation.insert ctx desc (emp 7 "bob" "eng" 99)) in
+      match
+        check_ok "fetch" (Relation.fetch ctx desc key ~fields:[| 1; 3 |] ())
+      with
+      | Some r ->
+        Alcotest.check record_testable (rel ^ " projected")
+          [| vs "bob"; vi 99 |] r
+      | None -> Alcotest.failf "%s: record missing" rel)
+    [
+      ("h", "heap", []);
+      ("b", "btree", [ ("key", "id") ]);
+      ("m", "memory", []);
+      ("tmp", "temp", []);
+    ];
+  Services.commit services ctx
+
+(* Moderate soak: a mixed workload with two indexes, a check constraint and
+   an aggregate, across several transactions with savepoints and aborts. *)
+let test_soak_mixed_workload () =
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  ignore
+    (check_ok "create"
+       (Ddl.create_relation ctx ~name:"t" ~schema:emp_schema
+          ~storage_method:"heap" ()));
+  check_ok "pk"
+    (Ddl.create_attachment ctx ~relation:"t" ~attachment_type:"btree_index"
+       ~name:"pk" ~attrs:[ ("fields", "id"); ("unique", "true") ] ());
+  check_ok "dept"
+    (Ddl.create_attachment ctx ~relation:"t" ~attachment_type:"hash_index"
+       ~name:"hd" ~attrs:[ ("fields", "dept"); ("buckets", "8") ] ());
+  check_ok "check"
+    (Ddl.create_attachment ctx ~relation:"t" ~attachment_type:"check"
+       ~name:"pos" ~attrs:[ ("predicate", "salary >= 0") ] ());
+  check_ok "agg"
+    (Ddl.create_attachment ctx ~relation:"t" ~attachment_type:"agg"
+       ~name:"ag" ~attrs:[ ("group", "dept"); ("sum", "salary") ] ());
+  Services.commit services ctx;
+  let live = Hashtbl.create 64 in
+  for round = 1 to 8 do
+    let ctx = Services.begin_txn services in
+    let desc = check_ok "find" (Ddl.find_relation ctx "t") in
+    let doomed = round mod 3 = 0 in
+    let snapshot = Hashtbl.copy live in
+    for i = 1 to 250 do
+      let id = (round * 1000) + i in
+      match
+        Relation.insert ctx desc
+          (emp id (Fmt.str "u%d" id) (Fmt.str "d%d" (i mod 7)) (i mod 100))
+      with
+      | Ok key -> if not doomed then Hashtbl.replace live id key else ()
+      | Error e -> Alcotest.failf "soak insert: %s" (Dmx_core.Error.to_string e)
+    done;
+    (* delete a few from earlier rounds *)
+    Hashtbl.fold (fun id key acc -> (id, key) :: acc) live []
+    |> List.filteri (fun i _ -> i mod 17 = 0)
+    |> List.iter (fun (id, key) ->
+           match Relation.delete ctx desc key with
+           | Ok _ -> if not doomed then Hashtbl.remove live id
+           | Error (Dmx_core.Error.Key_not_found _) -> ()
+           | Error e -> Alcotest.failf "soak delete: %s" (Dmx_core.Error.to_string e));
+    if doomed then begin
+      Services.abort services ctx;
+      Hashtbl.reset live;
+      Hashtbl.iter (fun k v -> Hashtbl.replace live k v) snapshot
+    end
+    else Services.commit services ctx
+  done;
+  (* final consistency: relation count = model; aggregate count = model *)
+  let ctx = Services.begin_txn services in
+  let desc = check_ok "find" (Ddl.find_relation ctx "t") in
+  Alcotest.(check int) "soak count" (Hashtbl.length live)
+    (count_records ctx desc);
+  let agg_total =
+    List.fold_left
+      (fun acc g -> acc + g.Dmx_attach.Agg.count)
+      0
+      (Dmx_attach.Agg.groups ctx desc ~name:"ag")
+  in
+  Alcotest.(check int) "aggregate agrees" (Hashtbl.length live) agg_total;
+  Services.commit services ctx
+
+let suite =
+  [
+    Alcotest.test_case "heap grows across pages" `Quick test_heap_grows_pages;
+    Alcotest.test_case "fetch selected fields" `Quick
+      test_fetch_selected_fields;
+    Alcotest.test_case "soak: mixed workload" `Quick test_soak_mixed_workload;
+    Alcotest.test_case "heap update relocation" `Quick
+      test_heap_update_relocates;
+    Alcotest.test_case "heap under tiny pool (file-backed)" `Quick
+      test_heap_under_tiny_pool_file_backed;
+    Alcotest.test_case "temp is unlogged" `Quick test_temp_unlogged_semantics;
+    Alcotest.test_case "readonly overflow pages + seal" `Quick
+      test_readonly_overflow_pages;
+    Alcotest.test_case "foreign: unreachable server" `Quick
+      test_foreign_unreachable_server;
+    Alcotest.test_case "foreign: missing attributes" `Quick
+      test_foreign_missing_attrs;
+    Alcotest.test_case "btree-organised composite key" `Quick
+      test_btree_org_composite_key;
+    Alcotest.test_case "DDL attribute validation" `Quick test_create_bad_attrs;
+  ]

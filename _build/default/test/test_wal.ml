@@ -1,0 +1,193 @@
+open Dmx_wal
+module LR = Log_record
+
+let ext ?(rel = 1) data =
+  LR.Ext { source = LR.Smethod 0; rel_id = rel; data }
+
+let test_append_read () =
+  let w = Wal.in_memory () in
+  let l1 = Wal.append w 1 LR.Begin in
+  let l2 = Wal.append w 1 (ext "op1") in
+  let l3 = Wal.append w 2 LR.Begin in
+  Alcotest.(check bool) "lsns ascend" true (l1 < l2 && l2 < l3);
+  Alcotest.(check int) "count" 3 (Wal.record_count w);
+  let r = Wal.read w l2 in
+  Alcotest.(check int) "txid" 1 r.LR.txid;
+  (match r.kind with
+  | LR.Ext { data = "op1"; _ } -> ()
+  | _ -> Alcotest.fail "wrong record");
+  match Wal.read w 99L with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad lsn accepted"
+
+let test_txn_chains () =
+  let w = Wal.in_memory () in
+  ignore (Wal.append w 1 LR.Begin);
+  ignore (Wal.append w 2 LR.Begin);
+  ignore (Wal.append w 1 (ext "a"));
+  ignore (Wal.append w 2 (ext "b"));
+  ignore (Wal.append w 1 (ext "c"));
+  let chain = Wal.records_of_txn w 1 in
+  Alcotest.(check int) "chain length" 3 (List.length chain);
+  (* newest first *)
+  (match (List.hd chain).LR.kind with
+  | LR.Ext { data = "c"; _ } -> ()
+  | _ -> Alcotest.fail "chain order");
+  Alcotest.(check int) "other chain" 2 (List.length (Wal.records_of_txn w 2));
+  Alcotest.(check int) "unknown txn" 0 (List.length (Wal.records_of_txn w 9))
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "dmx_wal" ".log" in
+  Sys.remove path;
+  let w = Wal.open_file path in
+  ignore (Wal.append w 1 LR.Begin);
+  ignore (Wal.append w 1 (ext "hello"));
+  ignore (Wal.append w 1 (LR.Savepoint "sp"));
+  ignore (Wal.append w 1 (LR.Clr { undone = 2L }));
+  ignore (Wal.append w 1 LR.Commit);
+  Wal.flush w;
+  Wal.close w;
+  let w2 = Wal.open_file path in
+  Alcotest.(check int) "replayed" 5 (Wal.record_count w2);
+  let kinds = Wal.fold w2 ~init:[] ~f:(fun acc r -> r.LR.kind :: acc) in
+  (match List.rev kinds with
+  | [ LR.Begin; LR.Ext _; LR.Savepoint "sp"; LR.Clr { undone = 2L }; LR.Commit ] ->
+    ()
+  | _ -> Alcotest.fail "kinds mismatch");
+  Wal.close w2;
+  Sys.remove path
+
+let test_unflushed_lost () =
+  let path = Filename.temp_file "dmx_wal" ".log" in
+  Sys.remove path;
+  let w = Wal.open_file path in
+  ignore (Wal.append w 1 LR.Begin);
+  Wal.flush w;
+  ignore (Wal.append w 1 (ext "never flushed"));
+  Alcotest.(check bool) "flushed lags" true (Wal.flushed_lsn w < Wal.last_lsn w);
+  Wal.abandon w;
+  let w2 = Wal.open_file path in
+  Alcotest.(check int) "only the flushed record" 1 (Wal.record_count w2);
+  Wal.close w2;
+  Sys.remove path
+
+let test_torn_frame_truncated () =
+  let path = Filename.temp_file "dmx_wal" ".log" in
+  Sys.remove path;
+  let w = Wal.open_file path in
+  ignore (Wal.append w 1 LR.Begin);
+  ignore (Wal.append w 1 (ext "aaaa"));
+  Wal.flush w;
+  Wal.simulate_torn_tail w ~bytes_to_truncate:2;
+  Wal.abandon w;
+  let w2 = Wal.open_file path in
+  Alcotest.(check int) "torn frame dropped" 1 (Wal.record_count w2);
+  (* and the log can keep growing past the truncation *)
+  ignore (Wal.append w2 2 LR.Begin);
+  Wal.flush w2;
+  Wal.close w2;
+  let w3 = Wal.open_file path in
+  Alcotest.(check int) "appended after truncation" 2 (Wal.record_count w3);
+  Wal.close w3;
+  Sys.remove path
+
+let test_recovery_analysis () =
+  let w = Wal.in_memory () in
+  (* tx1 commits, tx2 aborts cleanly, tx3 is a loser, tx4 crashed mid-abort *)
+  ignore (Wal.append w 1 LR.Begin);
+  ignore (Wal.append w 1 (ext "1a"));
+  ignore (Wal.append w 1 LR.Commit);
+  ignore (Wal.append w 2 LR.Begin);
+  ignore (Wal.append w 2 (ext "2a"));
+  ignore (Wal.append w 2 (LR.Clr { undone = 5L }));
+  ignore (Wal.append w 2 LR.Abort);
+  ignore (Wal.append w 3 LR.Begin);
+  ignore (Wal.append w 3 (ext "3a"));
+  ignore (Wal.append w 3 (ext "3b"));
+  let lsn_4a = ref 0L in
+  ignore (Wal.append w 4 LR.Begin);
+  lsn_4a := Wal.append w 4 (ext "4a");
+  ignore (Wal.append w 4 (ext "4b"));
+  (* crash interrupted tx4's rollback after undoing 4b *)
+  let lsn_4b = Wal.last_lsn w in
+  ignore (Wal.append w 4 (LR.Clr { undone = lsn_4b }));
+  let a = Recovery.analyze w in
+  Alcotest.(check (list int)) "winners" [ 1 ] a.Recovery.winners;
+  Alcotest.(check (list int)) "losers" [ 3; 4 ] (List.sort compare a.losers);
+  let work_of tx =
+    List.assoc tx a.undo_work
+    |> List.map (fun (r : LR.t) ->
+           match r.kind with LR.Ext { data; _ } -> data | _ -> "?")
+  in
+  Alcotest.(check (list string)) "tx3 undo newest-first" [ "3b"; "3a" ]
+    (work_of 3);
+  (* 4b was already compensated: only 4a remains *)
+  Alcotest.(check (list string)) "tx4 skips compensated" [ "4a" ] (work_of 4)
+
+let test_log_record_codec () =
+  let roundtrip kind =
+    let e = Dmx_value.Codec.Enc.create () in
+    LR.encode e 7 kind;
+    let txid, kind' =
+      LR.decode (Dmx_value.Codec.Dec.of_string (Dmx_value.Codec.Enc.to_string e))
+    in
+    Alcotest.(check int) "txid" 7 txid;
+    Alcotest.(check bool) (Fmt.str "%a" LR.pp_kind kind) true (kind = kind')
+  in
+  roundtrip LR.Begin;
+  roundtrip LR.Commit;
+  roundtrip LR.Abort;
+  roundtrip (LR.Savepoint "x");
+  roundtrip (ext "payload \000 with nul");
+  roundtrip (LR.Ext { source = LR.Attachment 3; rel_id = 9; data = "" });
+  roundtrip (LR.Ext { source = LR.Catalog; rel_id = 0; data = "c" });
+  roundtrip (LR.Clr { undone = 123456789L })
+
+(* Property: any torn tail leaves a readable prefix of the log. *)
+let prop_torn_tail_prefix =
+  QCheck.Test.make ~name:"any torn tail yields a clean prefix" ~count:40
+    QCheck.(pair (int_range 1 20) (int_range 0 400))
+    (fun (n_records, cut) ->
+      let path =
+        Filename.temp_file
+          (Fmt.str "dmx_torn_%d" (Unix.getpid ()))
+          ".log"
+      in
+      Sys.remove path;
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          let w = Wal.open_file path in
+          for i = 1 to n_records do
+            ignore (Wal.append w 1 (ext (Fmt.str "op%03d" i)))
+          done;
+          Wal.flush w;
+          Wal.simulate_torn_tail w ~bytes_to_truncate:cut;
+          Wal.abandon w;
+          let w2 = Wal.open_file path in
+          let count = Wal.record_count w2 in
+          (* a prefix: 0..n records, and every surviving record intact and
+             in order *)
+          let good = ref (count <= n_records) in
+          let i = ref 0 in
+          Wal.iter w2 (fun r ->
+              incr i;
+              match r.LR.kind with
+              | LR.Ext { data; _ } ->
+                if data <> Fmt.str "op%03d" !i then good := false
+              | _ -> good := false);
+          Wal.close w2;
+          !good))
+
+let suite =
+  [
+    Alcotest.test_case "append and read" `Quick test_append_read;
+    QCheck_alcotest.to_alcotest prop_torn_tail_prefix;
+    Alcotest.test_case "per-transaction chains" `Quick test_txn_chains;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "unflushed records lost on crash" `Quick
+      test_unflushed_lost;
+    Alcotest.test_case "torn frame truncated" `Quick test_torn_frame_truncated;
+    Alcotest.test_case "recovery analysis" `Quick test_recovery_analysis;
+    Alcotest.test_case "log record codec" `Quick test_log_record_codec;
+  ]
