@@ -1,0 +1,40 @@
+(* dmx-lint: static enforcement of the extension-architecture invariants.
+
+   Usage: dmx_lint --root DIR [--baseline FILE] [--update-baseline]
+
+   Exit codes: 0 clean, 1 violations, 2 usage error. *)
+
+let usage () =
+  prerr_endline
+    "usage: dmx_lint --root DIR [--baseline FILE] [--update-baseline]";
+  exit 2
+
+let () =
+  let root = ref "." in
+  let baseline = ref None in
+  let update = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: dir :: rest ->
+      root := dir;
+      parse rest
+    | "--baseline" :: file :: rest ->
+      baseline := Some file;
+      parse rest
+    | "--update-baseline" :: rest ->
+      update := true;
+      parse rest
+    | ("--help" | "-h") :: _ | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !update && !baseline = None then usage ();
+  if not (Sys.file_exists !root && Sys.is_directory !root) then begin
+    Fmt.epr "dmx_lint: --root %s is not a directory@." !root;
+    exit 2
+  end;
+  let config = Lint_driver.default_config ~root:!root in
+  let report =
+    Lint_driver.run ?baseline:!baseline ~update_baseline:!update config
+  in
+  Fmt.pr "%a" Lint_driver.pp_report report;
+  exit (if Lint_driver.ok report then 0 else 1)

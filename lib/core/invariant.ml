@@ -1,0 +1,47 @@
+exception Invariant_violation of string
+
+let override : bool option ref = ref None
+
+let from_env =
+  lazy
+    (match Sys.getenv_opt "DMX_SANITIZE" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+let enabled () =
+  match !override with Some b -> b | None -> Lazy.force from_env
+
+let set_enabled_for_testing b = override := b
+
+let violation fmt =
+  Fmt.kstr (fun s -> raise (Invariant_violation ("DMX_SANITIZE: " ^ s))) fmt
+
+let check_pin_balance ~at bp =
+  if enabled () then
+    match Dmx_page.Buffer_pool.pinned_pages bp with
+    | [] -> ()
+    | leaks ->
+      violation
+        "buffer-pool pin leak detected at %s: %a — every pin must be released \
+         by the operation that took it"
+        at
+        Fmt.(list ~sep:comma (fun ppf (page, pins) -> pf ppf "page %d (%d pin%s)" page pins (if pins = 1 then "" else "s")))
+        leaks
+
+let lsn_observer ~source () =
+  let last = ref Int64.min_int in
+  fun lsn ->
+    if enabled () && lsn <= !last then
+      violation
+        "WAL LSN monotonicity broken in %s: appended LSN %Ld after %Ld — log \
+         records must be appended in strictly increasing order"
+        source lsn !last;
+    last := max !last lsn
+
+let check_frozen_for_dispatch ~op =
+  if enabled () && not (Registry.is_frozen ()) then
+    violation
+      "relation %s dispatched before Registry.freeze — extensions must be \
+       registered and the registry frozen (Services.setup) before any \
+       procedure-vector dispatch"
+      op

@@ -1,0 +1,39 @@
+(** Runtime sanitizer for the extension-architecture invariants.
+
+    The static pass ([dmx-lint], DESIGN.md §7) enforces what is visible in
+    the source; this module checks at run time what is not: buffer-pool pins
+    must balance by transaction end, WAL LSNs must be appended monotonically,
+    and no dispatch may happen before the registry is frozen.
+
+    All checks are gated on [DMX_SANITIZE=1] (or [true]/[yes]/[on]) in the
+    environment and compile down to one branch when disabled, so the hooks
+    stay in production builds. A failed check raises {!Invariant_violation}
+    with a formatted report — deliberately an exception, not an [Error.t]:
+    an invariant violation means the substrate itself is broken and must not
+    be swallowed by extension error handling. *)
+
+exception Invariant_violation of string
+
+val enabled : unit -> bool
+(** True when [DMX_SANITIZE] enables the sanitizer (cached after first read)
+    or a test override is in force. *)
+
+val set_enabled_for_testing : bool option -> unit
+(** [Some b] forces the sanitizer on/off regardless of the environment;
+    [None] returns to the environment setting. Tests only. *)
+
+val check_pin_balance : at:string -> Dmx_page.Buffer_pool.t -> unit
+(** Raise unless every buffer-pool frame is unpinned. Called at transaction
+    boundaries ([Services.commit]/[abort]) — pins are operation-scoped, so a
+    surviving pin is a leak that will eventually wedge eviction. [at] names
+    the boundary for the report. *)
+
+val lsn_observer : source:string -> unit -> Dmx_wal.Log_record.lsn -> unit
+(** A fresh monotonicity monitor for one log: feeding it a non-increasing
+    LSN raises. [Services.setup] installs one per WAL via
+    {!Dmx_wal.Wal.set_append_observer}. *)
+
+val check_frozen_for_dispatch : op:string -> unit
+(** Raise when a relation modification is dispatched through the procedure
+    vectors while the registry is still open for registration — extensions
+    must be bound "at the factory", before the database opens. *)

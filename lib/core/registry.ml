@@ -12,26 +12,35 @@ let sm_count = ref 0
 let at_count = ref 0
 let frozen = ref false
 
-let unregistered _ = failwith "Registry: unregistered extension id"
+let unregistered vec id =
+  failwith
+    (Fmt.str
+       "Registry: dispatch through unregistered slot %d of vector %s — the \
+        extension was linked but never registered in the default factory \
+        (Db.register_defaults)"
+       id vec)
+
+(* Per-vector stub makers, shared by initialisation and reset so a stale
+   entry always reports which vector and id was hit. *)
+let stub_sm_insert id _ _ _ = unregistered "sm_insert" id
+let stub_sm_update id _ _ _ _ = unregistered "sm_update" id
+let stub_sm_delete id _ _ _ = unregistered "sm_delete" id
+let stub_at_on_insert id _ _ ~slot:_ _ _ = unregistered "at_on_insert" id
+
+let stub_at_on_update id _ _ ~slot:_ ~old_key:_ ~new_key:_ ~old_record:_
+    ~new_record:_ =
+  unregistered "at_on_update" id
+
+let stub_at_on_delete id _ _ ~slot:_ _ _ = unregistered "at_on_delete" id
 
 (* Per-operation procedure vectors; entries installed at registration. *)
 module Vec = struct
-  let sm_insert = Array.make max_storage_methods (fun _ _ _ -> unregistered ())
-  let sm_update = Array.make max_storage_methods (fun _ _ _ _ -> unregistered ())
-  let sm_delete = Array.make max_storage_methods (fun _ _ _ -> unregistered ())
-
-  let at_on_insert =
-    Array.make Descriptor.max_attachment_types (fun _ _ ~slot:_ _ _ ->
-        unregistered ())
-
-  let at_on_update =
-    Array.make Descriptor.max_attachment_types
-      (fun _ _ ~slot:_ ~old_key:_ ~new_key:_ ~old_record:_ ~new_record:_ ->
-        unregistered ())
-
-  let at_on_delete =
-    Array.make Descriptor.max_attachment_types (fun _ _ ~slot:_ _ _ ->
-        unregistered ())
+  let sm_insert = Array.init max_storage_methods stub_sm_insert
+  let sm_update = Array.init max_storage_methods stub_sm_update
+  let sm_delete = Array.init max_storage_methods stub_sm_delete
+  let at_on_insert = Array.init Descriptor.max_attachment_types stub_at_on_insert
+  let at_on_update = Array.init Descriptor.max_attachment_types stub_at_on_update
+  let at_on_delete = Array.init Descriptor.max_attachment_types stub_at_on_delete
 end
 
 let check_not_frozen what =
@@ -42,17 +51,23 @@ let check_not_frozen what =
           extensions are bound at the factory"
          what)
 
+(* Duplicate-name scan over the occupied prefix only: ids are assigned
+   densely in registration order, so slots >= count are always None. *)
+let check_unique_name count arr name_of what name =
+  for i = 0 to count - 1 do
+    match arr.(i) with
+    | Some m when name_of m = name ->
+      invalid_arg (Fmt.str "Registry: %s %S already registered" what name)
+    | _ -> ()
+  done
+
 let register_storage_method (module M : Intf.STORAGE_METHOD) =
   check_not_frozen ("storage method " ^ M.name);
   if !sm_count >= max_storage_methods then
     invalid_arg "Registry: storage-method vector full";
-  Array.iteri
-    (fun _ slot ->
-      match slot with
-      | Some (module O : Intf.STORAGE_METHOD) when O.name = M.name ->
-        invalid_arg (Fmt.str "Registry: storage method %S already registered" M.name)
-      | _ -> ())
-    smethods;
+  check_unique_name !sm_count smethods
+    (fun (module O : Intf.STORAGE_METHOD) -> O.name)
+    "storage method" M.name;
   let id = !sm_count in
   incr sm_count;
   smethods.(id) <- Some (module M);
@@ -65,13 +80,9 @@ let register_attachment (module M : Intf.ATTACHMENT) =
   check_not_frozen ("attachment " ^ M.name);
   if !at_count >= Descriptor.max_attachment_types then
     invalid_arg "Registry: attachment vector full";
-  Array.iteri
-    (fun _ slot ->
-      match slot with
-      | Some (module O : Intf.ATTACHMENT) when O.name = M.name ->
-        invalid_arg (Fmt.str "Registry: attachment %S already registered" M.name)
-      | _ -> ())
-    attaches;
+  check_unique_name !at_count attaches
+    (fun (module O : Intf.ATTACHMENT) -> O.name)
+    "attachment" M.name;
   let id = !at_count in
   incr at_count;
   attaches.(id) <- Some (module M);
@@ -89,22 +100,18 @@ let reset_for_testing () =
   at_count := 0;
   Array.fill smethods 0 (Array.length smethods) None;
   Array.fill attaches 0 (Array.length attaches) None;
-  Array.fill Vec.sm_insert 0 (Array.length Vec.sm_insert) (fun _ _ _ ->
-      unregistered ());
-  Array.fill Vec.sm_update 0 (Array.length Vec.sm_update) (fun _ _ _ _ ->
-      unregistered ());
-  Array.fill Vec.sm_delete 0 (Array.length Vec.sm_delete) (fun _ _ _ ->
-      unregistered ());
-  Array.fill Vec.at_on_insert 0
-    (Array.length Vec.at_on_insert)
-    (fun _ _ ~slot:_ _ _ -> unregistered ());
-  Array.fill Vec.at_on_update 0
-    (Array.length Vec.at_on_update)
-    (fun _ _ ~slot:_ ~old_key:_ ~new_key:_ ~old_record:_ ~new_record:_ ->
-      unregistered ());
-  Array.fill Vec.at_on_delete 0
-    (Array.length Vec.at_on_delete)
-    (fun _ _ ~slot:_ _ _ -> unregistered ())
+  Array.iteri (fun i _ -> Vec.sm_insert.(i) <- stub_sm_insert i) Vec.sm_insert;
+  Array.iteri (fun i _ -> Vec.sm_update.(i) <- stub_sm_update i) Vec.sm_update;
+  Array.iteri (fun i _ -> Vec.sm_delete.(i) <- stub_sm_delete i) Vec.sm_delete;
+  Array.iteri
+    (fun i _ -> Vec.at_on_insert.(i) <- stub_at_on_insert i)
+    Vec.at_on_insert;
+  Array.iteri
+    (fun i _ -> Vec.at_on_update.(i) <- stub_at_on_update i)
+    Vec.at_on_update;
+  Array.iteri
+    (fun i _ -> Vec.at_on_delete.(i) <- stub_at_on_delete i)
+    Vec.at_on_delete
 
 let storage_method id =
   match

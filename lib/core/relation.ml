@@ -87,6 +87,7 @@ let validate ctx desc record =
   | Error msg -> Error (Error.Schema_error msg)
 
 let insert ctx desc record =
+  Invariant.check_frozen_for_dispatch ~op:"insert";
   let* () = validate ctx desc record in
   let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
   with_op_savepoint ctx (fun () ->
@@ -100,6 +101,7 @@ let insert ctx desc record =
       Ok key)
 
 let update ctx desc key new_record =
+  Invariant.check_frozen_for_dispatch ~op:"update";
   let* () = validate ctx desc new_record in
   let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
   let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
@@ -124,6 +126,7 @@ let update ctx desc key new_record =
         Ok new_key)
 
 let delete ctx desc key =
+  Invariant.check_frozen_for_dispatch ~op:"delete";
   let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
   let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
   with_op_savepoint ctx (fun () ->

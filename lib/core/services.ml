@@ -27,6 +27,13 @@ let setup ?dir ?(pool_capacity = 256) () =
      the backing store. Extensions are not trusted to thread LSNs through
      every page write, so the hook conservatively hardens the whole log. *)
   Buffer_pool.set_flush_hook bp (fun _lsn -> Wal.flush wal);
+  (* Runtime sanitizer (DMX_SANITIZE=1): every append must carry a strictly
+     increasing LSN. The observer is installed unconditionally and no-ops
+     when the sanitizer is off. *)
+  Wal.set_append_observer wal
+    (Invariant.lsn_observer
+       ~source:(match dir with None -> "wal (in-memory)" | Some d -> "wal " ^ d)
+       ());
   let locks = Dmx_lock.Lock_table.create () in
   let txn_mgr = Dmx_txn.Txn_mgr.create ~wal ~locks () in
   let t = { disk; bp; wal; locks; txn_mgr; catalog; last_recovery = None } in
@@ -46,11 +53,13 @@ let begin_txn t =
 
 let commit t ctx =
   ignore t;
-  Dmx_txn.Txn_mgr.commit ctx.Ctx.txn_mgr ctx.Ctx.txn
+  Dmx_txn.Txn_mgr.commit ctx.Ctx.txn_mgr ctx.Ctx.txn;
+  Invariant.check_pin_balance ~at:"commit" ctx.Ctx.bp
 
 let abort t ctx =
   ignore t;
-  Dmx_txn.Txn_mgr.abort ctx.Ctx.txn_mgr ctx.Ctx.txn
+  Dmx_txn.Txn_mgr.abort ctx.Ctx.txn_mgr ctx.Ctx.txn;
+  Invariant.check_pin_balance ~at:"abort" ctx.Ctx.bp
 
 let savepoint ctx name = Dmx_txn.Txn_mgr.savepoint ctx.Ctx.txn_mgr ctx.Ctx.txn name
 

@@ -127,3 +127,9 @@ let drop_cache t =
   Hashtbl.reset t.frames
 
 let cached_pages t = Hashtbl.length t.frames
+
+let pinned_pages t =
+  Hashtbl.fold
+    (fun id f acc -> if f.pin_count > 0 then (id, f.pin_count) :: acc else acc)
+    t.frames []
+  |> List.sort compare

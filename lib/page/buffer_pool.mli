@@ -55,3 +55,8 @@ val drop_cache : t -> unit
     any frame is still pinned. *)
 
 val cached_pages : t -> int
+
+val pinned_pages : t -> (int * int) list
+(** [(page_id, pin_count)] of every currently pinned frame, ascending by page
+    id. Pins are operation-scoped, so the list must be empty at transaction
+    boundaries — the runtime sanitizer ([Invariant]) checks exactly that. *)

@@ -12,6 +12,7 @@ type t = {
   mutable pending : (Log_record.txid * Log_record.kind) list;  (* newest first *)
   by_txn : (Log_record.txid, Log_record.t list) Hashtbl.t;  (* newest first *)
   mutable closed : bool;
+  mutable append_observer : Log_record.lsn -> unit;
 }
 
 let add_index t txid kind =
@@ -39,6 +40,7 @@ let in_memory () =
     pending = [];
     by_txn = Hashtbl.create 16;
     closed = false;
+    append_observer = ignore;
   }
 
 (* Frame: [u32 len][payload][u32 sum-of-bytes checksum] *)
@@ -88,6 +90,7 @@ let open_file path =
       pending = [];
       by_txn = Hashtbl.create 16;
       closed = false;
+      append_observer = ignore;
     }
   in
   (* Replay frames; stop at the first torn/corrupt frame and truncate it. *)
@@ -118,12 +121,15 @@ let open_file path =
 
 let check_open t = if t.closed then invalid_arg "Wal: log is closed"
 
+let set_append_observer t f = t.append_observer <- f
+
 let append t txid kind =
   check_open t;
   let r = add_index t txid kind in
   (match t.backend with
   | Mem -> t.flushed <- r.Log_record.lsn
   | File _ -> t.pending <- (txid, kind) :: t.pending);
+  t.append_observer r.Log_record.lsn;
   r.Log_record.lsn
 
 let last_lsn t = Int64.of_int t.count

@@ -18,6 +18,13 @@ val open_file : string -> t
     in-memory index. *)
 
 val append : t -> Log_record.txid -> Log_record.kind -> Log_record.lsn
+
+val set_append_observer : t -> (Log_record.lsn -> unit) -> unit
+(** Install a callback invoked with the LSN of every appended record
+    (default: none). The common-services layer points this at the runtime
+    sanitizer's LSN-monotonicity check ([Invariant.lsn_observer]); the
+    callback may raise to veto the append's caller. *)
+
 val last_lsn : t -> Log_record.lsn
 val flushed_lsn : t -> Log_record.lsn
 

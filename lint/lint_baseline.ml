@@ -1,0 +1,63 @@
+type t = (string * string, int) Hashtbl.t
+
+let empty : t = Hashtbl.create 1
+
+let parse_line line =
+  try Scanf.sscanf line " (%s@ %S %d)" (fun rule file count -> Some (rule, file, count))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let load path =
+  if not (Sys.file_exists path) then
+    Error
+      (Fmt.str
+         "baseline file %s not found — run dmx_lint with --update-baseline to \
+          create it"
+         path)
+  else begin
+    let ic = open_in path in
+    let tbl : t = Hashtbl.create 64 in
+    let bad = ref None in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         let trimmed = String.trim line in
+         if trimmed <> "" && not (String.length trimmed > 0 && trimmed.[0] = ';')
+         then begin
+           match parse_line trimmed with
+           | Some (rule, file, count) -> Hashtbl.replace tbl (rule, file) count
+           | None ->
+             if !bad = None then
+               bad := Some (Fmt.str "%s:%d: malformed baseline entry %S" path !lineno trimmed)
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match !bad with None -> Ok tbl | Some msg -> Error msg
+  end
+
+let save path counts =
+  let sorted =
+    List.sort
+      (fun (r1, f1, _) (r2, f2, _) ->
+        match String.compare r1 r2 with 0 -> String.compare f1 f2 | c -> c)
+      counts
+  in
+  let oc = open_out path in
+  output_string oc
+    ";; dmx-lint baseline — pins the pre-linter violation counts so they can\n\
+     ;; only go down. Regenerate (from the repo root) with:\n\
+     ;;   dune exec bin/dmx_lint.exe -- --root . --baseline lint/baseline.sexp --update-baseline\n";
+  List.iter
+    (fun (rule, file, count) ->
+      if count > 0 then Printf.fprintf oc "(%s %S %d)\n" rule file count)
+    sorted;
+  close_out oc
+
+let allowed (t : t) ~rule ~file =
+  Option.value ~default:0 (Hashtbl.find_opt t (rule, file))
+
+let entries (t : t) =
+  Hashtbl.fold (fun (rule, file) count acc -> (rule, file, count) :: acc) t []
+  |> List.sort compare

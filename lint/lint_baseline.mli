@@ -1,0 +1,30 @@
+(** The checked-in violation baseline ([lint/baseline.sexp]).
+
+    Baselinable rules (error-discipline, exception-swallowing,
+    wal-before-page) existed in the tree before the linter did; the baseline
+    pins their per-file count so the number can only go down. A file whose
+    count rises fails the lint; a file whose count drops produces a note
+    asking for a baseline regeneration ([--update-baseline]).
+
+    Format: one line per (rule, file) pair,
+
+    {v (error-discipline "lib/wal/wal.ml" 7) v}
+
+    sorted by rule then file. Lines starting with [;] are comments. *)
+
+type t
+(** Allowed violation counts keyed by (rule, root-relative file). *)
+
+val empty : t
+
+val load : string -> (t, string) result
+(** Parse a baseline file. [Error] describes the first malformed line. A
+    missing file is an error: run with [--update-baseline] to create it. *)
+
+val save : string -> (string * string * int) list -> unit
+(** [save path counts] writes the (rule, file, count) triples, sorted. *)
+
+val allowed : t -> rule:string -> file:string -> int
+(** 0 when the pair has no entry. *)
+
+val entries : t -> (string * string * int) list

@@ -1,0 +1,14 @@
+type t = { rule : string; file : string; line : int; msg : string }
+
+let make ~rule ~file ~line msg = { rule; file; line; msg }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> begin
+    match Int.compare a.line b.line with
+    | 0 -> String.compare a.rule b.rule
+    | c -> c
+  end
+  | c -> c
+
+let pp ppf d = Fmt.pf ppf "%s:%d: [%s] %s" d.file d.line d.rule d.msg

@@ -1,0 +1,153 @@
+type config = {
+  root : string;
+  hot_dirs : string list;
+  smethod_dir : string;
+  attach_dir : string;
+  factory_file : string;
+  mli_dirs : string list;
+}
+
+let default_config ~root =
+  {
+    root;
+    hot_dirs = [ "lib/smethod"; "lib/attach"; "lib/txn"; "lib/wal" ];
+    smethod_dir = "lib/smethod";
+    attach_dir = "lib/attach";
+    factory_file = "lib/db/db.ml";
+    mli_dirs = [ "lib" ];
+  }
+
+type report = {
+  violations : Lint_diag.t list;
+  notes : string list;
+  checked_files : int;
+}
+
+let hot_file_diags config =
+  let files =
+    List.concat_map (Lint_rules.ml_files_under ~root:config.root) config.hot_dirs
+    |> List.sort_uniq String.compare
+  in
+  let diags =
+    List.concat_map
+      (fun file ->
+        let full_path = Filename.concat config.root file in
+        match Lint_rules.parse_impl ~file ~full_path with
+        | Error d -> [ d ]
+        | Ok structure ->
+          let in_smethod =
+            String.length file >= String.length config.smethod_dir
+            && String.sub file 0 (String.length config.smethod_dir)
+               = config.smethod_dir
+          in
+          Lint_rules.error_discipline ~file structure
+          @ Lint_rules.exception_swallowing ~file structure
+          @ (if in_smethod then Lint_rules.wal_before_page ~file structure
+             else []))
+      files
+  in
+  (List.length files, diags)
+
+let run ?baseline ?(update_baseline = false) config =
+  let checked, hot = hot_file_diags config in
+  let strict =
+    Lint_rules.vector_completeness ~root:config.root
+      ~ext_dirs:
+        [ (config.smethod_dir, "storage-method"); (config.attach_dir, "attachment") ]
+      ~factory:config.factory_file
+    @ Lint_rules.mli_coverage ~root:config.root ~dirs:config.mli_dirs
+  in
+  let strict_hot, baselinable =
+    List.partition (fun d -> not (Lint_rules.baselinable d.Lint_diag.rule)) hot
+  in
+  let strict = strict @ strict_hot in
+  (* group baselinable diagnostics by (rule, file) *)
+  let groups : (string * string, Lint_diag.t list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun d ->
+      let key = (d.Lint_diag.rule, d.Lint_diag.file) in
+      Hashtbl.replace groups key
+        (d :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+    baselinable;
+  let counts =
+    Hashtbl.fold (fun (rule, file) ds acc -> (rule, file, List.length ds) :: acc)
+      groups []
+  in
+  match baseline with
+  | Some path when update_baseline ->
+    Lint_baseline.save path counts;
+    {
+      violations = List.sort Lint_diag.compare strict;
+      notes =
+        [ Fmt.str "baseline regenerated: %s (%d entries)" path (List.length counts) ];
+      checked_files = checked;
+    }
+  | Some path -> begin
+    match Lint_baseline.load path with
+    | Error msg ->
+      {
+        violations =
+          List.sort Lint_diag.compare
+            (Lint_diag.make ~rule:"baseline" ~file:path ~line:1 msg :: strict);
+        notes = [];
+        checked_files = checked;
+      }
+    | Ok bl ->
+      let over, notes =
+        Hashtbl.fold
+          (fun (rule, file) ds (over, notes) ->
+            let n = List.length ds in
+            let allowed = Lint_baseline.allowed bl ~rule ~file in
+            if n > allowed then
+              ( ds @ over,
+                Fmt.str
+                  "%s: %d %s violation(s) vs %d allowed by the baseline — fix \
+                   them, or regenerate lint/baseline.sexp if this regression \
+                   is intentional and reviewed"
+                  file n rule allowed
+                :: notes )
+            else if n < allowed then
+              ( over,
+                Fmt.str
+                  "note: %s has %d %s violation(s), baseline allows %d — \
+                   tighten with --update-baseline"
+                  file n rule allowed
+                :: notes )
+            else (over, notes))
+          groups ([], [])
+      in
+      (* baseline entries whose file went clean entirely *)
+      let stale =
+        Lint_baseline.entries bl
+        |> List.filter_map (fun (rule, file, count) ->
+               if count > 0 && not (Hashtbl.mem groups (rule, file)) then
+                 Some
+                   (Fmt.str
+                      "note: %s has no %s violations left, baseline allows %d \
+                       — tighten with --update-baseline"
+                      file rule count)
+               else None)
+      in
+      {
+        violations = List.sort Lint_diag.compare (strict @ over);
+        notes = List.sort String.compare (notes @ stale);
+        checked_files = checked;
+      }
+  end
+  | None ->
+    {
+      violations = List.sort Lint_diag.compare (strict @ baselinable);
+      notes = [];
+      checked_files = checked;
+    }
+
+let ok r = r.violations = []
+
+let pp_report ppf r =
+  List.iter (fun d -> Fmt.pf ppf "%a@." Lint_diag.pp d) r.violations;
+  List.iter (fun n -> Fmt.pf ppf "%s@." n) r.notes;
+  if ok r then
+    Fmt.pf ppf "dmx-lint: %d file(s) checked, no violations@." r.checked_files
+  else
+    Fmt.pf ppf "dmx-lint: %d file(s) checked, %d violation(s)@." r.checked_files
+      (List.length r.violations)

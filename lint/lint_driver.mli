@@ -1,0 +1,37 @@
+(** dmx-lint driver: enumerate sources, run {!Lint_rules}, apply the
+    {!Lint_baseline}, and render a report. *)
+
+type config = {
+  root : string;  (** repo root the relative paths below resolve against *)
+  hot_dirs : string list;
+      (** R2/R3 scope: extension + recovery-critical directories *)
+  smethod_dir : string;  (** R1/R4: storage-method implementations *)
+  attach_dir : string;  (** R1: attachment implementations *)
+  factory_file : string;  (** R1: the default-factory source *)
+  mli_dirs : string list;  (** R5 scope *)
+}
+
+val default_config : root:string -> config
+(** The real tree: hot dirs [lib/smethod lib/attach lib/txn lib/wal],
+    factory [lib/db/db.ml], mli coverage over all of [lib]. *)
+
+type report = {
+  violations : Lint_diag.t list;
+      (** what fails the build: strict-rule hits plus baselinable hits in
+          files whose count exceeds the baseline *)
+  notes : string list;
+      (** non-fatal: stale baseline entries that should be tightened *)
+  checked_files : int;
+}
+
+val run :
+  ?baseline:string -> ?update_baseline:bool -> config -> report
+(** Run every rule. With [baseline], baselinable counts are enforced against
+    it (and [update_baseline] rewrites it from the current tree instead of
+    enforcing). Without [baseline], every violation is fatal — the fixture
+    mode used by the self-tests. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val ok : report -> bool
+(** No violations (notes alone don't fail). *)

@@ -1,0 +1,329 @@
+open Parsetree
+
+let rule_vector_completeness = "vector-completeness"
+let rule_error_discipline = "error-discipline"
+let rule_exception_swallowing = "exception-swallowing"
+let rule_wal_before_page = "wal-before-page"
+let rule_mli_coverage = "mli-coverage"
+let rule_parse_error = "parse-error"
+
+let baselinable rule =
+  rule = rule_error_discipline
+  || rule = rule_exception_swallowing
+  || rule = rule_wal_before_page
+
+(* ---- file access ---- *)
+
+let read_file full_path =
+  let ic = open_in_bin full_path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let line_of_loc (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let parse_impl ~file ~full_path =
+  let source = read_file full_path in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn ->
+    let line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum in
+    Error
+      (Lint_diag.make ~rule:rule_parse_error ~file ~line:(max 1 line)
+         (Fmt.str "cannot parse: %s" (Printexc.to_string exn)))
+
+let parse_intf ~full_path =
+  let source = read_file full_path in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf full_path;
+  match Parse.interface lexbuf with
+  | signature -> Some signature
+  | exception _ -> None
+
+(* ---- directory walking ---- *)
+
+let rec walk acc dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
+  else
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || (entry <> "" && entry.[0] = '.') then acc
+        else
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk acc path
+          else if Filename.check_suffix entry ".ml" then path :: acc
+          else acc)
+      acc (Sys.readdir dir)
+
+let ml_files_under ~root dir =
+  let full = Filename.concat root dir in
+  walk [] full
+  |> List.map (fun p ->
+         (* strip "<root>/" back off for root-relative reporting *)
+         let prefix = root ^ Filename.dir_sep in
+         if String.length p > String.length prefix
+            && String.sub p 0 (String.length prefix) = prefix
+         then String.sub p (String.length prefix) (String.length p - String.length prefix)
+         else p)
+  |> List.sort String.compare
+
+(* ---- R2: error discipline ---- *)
+
+let banned_fn = function
+  | "failwith" | "invalid_arg" | "exit" -> true
+  | _ -> false
+
+let banned_path = function
+  | [ f ] | [ "Stdlib"; f ] -> if banned_fn f then Some f else None
+  | [ "Obj"; "magic" ] | [ "Stdlib"; "Obj"; "magic" ] -> Some "Obj.magic"
+  | _ -> None
+
+let error_discipline ~file structure =
+  let out = ref [] in
+  let add line msg =
+    out := Lint_diag.make ~rule:rule_error_discipline ~file ~line msg :: !out
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> begin
+      match banned_path (Longident.flatten txt) with
+      | Some name ->
+        add (line_of_loc e.pexp_loc)
+          (Fmt.str
+             "%s in extension/hot-path code — report failures as (_, Error.t) \
+              result so the substrate can veto and roll back"
+             name)
+      | None -> ()
+    end
+    | Pexp_assert
+        { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
+      ->
+      add (line_of_loc e.pexp_loc)
+        "assert false in extension/hot-path code — report failures as (_, \
+         Error.t) result so the substrate can veto and roll back"
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it structure;
+  List.rev !out
+
+(* ---- R3: exception swallowing ---- *)
+
+let rec catch_all_kind (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_any -> `Any
+  | Ppat_var _ -> `Var
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> catch_all_kind p
+  | Ppat_or (a, b) -> begin
+    match (catch_all_kind a, catch_all_kind b) with
+    | `No, `No -> `No
+    | (`Any | `Var), _ | _, (`Any | `Var) -> `Any
+  end
+  | _ -> `No
+
+let is_unit_expr (e : expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "()"; _ }, None) -> true
+  | _ -> false
+
+let exception_swallowing ~file structure =
+  let out = ref [] in
+  let add line msg =
+    out := Lint_diag.make ~rule:rule_exception_swallowing ~file ~line msg :: !out
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_try (_, cases) ->
+      List.iter
+        (fun c ->
+          if c.pc_guard = None then
+            match catch_all_kind c.pc_lhs with
+            | `Any ->
+              add (line_of_loc c.pc_lhs.ppat_loc)
+                "catch-all handler (try ... with _ ->) can swallow veto/abort \
+                 signals — match specific exceptions or re-raise"
+            | `Var when is_unit_expr c.pc_rhs ->
+              add (line_of_loc c.pc_lhs.ppat_loc)
+                "catch-all handler discards the exception (with e -> ()) — \
+                 match specific exceptions or re-raise"
+            | `Var | `No -> ())
+        cases
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it structure;
+  List.rev !out
+
+(* ---- R4: WAL before page mutation ---- *)
+
+let page_mutator = function
+  | [ "Slotted"; ("init" | "insert" | "insert_at" | "update" | "delete" | "make_reusable") ]
+  | [ "Buffer_pool"; "alloc" ] -> true
+  | _ -> false
+
+let logging_call parts =
+  match parts with
+  | "Wal" :: _ | "Log_record" :: _ -> true
+  | [ "Ctx"; "log" ] -> true
+  | _ -> begin
+    (* accept local helpers by naming convention: log_op, log_delete, ... *)
+    match List.rev parts with
+    | last :: _ ->
+      String.length last >= 3 && String.sub last 0 3 = "log"
+    | [] -> false
+  end
+
+let exempt_function name =
+  let contains sub =
+    let n = String.length name and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub name i m = sub || at (i + 1)) in
+    at 0
+  in
+  contains "undo" || contains "unlogged"
+
+(* Top-level (and module-nested) value bindings, each a "function scope" for
+   the dominance approximation. *)
+let rec bindings_of_structure acc structure =
+  List.fold_left
+    (fun acc item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.fold_left
+          (fun acc vb ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } -> (txt, vb.pvb_loc, vb.pvb_expr) :: acc
+            | _ -> acc)
+          acc vbs
+      | Pstr_module { pmb_expr; _ } -> bindings_of_module_expr acc pmb_expr
+      | Pstr_recmodule mbs ->
+        List.fold_left (fun acc mb -> bindings_of_module_expr acc mb.pmb_expr) acc mbs
+      | _ -> acc)
+    acc structure
+
+and bindings_of_module_expr acc me =
+  match me.pmod_desc with
+  | Pmod_structure structure -> bindings_of_structure acc structure
+  | Pmod_constraint (me, _) | Pmod_functor (_, me) -> bindings_of_module_expr acc me
+  | _ -> acc
+
+let ident_paths expr0 =
+  let out = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> out := (Longident.flatten txt, e.pexp_loc) :: !out
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it expr0;
+  List.rev !out
+
+let wal_before_page ~file structure =
+  bindings_of_structure [] structure
+  |> List.rev
+  |> List.filter_map (fun (name, loc, body) ->
+         if exempt_function name then None
+         else
+           let paths = ident_paths body in
+           let mutators =
+             List.filter (fun (p, _) -> page_mutator p) paths
+           in
+           if mutators = [] then None
+           else if List.exists (fun (p, _) -> logging_call p) paths then None
+           else
+             let mut_names =
+               List.map (fun (p, _) -> String.concat "." p) mutators
+               |> List.sort_uniq String.compare
+             in
+             Some
+               (Lint_diag.make ~rule:rule_wal_before_page ~file
+                  ~line:(line_of_loc loc)
+                  (Fmt.str
+                     "%s mutates pages (%s) without a Wal./Log_record./Ctx.log \
+                      call in the same body — log undo information before the \
+                      page change reaches the buffer pool"
+                     name
+                     (String.concat ", " mut_names))))
+
+(* ---- R1: vector completeness ---- *)
+
+let mli_register_line full_path =
+  match parse_intf ~full_path with
+  | None -> None
+  | Some signature ->
+    List.find_map
+      (fun item ->
+        match item.psig_desc with
+        | Psig_value vd when vd.pval_name.txt = "register" ->
+          Some (line_of_loc vd.pval_loc)
+        | _ -> None)
+      signature
+
+let registered_modules structure =
+  let out = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> begin
+      match List.rev (Longident.flatten txt) with
+      | "register" :: modname :: _ -> out := modname :: !out
+      | _ -> ()
+    end
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it structure;
+  !out
+
+let vector_completeness ~root ~ext_dirs ~factory =
+  let factory_full = Filename.concat root factory in
+  match parse_impl ~file:factory ~full_path:factory_full with
+  | Error d -> [ d ]
+  | Ok structure ->
+    let registered = registered_modules structure in
+    List.concat_map
+      (fun (dir, label) ->
+        ml_files_under ~root dir
+        |> List.filter_map (fun ml ->
+               let mli_full = Filename.concat root ml ^ "i" in
+               let modname =
+                 String.capitalize_ascii
+                   Filename.(remove_extension (basename ml))
+               in
+               match mli_register_line mli_full with
+               | None -> None (* helper module, not an extension package *)
+               | Some line ->
+                 if List.mem modname registered then None
+                 else
+                   Some
+                     (Lint_diag.make ~rule:rule_vector_completeness
+                        ~file:(ml ^ "i") ~line
+                        (Fmt.str
+                           "%s module %s declares [val register] but is not \
+                            registered in the default factory (%s) — it would \
+                            link but never dispatch"
+                           label modname factory))))
+      ext_dirs
+
+(* ---- R5: mli coverage ---- *)
+
+let mli_coverage ~root ~dirs =
+  List.concat_map
+    (fun dir ->
+      ml_files_under ~root dir
+      |> List.filter_map (fun ml ->
+             if Sys.file_exists (Filename.concat root ml ^ "i") then None
+             else
+               Some
+                 (Lint_diag.make ~rule:rule_mli_coverage ~file:ml ~line:1
+                    "no corresponding .mli — every module must declare its \
+                     interface (extensions interact through signatures only)")))
+    dirs

@@ -1,0 +1,64 @@
+(** The repo-specific lint rules (DESIGN.md §7).
+
+    Each rule is a purely syntactic pass over the parsetree
+    ([compiler-libs.common]'s [Parse] + [Ast_iterator]) — no typing, no
+    build. [file] arguments are root-relative paths used in diagnostics;
+    [full_path] is where the source is read from.
+
+    Baselinable rules (R2 {!error_discipline}, R3 {!exception_swallowing},
+    R4 {!wal_before_page}) are enforced against {!Lint_baseline}; the others
+    (R1 {!vector_completeness}, R5 {!mli_coverage}, parse errors) fail
+    unconditionally. *)
+
+val rule_vector_completeness : string
+val rule_error_discipline : string
+val rule_exception_swallowing : string
+val rule_wal_before_page : string
+val rule_mli_coverage : string
+val rule_parse_error : string
+
+val baselinable : string -> bool
+
+val parse_impl :
+  file:string -> full_path:string -> (Parsetree.structure, Lint_diag.t) result
+(** Parse one [.ml]; a syntax error becomes a [parse-error] diagnostic. *)
+
+val error_discipline :
+  file:string -> Parsetree.structure -> Lint_diag.t list
+(** R2: no [failwith] / [invalid_arg] / [exit] / [Obj.magic] /
+    [assert false] — extension and hot-path code must report failures as
+    [(_, Error.t) result] so the substrate can veto and roll back. *)
+
+val exception_swallowing :
+  file:string -> Parsetree.structure -> Lint_diag.t list
+(** R3: flag [try ... with _ -> ...] and [try ... with e -> ()] — catch-all
+    handlers that can hide veto/abort signals from the substrate. *)
+
+val wal_before_page :
+  file:string -> Parsetree.structure -> Lint_diag.t list
+(** R4: in storage-method code, a top-level function that calls a
+    [Slotted.*] / [Buffer_pool.alloc] page mutator must also contain a
+    [Wal.*] / [Log_record.*] / [Ctx.log] / [log_*] call in the same body
+    (syntactic approximation of the WAL-before-page discipline). Functions
+    whose name contains [undo] or [unlogged] are exempt: undo applies logged
+    images and is itself not re-logged. *)
+
+val vector_completeness :
+  root:string ->
+  ext_dirs:(string * string) list ->
+  factory:string ->
+  Lint_diag.t list
+(** R1: every module in an extension directory whose [.mli] declares
+    [val register] (i.e. packages an [Intf.STORAGE_METHOD] /
+    [Intf.ATTACHMENT]) must be registered in the default factory —
+    [factory]'s source must mention [<Module>.register]. [ext_dirs] pairs a
+    root-relative directory with a human label ("storage method" /
+    "attachment"). *)
+
+val mli_coverage : root:string -> dirs:string list -> Lint_diag.t list
+(** R5: every [.ml] under the given root-relative directories has a sibling
+    [.mli] — extensions interact through declared interfaces only. *)
+
+val ml_files_under : root:string -> string -> string list
+(** Root-relative paths of the [.ml] files under a root-relative directory
+    (recursive, sorted; skips [_build] and dot-directories). *)

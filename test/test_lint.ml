@@ -1,0 +1,250 @@
+(* Self-test for the dmx-lint static pass: build small fixture trees that
+   violate each invariant, run the linter library against them, and assert
+   the file:line diagnostics. The last test lints the real source tree with
+   the checked-in baseline — the same run `dune build @lint` performs. *)
+
+let ( / ) = Filename.concat
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (path / e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let write_file path content =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let fixture_counter = ref 0
+
+(* A minimal well-formed tree: one registered storage method, one registered
+   attachment, a factory that mentions both. Tests then overlay violations. *)
+let with_fixture_tree f =
+  incr fixture_counter;
+  let root =
+    Filename.get_temp_dir_name ()
+    / Fmt.str "dmx_lint_fixture_%d" !fixture_counter
+  in
+  rm_rf root;
+  write_file (root / "lib/smethod/goodheap.ml")
+    "let register () = 0\nlet log_op x = x\n";
+  write_file (root / "lib/smethod/goodheap.mli") "val register : unit -> int\n";
+  write_file (root / "lib/attach/goodindex.ml") "let register () = 1\n";
+  write_file (root / "lib/attach/goodindex.mli") "val register : unit -> int\n";
+  write_file (root / "lib/txn/goodtxn.ml") "let commit () = Ok ()\n";
+  write_file (root / "lib/txn/goodtxn.mli") "val commit : unit -> (unit, string) result\n";
+  write_file (root / "lib/wal/goodwal.ml") "let append () = 1\n";
+  write_file (root / "lib/wal/goodwal.mli") "val append : unit -> int\n";
+  write_file (root / "lib/db/db.ml")
+    "let register_defaults () =\n\
+    \  ignore (Dmx_smethod.Goodheap.register ());\n\
+    \  ignore (Dmx_attach.Goodindex.register ())\n";
+  write_file (root / "lib/db/db.mli") "val register_defaults : unit -> unit\n";
+  Fun.protect ~finally:(fun () -> rm_rf root) (fun () -> f root)
+
+let run ?baseline ?update_baseline root =
+  Lint_driver.run ?baseline ?update_baseline (Lint_driver.default_config ~root)
+
+let check_diag what report ~rule ~file ~line =
+  let found =
+    List.exists
+      (fun d ->
+        d.Lint_diag.rule = rule && d.Lint_diag.file = file
+        && d.Lint_diag.line = line)
+      report.Lint_driver.violations
+  in
+  if not found then
+    Alcotest.failf "%s: expected a %s diagnostic at %s:%d (got: %s)" what rule
+      file line
+      (String.concat "; "
+         (List.map
+            (fun d -> Fmt.str "%a" Lint_diag.pp d)
+            report.Lint_driver.violations))
+
+let test_clean_tree () =
+  with_fixture_tree (fun root ->
+      let report = run root in
+      Alcotest.(check bool)
+        (Fmt.str "clean fixture passes (got: %a)" Lint_driver.pp_report report)
+        true (Lint_driver.ok report))
+
+(* R1: a storage-method module with [val register] absent from the factory. *)
+let test_unregistered_storage_method () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/smethod/bogus.ml") "let register () = 7\n";
+      write_file (root / "lib/smethod/bogus.mli")
+        "(* a storage method the factory forgot *)\nval register : unit -> int\n";
+      let report = run root in
+      Alcotest.(check bool) "violations found" false (Lint_driver.ok report);
+      check_diag "unregistered smethod" report ~rule:"vector-completeness"
+        ~file:"lib/smethod/bogus.mli" ~line:2)
+
+(* R2: a fresh failwith in an attachment. *)
+let test_fresh_failwith_in_attach () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/attach/bad.ml")
+        "let register () = 2\n\nlet on_insert () =\n  failwith \"kaboom\"\n";
+      write_file (root / "lib/attach/bad.mli") "val register : unit -> int\nval on_insert : unit -> unit\n";
+      write_file (root / "lib/db/db.ml")
+        "let register_defaults () =\n\
+        \  ignore (Dmx_smethod.Goodheap.register ());\n\
+        \  ignore (Dmx_attach.Goodindex.register ());\n\
+        \  ignore (Dmx_attach.Bad.register ())\n";
+      let report = run root in
+      check_diag "fresh failwith" report ~rule:"error-discipline"
+        ~file:"lib/attach/bad.ml" ~line:4)
+
+(* R2 catches the whole banned set. *)
+let test_banned_constructs () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/txn/nasty.ml")
+        "let a () = invalid_arg \"x\"\n\
+         let b () = assert false\n\
+         let c x = Obj.magic x\n\
+         let d () = exit 1\n";
+      write_file (root / "lib/txn/nasty.mli")
+        "val a : unit -> 'a\nval b : unit -> 'a\nval c : 'a -> 'b\nval d : unit -> 'a\n";
+      let report = run root in
+      List.iter
+        (fun line ->
+          check_diag "banned construct" report ~rule:"error-discipline"
+            ~file:"lib/txn/nasty.ml" ~line)
+        [ 1; 2; 3; 4 ])
+
+(* R3: catch-all exception handlers in lib/txn. *)
+let test_exception_swallowing () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/txn/swallow.ml")
+        "let risky () = ()\n\
+         let quiet () = try risky () with _ -> ()\n\
+         let drops () = try risky () with e -> ignore e\n";
+      write_file (root / "lib/txn/swallow.mli")
+        "val risky : unit -> unit\nval quiet : unit -> unit\nval drops : unit -> unit\n";
+      let report = run root in
+      check_diag "with _ ->" report ~rule:"exception-swallowing"
+        ~file:"lib/txn/swallow.ml" ~line:2;
+      (* [with e -> ignore e] binds and uses the exception: not flagged *)
+      Alcotest.(check int)
+        "only the catch-all is flagged" 1
+        (List.length
+           (List.filter
+              (fun d -> d.Lint_diag.rule = "exception-swallowing")
+              report.Lint_driver.violations)))
+
+(* R4: page mutation without a WAL call in the same function body. *)
+let test_wal_before_page () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/smethod/nolog.ml")
+        "let register () = 3\n\n\
+         let sneaky_write data payload =\n\
+        \  Slotted.insert data payload\n\n\
+         let logged_write ctx data payload =\n\
+        \  ignore (Wal.append ctx 0 payload);\n\
+        \  Slotted.insert data payload\n\n\
+         let undo_write data payload = Slotted.insert_at data 0 payload\n";
+      write_file (root / "lib/smethod/nolog.mli")
+        "val register : unit -> int\n\
+         val sneaky_write : 'a -> 'b -> 'c\n\
+         val logged_write : 'a -> 'b -> 'c -> 'd\n\
+         val undo_write : 'a -> 'b -> 'c\n";
+      write_file (root / "lib/db/db.ml")
+        "let register_defaults () =\n\
+        \  ignore (Dmx_smethod.Goodheap.register ());\n\
+        \  ignore (Dmx_smethod.Nolog.register ());\n\
+        \  ignore (Dmx_attach.Goodindex.register ())\n";
+      let report = run root in
+      check_diag "unlogged mutator" report ~rule:"wal-before-page"
+        ~file:"lib/smethod/nolog.ml" ~line:3;
+      Alcotest.(check int)
+        "logged and undo functions pass" 1
+        (List.length
+           (List.filter
+              (fun d -> d.Lint_diag.rule = "wal-before-page")
+              report.Lint_driver.violations)))
+
+(* R5: a module without an interface. *)
+let test_mli_coverage () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/wal/nomli.ml") "let x = 1\n";
+      let report = run root in
+      check_diag "missing mli" report ~rule:"mli-coverage"
+        ~file:"lib/wal/nomli.ml" ~line:1)
+
+(* Baseline: pinned counts pass; one extra violation fails; regeneration
+   rewrites the file. *)
+let test_baseline_enforcement () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/attach/legacy.ml")
+        "let register () = 4\nlet old_path () = failwith \"pre-lint\"\n";
+      write_file (root / "lib/attach/legacy.mli")
+        "val register : unit -> int\nval old_path : unit -> 'a\n";
+      write_file (root / "lib/db/db.ml")
+        "let register_defaults () =\n\
+        \  ignore (Dmx_smethod.Goodheap.register ());\n\
+        \  ignore (Dmx_attach.Goodindex.register ());\n\
+        \  ignore (Dmx_attach.Legacy.register ())\n";
+      let baseline = root / "baseline.sexp" in
+      (* regenerate: records the one legacy failwith *)
+      let report = run ~baseline ~update_baseline:true root in
+      Alcotest.(check bool) "regeneration passes" true (Lint_driver.ok report);
+      (* enforced: the pinned count is accepted *)
+      let report = run ~baseline root in
+      Alcotest.(check bool)
+        (Fmt.str "pinned count passes (got: %a)" Lint_driver.pp_report report)
+        true (Lint_driver.ok report);
+      (* a second failwith exceeds the baseline and fails *)
+      write_file (root / "lib/attach/legacy.ml")
+        "let register () = 4\n\
+         let old_path () = failwith \"pre-lint\"\n\
+         let new_path () = failwith \"fresh\"\n";
+      let report = run ~baseline root in
+      Alcotest.(check bool) "regression fails" false (Lint_driver.ok report);
+      check_diag "regression diagnostic" report ~rule:"error-discipline"
+        ~file:"lib/attach/legacy.ml" ~line:2;
+      (* a missing baseline file is itself an error *)
+      Sys.remove baseline;
+      let report = run ~baseline root in
+      Alcotest.(check bool) "missing baseline fails" false (Lint_driver.ok report))
+
+(* The merged tree itself must lint clean against the committed baseline —
+   the same invocation `dune build @lint` runs. Test cwd is
+   _build/default/test, so the copied source tree sits one level up. *)
+let test_real_tree_clean () =
+  let report =
+    Lint_driver.run ~baseline:"../lint/baseline.sexp"
+      (Lint_driver.default_config ~root:"..")
+  in
+  Alcotest.(check bool)
+    (Fmt.str "real tree lints clean (got: %a)" Lint_driver.pp_report report)
+    true (Lint_driver.ok report);
+  if report.Lint_driver.checked_files < 20 then
+    Alcotest.failf "suspiciously few files checked (%d) — wrong root?"
+      report.Lint_driver.checked_files
+
+let suite =
+  [
+    Alcotest.test_case "clean fixture tree passes" `Quick test_clean_tree;
+    Alcotest.test_case "R1: unregistered storage method" `Quick
+      test_unregistered_storage_method;
+    Alcotest.test_case "R2: fresh failwith in attach" `Quick
+      test_fresh_failwith_in_attach;
+    Alcotest.test_case "R2: full banned set" `Quick test_banned_constructs;
+    Alcotest.test_case "R3: catch-all handler in txn" `Quick
+      test_exception_swallowing;
+    Alcotest.test_case "R4: page mutation without WAL" `Quick
+      test_wal_before_page;
+    Alcotest.test_case "R5: missing mli" `Quick test_mli_coverage;
+    Alcotest.test_case "baseline pins violation counts" `Quick
+      test_baseline_enforcement;
+    Alcotest.test_case "real tree lints clean" `Quick test_real_tree_clean;
+  ]

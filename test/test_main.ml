@@ -19,4 +19,7 @@ let () =
       ("concurrency", Test_concurrency.suite);
       ("authz", Test_authz.suite);
       ("property", Test_property.suite);
+      ("registry", Test_registry.suite);
+      ("sanitizer", Test_sanitizer.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -1,0 +1,154 @@
+(* Runtime sanitizer (lib/core/invariant.ml): each check trips with
+   DMX_SANITIZE on and is silent with it off. *)
+
+open Dmx_core
+open Dmx_page
+open Dmx_wal
+
+let with_sanitizer on f =
+  Invariant.set_enabled_for_testing (Some on);
+  Fun.protect ~finally:(fun () -> Invariant.set_enabled_for_testing None) f
+
+let expect_violation what f =
+  match f () with
+  | exception Invariant.Invariant_violation msg -> msg
+  | _ -> Alcotest.failf "%s: expected Invariant_violation" what
+
+let check_contains what hay needle =
+  if not (Astring_contains.contains hay needle) then
+    Alcotest.failf "%s: report %S should mention %S" what hay needle
+
+(* A pin taken inside a transaction and never released is reported at
+   commit, with the leaking page named. *)
+let test_pin_leak_trips () =
+  with_sanitizer true (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx = Services.begin_txn sv in
+      let frame = Buffer_pool.alloc sv.Services.bp in
+      let msg =
+        expect_violation "pin leak at commit" (fun () -> Services.commit sv ctx)
+      in
+      check_contains "pin leak report" msg "buffer-pool pin leak";
+      check_contains "pin leak report" msg
+        (Fmt.str "page %d" frame.Buffer_pool.page_id);
+      Buffer_pool.unpin sv.Services.bp frame;
+      Services.close sv)
+
+let test_pin_leak_silent_when_off () =
+  with_sanitizer false (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx = Services.begin_txn sv in
+      let frame = Buffer_pool.alloc sv.Services.bp in
+      Services.commit sv ctx;
+      Buffer_pool.unpin sv.Services.bp frame;
+      Services.close sv)
+
+(* Balanced transactions never trip the pin check. *)
+let test_pin_balance_clean () =
+  with_sanitizer true (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx = Services.begin_txn sv in
+      let frame = Buffer_pool.alloc sv.Services.bp in
+      Buffer_pool.unpin ~dirty:true sv.Services.bp frame;
+      Services.commit sv ctx;
+      Services.close sv)
+
+(* A WAL append observed with a non-monotone LSN — e.g. a buggy extension
+   replaying a stale log index — is vetoed. The observer is seeded as if 100
+   records had been appended, then a fresh log appends LSN 1 through it. *)
+let test_lsn_monotonicity_trips () =
+  with_sanitizer true (fun () ->
+      let wal = Wal.in_memory () in
+      let obs = Invariant.lsn_observer ~source:"test-wal" () in
+      obs 100L;
+      Wal.set_append_observer wal obs;
+      let msg =
+        expect_violation "non-monotone append" (fun () ->
+            ignore (Wal.append wal 1 Log_record.Begin))
+      in
+      check_contains "lsn report" msg "LSN monotonicity broken";
+      check_contains "lsn report" msg "test-wal")
+
+let test_lsn_monotonicity_silent_when_off () =
+  with_sanitizer false (fun () ->
+      let wal = Wal.in_memory () in
+      let obs = Invariant.lsn_observer ~source:"test-wal" () in
+      obs 100L;
+      Wal.set_append_observer wal obs;
+      ignore (Wal.append wal 1 Log_record.Begin))
+
+(* Ordinary monotone appends through a full services environment stay
+   silent with the sanitizer on. *)
+let test_lsn_monotonicity_clean () =
+  with_sanitizer true (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx = Services.begin_txn sv in
+      Services.commit sv ctx;
+      let ctx = Services.begin_txn sv in
+      Services.abort sv ctx;
+      Services.close sv)
+
+(* Dispatching a relation modification while the registry is still open for
+   registration (here: after a reset) is caught before the vectors are hit. *)
+let test_unfrozen_dispatch_trips () =
+  with_sanitizer true (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx = Services.begin_txn sv in
+      let desc =
+        Test_util.check_ok "create emp"
+          (Dmx_ddl.Ddl.create_relation ctx ~name:"san_emp"
+             ~schema:Test_util.emp_schema ~storage_method:"heap" ())
+      in
+      Test_registry.with_scratch_registry (fun () ->
+          (* scratch registry is unfrozen: dispatch must be vetoed *)
+          let msg =
+            expect_violation "dispatch before freeze" (fun () ->
+                ignore (Relation.insert ctx desc (Test_util.emp 1 "a" "eng" 10)))
+          in
+          check_contains "freeze report" msg "before Registry.freeze");
+      (* registry restored (and re-frozen): the same dispatch now works *)
+      ignore
+        (Test_util.check_ok "insert after restore"
+           (Relation.insert ctx desc (Test_util.emp 1 "a" "eng" 10)));
+      Services.commit sv ctx;
+      Services.close sv)
+
+let test_unfrozen_dispatch_silent_when_off () =
+  with_sanitizer false (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx = Services.begin_txn sv in
+      let desc =
+        Test_util.check_ok "create emp"
+          (Dmx_ddl.Ddl.create_relation ctx ~name:"san_emp2"
+           ~schema:Test_util.emp_schema ~storage_method:"heap" ())
+      in
+      (* Sanitizer off: the unfrozen-registry dispatch is NOT vetoed — it
+         proceeds all the way into the (now empty) procedure vectors, whose
+         stub raises its own Failure, not Invariant_violation. *)
+      Test_registry.with_scratch_registry (fun () ->
+          match Relation.insert ctx desc (Test_util.emp 2 "b" "eng" 10) with
+          | exception Failure msg ->
+            check_contains "stub failure" msg "unregistered slot"
+          | exception Invariant.Invariant_violation msg ->
+            Alcotest.failf "sanitizer fired while disabled: %s" msg
+          | _ -> Alcotest.fail "expected the unregistered-slot stub to raise");
+      Services.commit sv ctx;
+      Services.close sv)
+
+let suite =
+  [
+    Alcotest.test_case "pin leak trips at commit" `Quick test_pin_leak_trips;
+    Alcotest.test_case "pin leak silent without DMX_SANITIZE" `Quick
+      test_pin_leak_silent_when_off;
+    Alcotest.test_case "balanced pins stay silent" `Quick test_pin_balance_clean;
+    Alcotest.test_case "non-monotone LSN append trips" `Quick
+      test_lsn_monotonicity_trips;
+    Alcotest.test_case "non-monotone LSN silent without DMX_SANITIZE" `Quick
+      test_lsn_monotonicity_silent_when_off;
+    Alcotest.test_case "monotone appends stay silent" `Quick
+      test_lsn_monotonicity_clean;
+    Alcotest.test_case "dispatch before freeze trips" `Quick
+      test_unfrozen_dispatch_trips;
+    Alcotest.test_case "dispatch before freeze silent without DMX_SANITIZE"
+      `Quick test_unfrozen_dispatch_silent_when_off;
+  ]
