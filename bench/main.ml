@@ -1087,10 +1087,14 @@ let () =
   in
   Fmt.pr "dmx benchmark harness — regenerating the paper's claims@.";
   Fmt.pr "(no quantitative tables exist in the paper; see EXPERIMENTS.md)@.";
+  Dmx_obs.Metrics.set_enabled true;
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+        let before = Dmx_obs.Metrics.snapshot () in
+        f ();
+        Report.counter_deltas ~before ~after:(Dmx_obs.Metrics.snapshot ())
       | None -> Fmt.epr "unknown experiment %s@." name)
     chosen;
   Fmt.pr "@.%s@.bench: done@." (String.make 78 '=')

@@ -36,3 +36,19 @@ let verdict ~ok fmt =
 let f1 v = Fmt.str "%.1f" v
 let f2 v = Fmt.str "%.2f" v
 let i v = string_of_int v
+
+(* Per-experiment observability: every counter that moved between two
+   [Dmx_obs.Metrics.snapshot]s, as name/delta pairs. *)
+let counter_deltas ~before ~after =
+  let base = Hashtbl.of_seq (List.to_seq before) in
+  let moved =
+    List.filter_map
+      (fun (name, v) ->
+        let d = v - Option.value ~default:0 (Hashtbl.find_opt base name) in
+        if d = 0 then None else Some (name, d))
+      after
+  in
+  if moved <> [] then begin
+    Fmt.pr "counters (delta over experiment):@.";
+    List.iter (fun (name, d) -> Fmt.pr "  %-28s %+d@." name d) moved
+  end

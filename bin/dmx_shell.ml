@@ -14,6 +14,8 @@
      drop index pk on emp using btree_index
      drop table emp
      show tables | describe emp | show extensions
+     show stats          (metrics registry dump: counters + histograms)
+     trace on | trace off  (JSON Lines dispatch tracing; also DMX_TRACE=1)
      quit
 
    Run with: dune exec bin/dmx_shell.exe            (in-memory)
@@ -400,6 +402,17 @@ let exec_line st line =
             (fun (key, _) -> ignore (ok (Db.delete st.db ctx ~relation:rel key)))
             hits;
           Fmt.pr "DELETE %d@." (List.length hits))
+    | "show", [ Word t ] when kw t = "stats" ->
+      Fmt.pr "%a@." Dmx_obs.Metrics.pp_dump ()
+    | "trace", [ Word t ] when kw t = "on" ->
+      Dmx_obs.Trace.set_enabled true;
+      Fmt.pr "TRACE ON (JSON Lines to %s)@."
+        (match Sys.getenv_opt "DMX_TRACE_FILE" with
+        | Some f -> f
+        | None -> "stderr")
+    | "trace", [ Word t ] when kw t = "off" ->
+      Dmx_obs.Trace.set_enabled false;
+      Fmt.pr "TRACE OFF@."
     | "show", [ Word t ] when kw t = "tables" ->
       let rels =
         Dmx_catalog.Catalog.relations st.db.Db.services.Dmx_core.Services.catalog
@@ -436,6 +449,9 @@ let banner =
 
 let () =
   let dir = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  (* The shell is interactive; counter upkeep is noise there, so metrics are
+     always on and `show stats` always has numbers. *)
+  Dmx_obs.Metrics.set_enabled true;
   Db.register_defaults ();
   let db = Db.open_database ?dir () in
   let st = { db; txn = None } in

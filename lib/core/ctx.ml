@@ -23,6 +23,31 @@ let lock t ~mode resource =
   | Dmx_lock.Lock_table.Would_block holders ->
     Error (Error.Lock_conflict { txid = t.txn.Dmx_txn.Txn.id; holders })
 
+let trace_event t ?(attrs = []) name =
+  if Dmx_obs.Trace.enabled () then
+    Dmx_obs.Trace.event name ~txid:t.txn.Dmx_txn.Txn.id ~attrs
+
+let with_span t ?(attrs = []) name f =
+  if not (Dmx_obs.Trace.enabled ()) then f ()
+  else begin
+    let sp = Dmx_obs.Trace.enter name ~txid:t.txn.Dmx_txn.Txn.id ~attrs in
+    match f () with
+    | Ok _ as r ->
+      Dmx_obs.Trace.exit_span sp;
+      r
+    | Error e as r ->
+      let outcome =
+        match e with Error.Veto _ -> "veto" | _ -> "error"
+      in
+      Dmx_obs.Trace.exit_span ~outcome
+        ~attrs:[ ("reason", Dmx_obs.Obs_json.Str (Error.to_string e)) ]
+        sp;
+      r
+    | exception exn ->
+      Dmx_obs.Trace.exit_span ~outcome:"exn" sp;
+      raise exn
+  end
+
 let defer t event f = Dmx_txn.Txn.defer t.txn event f
 let register_scan t reg = Dmx_txn.Txn.register_scan t.txn reg
 let unregister_scan t id = Dmx_txn.Txn.unregister_scan t.txn id

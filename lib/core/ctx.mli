@@ -32,6 +32,18 @@ val lock :
     [Lock_conflict] and the caller aborts (DESIGN.md §3 explains why blocking
     is simulated, not preemptive). *)
 
+val trace_event : t -> ?attrs:(string * Dmx_obs.Obs_json.t) list -> string ->
+  unit
+(** Common observability service: emit a point event tagged with the calling
+    transaction. No-op (one branch) unless tracing is enabled. *)
+
+val with_span : t -> ?attrs:(string * Dmx_obs.Obs_json.t) list -> string ->
+  (unit -> ('a, Error.t) result) -> ('a, Error.t) result
+(** Common observability service: bracket [f] in a trace span tagged with the
+    calling transaction. The outcome is derived from the result — [ok],
+    [veto] ({!Error.Veto}), [error] (other [Error.t]), or [exn] (re-raised).
+    When tracing is disabled this is exactly [f ()]. *)
+
 val defer : t -> Dmx_txn.Txn.event -> (unit -> unit) -> unit
 (** Deferred-action queue service. *)
 

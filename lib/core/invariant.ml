@@ -38,6 +38,17 @@ let lsn_observer ~source () =
         source lsn !last;
     last := max !last lsn
 
+let check_span_balance ~at =
+  if enabled () && Dmx_obs.Trace.enabled () then
+    match Dmx_obs.Trace.depth () with
+    | 0 -> ()
+    | n ->
+      violation
+        "trace-span imbalance detected at %s: %d span%s still open — every \
+         span entered during an operation must be exited by transaction end"
+        at n
+        (if n = 1 then "" else "s")
+
 let check_frozen_for_dispatch ~op =
   if enabled () && not (Registry.is_frozen ()) then
     violation

@@ -33,6 +33,12 @@ val lsn_observer : source:string -> unit -> Dmx_wal.Log_record.lsn -> unit
     LSN raises. [Services.setup] installs one per WAL via
     {!Dmx_wal.Wal.set_append_observer}. *)
 
+val check_span_balance : at:string -> unit
+(** Raise unless the trace-span stack is empty. Called at transaction
+    boundaries when both the sanitizer and tracing are enabled — an open span
+    there means some operation entered a span it never exited, which would
+    mis-parent every later span. *)
+
 val check_frozen_for_dispatch : op:string -> unit
 (** Raise when a relation modification is dispatched through the procedure
     vectors while the registry is still open for registration — extensions

@@ -8,6 +8,12 @@ let sm_calls = ref 0
 let at_calls = ref 0
 let dispatch_stats () = (!sm_calls, !at_calls)
 
+(* The dispatch counters are always on (they cost one [incr] and predate the
+   metrics registry); a probe folds them into the common exposition. *)
+let () =
+  Dmx_obs.Metrics.register_probe "dispatch" (fun () ->
+      [ ("dispatch.sm_calls", !sm_calls); ("dispatch.at_calls", !at_calls) ])
+
 (* Internal savepoints get nesting-safe names from a per-transaction
    counter, so cascading modifications (an attached procedure modifying
    another relation) roll back exactly their own partial effects. *)
@@ -62,9 +68,56 @@ let lock_record ctx desc key mode =
 
 let ( let* ) = Result.bind
 
+(* ---- dispatch tracing -------------------------------------------------- *)
+(* Attribute closures run only when tracing is on; the disabled path costs
+   one branch per wrapper. *)
+
+let result_outcome = function
+  | Ok _ -> ("ok", None)
+  | Error (Error.Veto { reason; _ }) -> ("veto", Some reason)
+  | Error e -> ("error", Some (Error.to_string e))
+
+let with_result_span name ~txid attrs f =
+  if not (Dmx_obs.Trace.enabled ()) then f ()
+  else begin
+    let sp = Dmx_obs.Trace.enter name ~txid ~attrs:(attrs ()) in
+    match f () with
+    | r ->
+      let outcome, reason = result_outcome r in
+      let attrs =
+        match reason with
+        | None -> []
+        | Some m -> [ ("reason", Dmx_obs.Obs_json.Str m) ]
+      in
+      Dmx_obs.Trace.exit_span ~outcome ~attrs sp;
+      r
+    | exception e ->
+      Dmx_obs.Trace.exit_span ~outcome:"exn" sp;
+      raise e
+  end
+
+let rel_span ctx desc op f =
+  with_result_span ("relation." ^ op) ~txid:ctx.Ctx.txn.Txn.id
+    (fun () ->
+      [ ("rel", Dmx_obs.Obs_json.Str desc.Descriptor.rel_name);
+        ("rel_id", Dmx_obs.Obs_json.Int desc.Descriptor.rel_id) ])
+    f
+
+let sm_span ctx desc op f =
+  with_result_span ("smethod." ^ op) ~txid:ctx.Ctx.txn.Txn.id
+    (fun () ->
+      [ ("smethod_id", Dmx_obs.Obs_json.Int desc.Descriptor.smethod_id) ])
+    f
+
+let attachment_label n =
+  match Registry.attachment_name n with
+  | name -> name
+  | exception Invalid_argument _ -> Fmt.str "type:%d" n
+
 (* Invoke each attachment type with instances on the relation, ascending type
-   id, through the attached-procedure vectors. *)
-let run_attached desc f =
+   id, through the attached-procedure vectors. [info] supplies the op-specific
+   span attributes (key, old/new records), built lazily. *)
+let run_attached ctx desc ~op ~info f =
   let rec loop = function
     | [] -> Ok ()
     | n :: rest -> begin
@@ -72,7 +125,15 @@ let run_attached desc f =
       | None -> loop rest
       | Some slot -> begin
         incr at_calls;
-        match f n slot with
+        let r =
+          with_result_span ("attach." ^ op) ~txid:ctx.Ctx.txn.Txn.id
+            (fun () ->
+              ("attachment", Dmx_obs.Obs_json.Str (attachment_label n))
+              :: ("type_id", Dmx_obs.Obs_json.Int n)
+              :: info ())
+            (fun () -> f n slot)
+        in
+        match r with
         | Ok () -> loop rest
         | Error _ as e -> e
       end
@@ -88,64 +149,122 @@ let validate ctx desc record =
 
 let insert ctx desc record =
   Invariant.check_frozen_for_dispatch ~op:"insert";
-  let* () = validate ctx desc record in
-  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
-  with_op_savepoint ctx (fun () ->
-      incr sm_calls;
-      let* key = Registry.Vec.sm_insert.(desc.Descriptor.smethod_id) ctx desc record in
-      let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
-      let* () =
-        run_attached desc (fun n slot ->
-            Registry.Vec.at_on_insert.(n) ctx desc ~slot key record)
-      in
-      Ok key)
+  rel_span ctx desc "insert" (fun () ->
+      let* () = validate ctx desc record in
+      let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
+      with_op_savepoint ctx (fun () ->
+          incr sm_calls;
+          let* key =
+            sm_span ctx desc "insert" (fun () ->
+                Registry.Vec.sm_insert.(desc.Descriptor.smethod_id) ctx desc
+                  record)
+          in
+          let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
+          let* () =
+            run_attached ctx desc ~op:"insert"
+              ~info:(fun () ->
+                [ ("key", Dmx_obs.Obs_json.Str (Record_key.to_string key));
+                  ( "new",
+                    Dmx_obs.Obs_json.Str (Fmt.str "%a" Record.pp record) ) ])
+              (fun n slot ->
+                Registry.Vec.at_on_insert.(n) ctx desc ~slot key record)
+          in
+          Ok key))
 
 let update ctx desc key new_record =
   Invariant.check_frozen_for_dispatch ~op:"update";
-  let* () = validate ctx desc new_record in
-  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
-  let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
-  let (module M : Intf.STORAGE_METHOD) =
-    Registry.storage_method desc.Descriptor.smethod_id
-  in
-  match M.fetch ctx desc key () with
-  | None -> Error (Error.Key_not_found (Record_key.to_string key))
-  | Some old_record ->
-    with_op_savepoint ctx (fun () ->
-        incr sm_calls;
-        let* new_key =
-          Registry.Vec.sm_update.(desc.Descriptor.smethod_id) ctx desc key
-            new_record
-        in
-        let* () = lock_record ctx desc new_key Dmx_lock.Lock_mode.X in
-        let* () =
-          run_attached desc (fun n slot ->
-              Registry.Vec.at_on_update.(n) ctx desc ~slot ~old_key:key
-                ~new_key ~old_record ~new_record)
-        in
-        Ok new_key)
+  rel_span ctx desc "update" (fun () ->
+      let* () = validate ctx desc new_record in
+      let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
+      let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
+      let (module M : Intf.STORAGE_METHOD) =
+        Registry.storage_method desc.Descriptor.smethod_id
+      in
+      match M.fetch ctx desc key () with
+      | None -> Error (Error.Key_not_found (Record_key.to_string key))
+      | Some old_record ->
+        with_op_savepoint ctx (fun () ->
+            incr sm_calls;
+            let* new_key =
+              sm_span ctx desc "update" (fun () ->
+                  Registry.Vec.sm_update.(desc.Descriptor.smethod_id) ctx desc
+                    key new_record)
+            in
+            let* () = lock_record ctx desc new_key Dmx_lock.Lock_mode.X in
+            let* () =
+              run_attached ctx desc ~op:"update"
+                ~info:(fun () ->
+                  [ ( "old_key",
+                      Dmx_obs.Obs_json.Str (Record_key.to_string key) );
+                    ( "new_key",
+                      Dmx_obs.Obs_json.Str (Record_key.to_string new_key) );
+                    ( "old",
+                      Dmx_obs.Obs_json.Str (Fmt.str "%a" Record.pp old_record)
+                    );
+                    ( "new",
+                      Dmx_obs.Obs_json.Str (Fmt.str "%a" Record.pp new_record)
+                    ) ])
+                (fun n slot ->
+                  Registry.Vec.at_on_update.(n) ctx desc ~slot ~old_key:key
+                    ~new_key ~old_record ~new_record)
+            in
+            Ok new_key))
 
 let delete ctx desc key =
   Invariant.check_frozen_for_dispatch ~op:"delete";
-  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
-  let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
-  with_op_savepoint ctx (fun () ->
-      incr sm_calls;
-      let* old_record =
-        Registry.Vec.sm_delete.(desc.Descriptor.smethod_id) ctx desc key
-      in
-      let* () =
-        run_attached desc (fun n slot ->
-            Registry.Vec.at_on_delete.(n) ctx desc ~slot key old_record)
-      in
-      Ok old_record)
+  rel_span ctx desc "delete" (fun () ->
+      let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
+      let* () = lock_record ctx desc key Dmx_lock.Lock_mode.X in
+      with_op_savepoint ctx (fun () ->
+          incr sm_calls;
+          let* old_record =
+            sm_span ctx desc "delete" (fun () ->
+                Registry.Vec.sm_delete.(desc.Descriptor.smethod_id) ctx desc
+                  key)
+          in
+          let* () =
+            run_attached ctx desc ~op:"delete"
+              ~info:(fun () ->
+                [ ("key", Dmx_obs.Obs_json.Str (Record_key.to_string key));
+                  ( "old",
+                    Dmx_obs.Obs_json.Str (Fmt.str "%a" Record.pp old_record)
+                  ) ])
+              (fun n slot ->
+                Registry.Vec.at_on_delete.(n) ctx desc ~slot key old_record)
+          in
+          Ok old_record))
 
+(* [fetch] is the hottest generic-interface call (the E1 bench drives it);
+   the untraced path below is the seed code verbatim so tracing costs the
+   disabled build exactly one branch, no closures. *)
 let fetch ctx desc key ?fields () =
-  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
-  let (module M : Intf.STORAGE_METHOD) =
-    Registry.storage_method desc.Descriptor.smethod_id
-  in
-  Ok (M.fetch ctx desc key ?fields ())
+  if not (Dmx_obs.Trace.enabled ()) then
+    let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
+    let (module M : Intf.STORAGE_METHOD) =
+      Registry.storage_method desc.Descriptor.smethod_id
+    in
+    Ok (M.fetch ctx desc key ?fields ())
+  else
+    rel_span ctx desc "fetch" (fun () ->
+      let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
+      let (module M : Intf.STORAGE_METHOD) =
+        Registry.storage_method desc.Descriptor.smethod_id
+      in
+      begin
+        let sp =
+          Dmx_obs.Trace.enter "smethod.fetch" ~txid:ctx.Ctx.txn.Txn.id
+            ~attrs:
+              [ ("smethod_id", Dmx_obs.Obs_json.Int desc.Descriptor.smethod_id) ]
+        in
+        match M.fetch ctx desc key ?fields () with
+        | r ->
+          Dmx_obs.Trace.exit_span sp
+            ~attrs:[ ("found", Dmx_obs.Obs_json.Bool (Option.is_some r)) ];
+          Ok r
+        | exception e ->
+          Dmx_obs.Trace.exit_span ~outcome:"exn" sp;
+          raise e
+      end)
 
 (* Register a scan with the transaction so termination closes it and
    savepoints capture/restore its position. *)
@@ -176,13 +295,15 @@ let register_key_scan ctx (scan : Intf.key_scan) =
   }
 
 let scan ctx desc ?lo ?hi ?filter () =
-  let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
-  let (module M : Intf.STORAGE_METHOD) =
-    Registry.storage_method desc.Descriptor.smethod_id
-  in
-  Ok (register_record_scan ctx (M.scan ctx desc ?lo ?hi ?filter ()))
+  rel_span ctx desc "scan" (fun () ->
+      let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
+      let (module M : Intf.STORAGE_METHOD) =
+        Registry.storage_method desc.Descriptor.smethod_id
+      in
+      Ok (register_record_scan ctx (M.scan ctx desc ?lo ?hi ?filter ())))
 
 let lookup ctx desc ~attachment_id ~instance ~key =
+  rel_span ctx desc "lookup" @@ fun () ->
   let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
   match Descriptor.attachment_desc desc attachment_id with
   | None ->

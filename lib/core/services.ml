@@ -34,6 +34,10 @@ let setup ?dir ?(pool_capacity = 256) () =
     (Invariant.lsn_observer
        ~source:(match dir with None -> "wal (in-memory)" | Some d -> "wal " ^ d)
        ());
+  (* The I/O counters are always on (the cost model reads them); a probe
+     folds them into the common metrics exposition at snapshot time. *)
+  Dmx_obs.Metrics.register_probe "io" (fun () ->
+      Io_stats.to_metrics (Disk.stats disk));
   let locks = Dmx_lock.Lock_table.create () in
   let txn_mgr = Dmx_txn.Txn_mgr.create ~wal ~locks () in
   let t = { disk; bp; wal; locks; txn_mgr; catalog; last_recovery = None } in
@@ -54,12 +58,14 @@ let begin_txn t =
 let commit t ctx =
   ignore t;
   Dmx_txn.Txn_mgr.commit ctx.Ctx.txn_mgr ctx.Ctx.txn;
-  Invariant.check_pin_balance ~at:"commit" ctx.Ctx.bp
+  Invariant.check_pin_balance ~at:"commit" ctx.Ctx.bp;
+  Invariant.check_span_balance ~at:"commit"
 
 let abort t ctx =
   ignore t;
   Dmx_txn.Txn_mgr.abort ctx.Ctx.txn_mgr ctx.Ctx.txn;
-  Invariant.check_pin_balance ~at:"abort" ctx.Ctx.bp
+  Invariant.check_pin_balance ~at:"abort" ctx.Ctx.bp;
+  Invariant.check_span_balance ~at:"abort"
 
 let savepoint ctx name = Dmx_txn.Txn_mgr.savepoint ctx.Ctx.txn_mgr ctx.Ctx.txn name
 

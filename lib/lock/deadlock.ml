@@ -42,7 +42,21 @@ let choose_victim cycle =
   | [] -> invalid_arg "Deadlock.choose_victim: empty cycle"
   | first :: rest -> List.fold_left max first rest
 
+let m_checks = Dmx_obs.Metrics.counter "deadlock.checks"
+let m_victims = Dmx_obs.Metrics.counter "deadlock.victims"
+
 let detect table =
+  Dmx_obs.Metrics.incr m_checks;
   match find_cycle (Lock_table.all_edges table) with
   | None -> None
-  | Some cycle -> Some (choose_victim cycle)
+  | Some cycle ->
+    let victim = choose_victim cycle in
+    Dmx_obs.Metrics.incr m_victims;
+    if Dmx_obs.Trace.enabled () then
+      Dmx_obs.Trace.event "deadlock.victim" ~txid:victim
+        ~attrs:
+          [ ("victim", Dmx_obs.Obs_json.Int victim);
+            ( "cycle",
+              Dmx_obs.Obs_json.List
+                (List.map (fun tx -> Dmx_obs.Obs_json.Int tx) cycle) ) ];
+    Some victim

@@ -18,6 +18,9 @@ type t = {
   mutable external_edges : (unit -> (txid * txid) list) list;
 }
 
+let m_grants = Dmx_obs.Metrics.counter "lock.grants"
+let m_conflicts = Dmx_obs.Metrics.counter "lock.conflicts"
+
 let create () = { table = Hashtbl.create 64; external_edges = [] }
 
 let entry t resource =
@@ -62,7 +65,36 @@ let try_acquire t ~txid ~mode resource =
     | bs -> Would_block bs
   end
 
-let acquire t ~txid ~mode resource = try_acquire t ~txid ~mode resource
+let pp_resource ppf = function
+  | Relation id -> Fmt.pf ppf "rel:%d" id
+  | Record (id, key) -> Fmt.pf ppf "rec:%d:%d-bytes-key" id (String.length key)
+
+(* Grant/conflict accounting for the no-wait and queueing entry points;
+   [try_acquire] itself stays unobserved because the wake path re-runs it
+   for requests already counted at submission. *)
+let observe_conflict ~txid ~mode resource holders =
+  Dmx_obs.Metrics.incr m_conflicts;
+  if Dmx_obs.Trace.enabled () then
+    Dmx_obs.Trace.event "lock.conflict" ~txid
+      ~attrs:
+        [ ("resource", Dmx_obs.Obs_json.Str (Fmt.str "%a" pp_resource resource));
+          ("mode", Dmx_obs.Obs_json.Str (Lock_mode.to_string mode));
+          ( "holders",
+            Dmx_obs.Obs_json.List
+              (List.map (fun h -> Dmx_obs.Obs_json.Int h) holders) ) ]
+
+let observe_outcome ~txid ~mode resource = function
+  | Granted -> Dmx_obs.Metrics.incr m_grants
+  | Would_block holders -> observe_conflict ~txid ~mode resource holders
+
+let acquire t ~txid ~mode resource =
+  match try_acquire t ~txid ~mode resource with
+  | Granted as o ->
+    Dmx_obs.Metrics.incr m_grants;
+    o
+  | Would_block holders as o ->
+    observe_conflict ~txid ~mode resource holders;
+    o
 
 let enqueue t ~txid ~mode resource =
   let e = entry t resource in
@@ -72,19 +104,23 @@ let enqueue t ~txid ~mode resource =
   let others_waiting =
     List.exists (fun (tx, _) -> tx <> txid) e.waiting
   in
-  if others_waiting then begin
-    if not (List.exists (fun (tx, m) -> tx = txid && m = mode) e.waiting) then
-      e.waiting <- e.waiting @ [ (txid, mode) ];
-    let want = needed_mode e ~txid ~mode in
-    Would_block (blockers e ~txid ~mode:want)
-  end
-  else
-    match try_acquire t ~txid ~mode resource with
-    | Granted -> Granted
-    | Would_block bs ->
-      if not (List.exists (fun (tx, m) -> tx = txid && m = mode) e.waiting)
-      then e.waiting <- e.waiting @ [ (txid, mode) ];
-      Would_block bs
+  let outcome =
+    if others_waiting then begin
+      if not (List.exists (fun (tx, m) -> tx = txid && m = mode) e.waiting) then
+        e.waiting <- e.waiting @ [ (txid, mode) ];
+      let want = needed_mode e ~txid ~mode in
+      Would_block (blockers e ~txid ~mode:want)
+    end
+    else
+      match try_acquire t ~txid ~mode resource with
+      | Granted -> Granted
+      | Would_block bs ->
+        if not (List.exists (fun (tx, m) -> tx = txid && m = mode) e.waiting)
+        then e.waiting <- e.waiting @ [ (txid, mode) ];
+        Would_block bs
+  in
+  observe_outcome ~txid ~mode resource outcome;
+  outcome
 
 let is_granted t ~txid resource =
   match Hashtbl.find_opt t.table resource with
@@ -166,7 +202,3 @@ let locked_resources t txid =
     (fun resource e acc ->
       if List.mem_assoc txid e.granted then resource :: acc else acc)
     t.table []
-
-let pp_resource ppf = function
-  | Relation id -> Fmt.pf ppf "rel:%d" id
-  | Record (id, key) -> Fmt.pf ppf "rec:%d:%d-bytes-key" id (String.length key)

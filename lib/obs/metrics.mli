@@ -1,0 +1,68 @@
+(** The metrics registry: named counters and fixed-bucket latency histograms.
+
+    Any layer may create instruments at module-initialisation time (creation
+    is find-or-create by name, so repeated creation is idempotent and cheap);
+    the hot-path operations [incr]/[add]/[observe] compile down to a single
+    branch when the registry is disabled, following the [Invariant]
+    discipline: the hooks stay in production builds at near-zero cost.
+
+    Enabled by [DMX_METRICS=1] or [DMX_TRACE=1] in the environment (tracing
+    without its counters would be blind), or programmatically with
+    {!set_enabled} — the shell and the bench harness do the latter.
+
+    Besides native instruments, external always-on accounting (e.g.
+    [Io_stats], the dispatch counters in [Relation]) is folded into the same
+    exposition through named {e probes}: callbacks polled at
+    [snapshot]/[dump]/[to_json] time, so there is exactly one place to read
+    every number the substrate maintains. *)
+
+type counter
+type histogram
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val counter : string -> counter
+(** Find or create the counter registered under this name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val default_latency_buckets_us : float array
+
+val histogram : ?buckets:float array -> string -> histogram
+(** Find or create; [buckets] are ascending upper bounds in the observed
+    unit (by convention microseconds, suffix the name [_us]); an implicit
+    overflow bucket follows the last bound. Defaults to
+    {!default_latency_buckets_us}. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation into the first bucket whose bound satisfies
+    [v <= bound] (Prometheus-style "le" boundaries), or the overflow
+    bucket. *)
+
+val histogram_buckets : histogram -> float array
+val histogram_counts : histogram -> int array
+(** Copies; [counts] has one more cell than [buckets] (the overflow). *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val register_probe : string -> (unit -> (string * int) list) -> unit
+(** Registering under an existing probe name replaces it (a fresh
+    [Services.setup] re-points the probe at the new database's state). *)
+
+val snapshot : unit -> (string * int) list
+(** All counters plus all probe outputs, sorted by name. Probes are polled
+    even while the registry is disabled — they read accounting the substrate
+    maintains anyway. *)
+
+val pp_dump : Format.formatter -> unit -> unit
+(** Text exposition: counters (with probes folded in) then histograms. *)
+
+val to_json : unit -> string
+
+val reset : unit -> unit
+(** Zero all native counters and histograms. Probes are not reset: they
+    mirror external state owned elsewhere ([Io_stats.reset] et al.). *)

@@ -1,0 +1,18 @@
+(** Minimal JSON values for the observability layer.
+
+    The trace sink emits JSON Lines and the metrics registry offers a JSON
+    exposition; neither wants a third-party dependency in the substrate, so
+    this is the smallest serializer that produces valid output (string
+    escaping, control characters, non-finite floats as [null]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string

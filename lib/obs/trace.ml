@@ -1,0 +1,150 @@
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  txid : int;
+  start : float;
+  mutable sp_attrs : (string * Obs_json.t) list;
+}
+
+let env_enables var =
+  match Sys.getenv_opt var with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+let on = ref (env_enables "DMX_TRACE")
+let enabled () = !on
+
+let set_enabled b =
+  on := b;
+  if b then Metrics.set_enabled true
+
+(* ---- sink ---- *)
+
+let default_sink =
+  lazy
+    (match Sys.getenv_opt "DMX_TRACE_FILE" with
+    | Some path ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      fun line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+    | None -> prerr_endline)
+
+let sink_override : (string -> unit) option ref = ref None
+let set_sink f = sink_override := Some f
+let use_default_sink () = sink_override := None
+
+let emitted_count = ref 0
+
+let emit line =
+  incr emitted_count;
+  match !sink_override with
+  | Some f -> f line
+  | None -> (Lazy.force default_sink) line
+
+let emitted () = !emitted_count
+
+(* ---- span stack ---- *)
+
+let next_id = ref 0
+let stack : span list ref = ref []
+let depth () = List.length !stack
+
+let null_span =
+  { id = 0; parent = 0; name = ""; txid = 0; start = 0.; sp_attrs = [] }
+
+let reset_for_testing () =
+  stack := [];
+  next_id := 0;
+  emitted_count := 0
+
+let render ~ev ~id ~parent ~txid ~name ~us ~outcome ~attrs ~ts =
+  let buf = Buffer.create 160 in
+  Buffer.add_char buf '{';
+  Buffer.add_string buf (Printf.sprintf "\"ts\":%.6f," ts);
+  Buffer.add_string buf (Printf.sprintf "\"ev\":%S," ev);
+  Buffer.add_string buf (Printf.sprintf "\"id\":%d,\"parent\":%d,\"txn\":%d," id parent txid);
+  Buffer.add_string buf "\"name\":";
+  Obs_json.to_buffer buf (Obs_json.Str name);
+  (match us with
+  | Some us -> Buffer.add_string buf (Printf.sprintf ",\"us\":%.1f" us)
+  | None -> ());
+  (match outcome with
+  | Some o ->
+    Buffer.add_string buf ",\"outcome\":";
+    Obs_json.to_buffer buf (Obs_json.Str o)
+  | None -> ());
+  if attrs <> [] then begin
+    Buffer.add_string buf ",\"attrs\":";
+    Obs_json.to_buffer buf (Obs_json.Obj attrs)
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let enter ?(txid = 0) ?(attrs = []) name =
+  if not !on then null_span
+  else begin
+    incr next_id;
+    let parent = match !stack with [] -> 0 | s :: _ -> s.id in
+    let sp =
+      {
+        id = !next_id;
+        parent;
+        name;
+        txid;
+        start = Unix.gettimeofday ();
+        sp_attrs = attrs;
+      }
+    in
+    stack := sp :: !stack;
+    sp
+  end
+
+let add_attr sp key v =
+  if sp != null_span then sp.sp_attrs <- sp.sp_attrs @ [ (key, v) ]
+
+let exit_span ?(outcome = "ok") ?(attrs = []) sp =
+  if !on && sp != null_span then begin
+    (* pop up to and including [sp]; tolerate an unbalanced stack rather
+       than wedging tracing (the sanitizer reports the imbalance). *)
+    let rec pop = function
+      | [] -> []
+      | s :: rest -> if s == sp then rest else pop rest
+    in
+    stack := pop !stack;
+    let now = Unix.gettimeofday () in
+    emit
+      (render ~ev:"span" ~id:sp.id ~parent:sp.parent ~txid:sp.txid
+         ~name:sp.name
+         ~us:(Some ((now -. sp.start) *. 1e6))
+         ~outcome:(Some outcome)
+         ~attrs:(sp.sp_attrs @ attrs) ~ts:sp.start)
+  end
+
+let event ?(txid = -1) ?(attrs = []) name =
+  if !on then begin
+    incr next_id;
+    let parent, inherited =
+      match !stack with [] -> (0, 0) | s :: _ -> (s.id, s.txid)
+    in
+    let txid = if txid >= 0 then txid else inherited in
+    emit
+      (render ~ev:"event" ~id:!next_id ~parent ~txid ~name ~us:None
+         ~outcome:None ~attrs ~ts:(Unix.gettimeofday ()))
+  end
+
+let with_span ?txid ?attrs name f =
+  if not !on then f ()
+  else begin
+    let sp = enter ?txid ?attrs name in
+    match f () with
+    | v ->
+      exit_span sp;
+      v
+    | exception e ->
+      exit_span sp ~outcome:"exn"
+        ~attrs:[ ("exn", Obs_json.Str (Printexc.to_string e)) ];
+      raise e
+  end

@@ -1,0 +1,69 @@
+(** Structured trace spans around procedure-vector dispatch.
+
+    The paper's defining mechanism — attachments "invoked indirectly, as side
+    effects of relation modifications" — is invisible control flow; this
+    module makes it visible. Every instrumented site either opens a {e span}
+    (a bracketed region with a duration and an outcome) or emits an {e event}
+    (an instant point). Both are written to a configurable sink as one JSON
+    object per line:
+
+    {v
+    {"ts":…,"ev":"span","id":7,"parent":6,"txn":3,"name":"attach.insert",
+     "us":12.4,"outcome":"veto","attrs":{"attachment":"check",…}}
+    v}
+
+    Parenting follows dynamic nesting: the substrate executes one generic
+    -interface operation at a time, so the innermost open span is the parent
+    of whatever happens next, and every record also carries its transaction
+    id so a consumer can regroup interleaved transactions. Span records are
+    emitted at close (children therefore appear before their parent, as in
+    Chrome trace logs).
+
+    Disabled (the default) every entry point is a single branch and
+    allocates nothing. Enable with [DMX_TRACE=1] ([DMX_TRACE_FILE=path]
+    redirects the sink from stderr) or {!set_enabled}. *)
+
+type span
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Turning tracing on also enables the metrics registry. *)
+
+val set_sink : (string -> unit) -> unit
+(** Route JSON lines to a custom consumer (tests, the shell). *)
+
+val use_default_sink : unit -> unit
+(** Back to [DMX_TRACE_FILE] (append) or stderr. *)
+
+val enter : ?txid:int -> ?attrs:(string * Obs_json.t) list -> string -> span
+(** Open a span. Call sites must guard attribute construction with
+    {!enabled} — when disabled this returns a preallocated null span and the
+    matching {!exit_span} is a no-op. *)
+
+val add_attr : span -> string -> Obs_json.t -> unit
+
+val exit_span :
+  ?outcome:string -> ?attrs:(string * Obs_json.t) list -> span -> unit
+(** Close the span and emit its record. [outcome] defaults to ["ok"];
+    instrumented dispatch sites use ["veto"], ["error"] and ["exn"]. *)
+
+val event : ?txid:int -> ?attrs:(string * Obs_json.t) list -> string -> unit
+(** Emit an instant record parented on the innermost open span. When [txid]
+    is omitted the enclosing span's transaction id is inherited. *)
+
+val with_span :
+  ?txid:int -> ?attrs:(string * Obs_json.t) list -> string ->
+  (unit -> 'a) -> 'a
+(** Bracket [f] in a span; an escaping exception closes it with outcome
+    ["exn"] and re-raises. *)
+
+val depth : unit -> int
+(** Number of currently open spans — 0 at every transaction boundary (the
+    sanitizer enforces this, see [Invariant.check_span_balance]). *)
+
+val emitted : unit -> int
+(** Total records written to the sink since start (or {!reset_for_testing}). *)
+
+val reset_for_testing : unit -> unit
+(** Clear the span stack and counters. Tests only. *)

@@ -15,6 +15,8 @@ type t = {
   mutable flush_hook : int64 -> unit;
 }
 
+let m_evictions = Dmx_obs.Metrics.counter "bp.evictions"
+
 let create ?(capacity = 256) disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
   {
@@ -55,6 +57,12 @@ let evict_one t =
   match victim with
   | None -> failwith "Buffer_pool: all frames pinned"
   | Some f ->
+    Dmx_obs.Metrics.incr m_evictions;
+    if Dmx_obs.Trace.enabled () then
+      Dmx_obs.Trace.event "bp.evict"
+        ~attrs:
+          [ ("page", Dmx_obs.Obs_json.Int f.page_id);
+            ("dirty", Dmx_obs.Obs_json.Bool f.dirty) ];
     write_back t f;
     Hashtbl.remove t.frames f.page_id
 
@@ -81,6 +89,9 @@ let pin t page_id =
     frame
   | None ->
     (Disk.stats t.disk).pool_misses <- (Disk.stats t.disk).pool_misses + 1;
+    if Dmx_obs.Trace.enabled () then
+      Dmx_obs.Trace.event "bp.miss"
+        ~attrs:[ ("page", Dmx_obs.Obs_json.Int page_id) ];
     install t page_id (Disk.read t.disk page_id)
 
 let unpin ?(dirty = false) ?lsn t frame =

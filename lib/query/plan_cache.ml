@@ -12,12 +12,25 @@ type t = {
 }
 
 let create () =
-  { table = Hashtbl.create 32; translations = 0; hits = 0; invalidations = 0 }
+  let t =
+    { table = Hashtbl.create 32; translations = 0; hits = 0; invalidations = 0 }
+  in
+  (* Replace-on-reregister: the latest cache created owns the exposition
+     name, matching how [Services.setup] re-registers the "io" probe. *)
+  Dmx_obs.Metrics.register_probe "plan_cache" (fun () ->
+      [ ("plan_cache.translations", t.translations);
+        ("plan_cache.hits", t.hits);
+        ("plan_cache.invalidations", t.invalidations) ]);
+  t
 
 let ( let* ) = Result.bind
 
 let bind t ctx q key =
-  let* plan = Planner.translate ctx q in
+  let* plan =
+    Dmx_core.Ctx.with_span ctx "plan.translate"
+      ~attrs:[ ("key", Dmx_obs.Obs_json.Str key) ] (fun () ->
+        Planner.translate ctx q)
+  in
   t.translations <- t.translations + 1;
   Hashtbl.replace t.table key plan;
   Ok plan
@@ -29,10 +42,14 @@ let plan_for t ctx q =
   | Some plan ->
     if Plan.valid ctx plan then begin
       t.hits <- t.hits + 1;
+      Dmx_core.Ctx.trace_event ctx "plan.hit"
+        ~attrs:[ ("key", Dmx_obs.Obs_json.Str key) ];
       Ok plan
     end
     else begin
       t.invalidations <- t.invalidations + 1;
+      Dmx_core.Ctx.trace_event ctx "plan.invalidated"
+        ~attrs:[ ("key", Dmx_obs.Obs_json.Str key) ];
       bind t ctx q key
     end
 

@@ -2,6 +2,11 @@ open Dmx_wal
 
 exception Undo_dispatch_missing
 
+let m_begins = Dmx_obs.Metrics.counter "txn.begins"
+let m_commits = Dmx_obs.Metrics.counter "txn.commits"
+let m_aborts = Dmx_obs.Metrics.counter "txn.aborts"
+let m_undo_records = Dmx_obs.Metrics.counter "txn.undo_records"
+
 type t = {
   wal : Wal.t;
   locks : Dmx_lock.Lock_table.t;
@@ -38,6 +43,8 @@ let begin_txn t =
   let txn = Txn.make id in
   Hashtbl.replace t.active id txn;
   ignore (Wal.append t.wal id Log_record.Begin);
+  Dmx_obs.Metrics.incr m_begins;
+  if Dmx_obs.Trace.enabled () then Dmx_obs.Trace.event "txn.begin" ~txid:id;
   txn
 
 let find_txn t id = Hashtbl.find_opt t.active id
@@ -53,6 +60,7 @@ let dispatch_undo t txn (r : Log_record.t) =
   | Some f ->
     f txn r;
     t.undone_count <- t.undone_count + 1;
+    Dmx_obs.Metrics.incr m_undo_records;
     ignore (Wal.append t.wal txn.Txn.id (Log_record.Clr { undone = r.lsn }))
 
 module I64set = Set.Make (Int64)
@@ -87,15 +95,32 @@ let finish t txn state =
   Hashtbl.remove t.active txn.Txn.id;
   Dmx_lock.Lock_table.release_all t.locks txn.Txn.id
 
-let abort t txn =
+(* Span bracketing without [try ... with]: this directory's error-discipline
+   lint rejects catch-alls, and [match ... with exception] re-raises
+   explicitly after closing the span. *)
+let with_txn_span name t txn f =
+  if not (Dmx_obs.Trace.enabled ()) then f t txn
+  else begin
+    let sp = Dmx_obs.Trace.enter name ~txid:txn.Txn.id in
+    match f t txn with
+    | () -> Dmx_obs.Trace.exit_span sp
+    | exception e ->
+      Dmx_obs.Trace.exit_span ~outcome:"exn" sp;
+      raise e
+  end
+
+let do_abort t txn =
   Txn.check_active txn;
   undo_back_to t txn ~limit:0L;
   ignore (Wal.append t.wal txn.Txn.id Log_record.Abort);
   let after = Txn.take_deferred txn On_abort in
   finish t txn Aborted;
+  Dmx_obs.Metrics.incr m_aborts;
   List.iter (fun f -> f ()) after
 
-let commit t txn =
+let abort t txn = with_txn_span "txn.abort" t txn do_abort
+
+let do_commit t txn =
   Txn.check_active txn;
   (* Deferred integrity checking: any action may raise, vetoing the commit. *)
   (match
@@ -113,7 +138,10 @@ let commit t txn =
   Wal.flush t.wal;
   let after = Txn.take_deferred txn On_commit in
   finish t txn Committed;
+  Dmx_obs.Metrics.incr m_commits;
   List.iter (fun f -> f ()) after
+
+let commit t txn = with_txn_span "txn.commit" t txn do_commit
 
 let savepoint t txn name =
   Txn.check_active txn;

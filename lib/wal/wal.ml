@@ -1,5 +1,10 @@
 open Dmx_value
 
+let m_appends = Dmx_obs.Metrics.counter "wal.appends"
+let m_flushes = Dmx_obs.Metrics.counter "wal.flushes"
+let m_flushed_records = Dmx_obs.Metrics.counter "wal.flushed_records"
+let h_flush_us = Dmx_obs.Metrics.histogram "wal.flush_us"
+
 type backend =
   | Mem
   | File of { fd : Unix.file_descr; mutable size : int }
@@ -130,6 +135,12 @@ let append t txid kind =
   | Mem -> t.flushed <- r.Log_record.lsn
   | File _ -> t.pending <- (txid, kind) :: t.pending);
   t.append_observer r.Log_record.lsn;
+  Dmx_obs.Metrics.incr m_appends;
+  if Dmx_obs.Trace.enabled () then
+    Dmx_obs.Trace.event "wal.append" ~txid
+      ~attrs:
+        [ ("lsn", Dmx_obs.Obs_json.Int (Int64.to_int r.Log_record.lsn));
+          ("kind", Dmx_obs.Obs_json.Str (Fmt.str "%a" Log_record.pp_kind kind)) ];
   r.Log_record.lsn
 
 let last_lsn t = Int64.of_int t.count
@@ -142,6 +153,9 @@ let flush ?upto t =
     match t.backend with
     | Mem -> ()
     | File f ->
+      let observed = Dmx_obs.Metrics.enabled () || Dmx_obs.Trace.enabled () in
+      let records = if observed then List.length t.pending else 0 in
+      let t0 = if observed then Unix.gettimeofday () else 0. in
       (* Write every pending record; fine-grained partial flush is not worth
          the bookkeeping since pending records are contiguous. *)
       let frames = List.rev_map (fun (txid, kind) -> frame txid kind) t.pending in
@@ -153,7 +167,19 @@ let flush ?upto t =
         frames;
       Unix.fsync f.fd;
       t.pending <- [];
-      t.flushed <- last_lsn t
+      t.flushed <- last_lsn t;
+      if observed then begin
+        let us = (Unix.gettimeofday () -. t0) *. 1e6 in
+        Dmx_obs.Metrics.incr m_flushes;
+        Dmx_obs.Metrics.add m_flushed_records records;
+        Dmx_obs.Metrics.observe h_flush_us us;
+        if Dmx_obs.Trace.enabled () then
+          Dmx_obs.Trace.event "wal.flush"
+            ~attrs:
+              [ ("records", Dmx_obs.Obs_json.Int records);
+                ("upto", Dmx_obs.Obs_json.Int (Int64.to_int t.flushed));
+                ("us", Dmx_obs.Obs_json.Float us) ]
+      end
   end
 
 let read t lsn =

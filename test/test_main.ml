@@ -21,5 +21,6 @@ let () =
       ("property", Test_property.suite);
       ("registry", Test_registry.suite);
       ("sanitizer", Test_sanitizer.suite);
+      ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
     ]

@@ -241,8 +241,30 @@ let prop_slotted_model =
         model;
       Slotted.live_count p = Hashtbl.length model)
 
+let test_io_stats_hit_ratio_and_clamp () =
+  let module Io = Dmx_page.Io_stats in
+  let s = Io.create () in
+  Alcotest.(check bool) "no pins, no ratio" true (Io.hit_ratio s = None);
+  s.Io.pool_hits <- 3;
+  s.Io.pool_misses <- 1;
+  (match Io.hit_ratio s with
+  | Some r -> Alcotest.(check (float 1e-9)) "3 of 4" 0.75 r
+  | None -> Alcotest.fail "expected a ratio");
+  Alcotest.(check bool) "pp includes the ratio" true
+    (Astring_contains.contains (Fmt.str "%a" Io.pp s) "hit ratio 75.0%");
+  (* A reset between two snapshots must clamp, not go negative. *)
+  let before = Io.copy s in
+  Io.reset s;
+  s.Io.page_reads <- 2;
+  let d = Io.diff ~after:s ~before in
+  Alcotest.(check int) "reads survive" 2 d.Io.page_reads;
+  Alcotest.(check int) "hits clamped to zero" 0 d.Io.pool_hits;
+  Alcotest.(check int) "misses clamped to zero" 0 d.Io.pool_misses
+
 let suite =
   [
+    Alcotest.test_case "io stats hit ratio and reset clamp" `Quick
+      test_io_stats_hit_ratio_and_clamp;
     Alcotest.test_case "slotted basic" `Quick test_slotted_basic;
     QCheck_alcotest.to_alcotest prop_slotted_model;
     Alcotest.test_case "slotted delete / pending reuse" `Quick
