@@ -1079,6 +1079,39 @@ let experiments =
     ("A1", a1); ("A2", a2); ("A4", a4); ("A5", a5);
   ]
 
+(* Machine-readable mirror of the run: per-experiment wall-clock, shape-check
+   verdicts, and counter deltas, for CI artifacts and offline diffing. The
+   format is documented in EXPERIMENTS.md. *)
+let write_bench_json results =
+  let module J = Dmx_obs.Obs_json in
+  let path = "BENCH_PR3.json" in
+  let experiment (name, secs, verdicts, deltas) =
+    J.Obj
+      [
+        ("name", J.Str name);
+        ("seconds", J.Float secs);
+        ( "shape_checks",
+          J.List
+            (List.map
+               (fun (ok, msg) ->
+                 J.Obj [ ("ok", J.Bool ok); ("message", J.Str msg) ])
+               verdicts) );
+        ("counters", J.Obj (List.map (fun (n, d) -> (n, J.Int d)) deltas));
+      ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "dmx-bench/1");
+        ("experiments", J.List (List.map experiment results));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s (%d experiments)@." path (List.length results)
+
 let () =
   let chosen =
     match Array.to_list Sys.argv with
@@ -1088,13 +1121,21 @@ let () =
   Fmt.pr "dmx benchmark harness — regenerating the paper's claims@.";
   Fmt.pr "(no quantitative tables exist in the paper; see EXPERIMENTS.md)@.";
   Dmx_obs.Metrics.set_enabled true;
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f ->
-        let before = Dmx_obs.Metrics.snapshot () in
-        f ();
-        Report.counter_deltas ~before ~after:(Dmx_obs.Metrics.snapshot ())
-      | None -> Fmt.epr "unknown experiment %s@." name)
-    chosen;
+  let results =
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f ->
+          let before = Dmx_obs.Metrics.snapshot () in
+          let (), secs = time f in
+          let deltas =
+            Report.counter_deltas ~before ~after:(Dmx_obs.Metrics.snapshot ())
+          in
+          Some (name, secs, Report.take_verdicts (), deltas)
+        | None ->
+          Fmt.epr "unknown experiment %s@." name;
+          None)
+      chosen
+  in
+  write_bench_json results;
   Fmt.pr "@.%s@.bench: done@." (String.make 78 '=')

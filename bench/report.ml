@@ -28,9 +28,20 @@ let table ~columns rows =
   print_row (List.map (fun w -> String.make w '-') widths);
   List.iter print_row rows
 
+(* Verdicts are also recorded machine-readably; the driver drains them per
+   experiment into BENCH_PR3.json (see EXPERIMENTS.md). *)
+let recorded_verdicts : (bool * string) list ref = ref []
+
+let take_verdicts () =
+  let vs = List.rev !recorded_verdicts in
+  recorded_verdicts := [];
+  vs
+
 let verdict ~ok fmt =
   Fmt.kstr
-    (fun s -> Fmt.pr "shape check: %s — %s@." (if ok then "PASS" else "FAIL") s)
+    (fun s ->
+      recorded_verdicts := (ok, s) :: !recorded_verdicts;
+      Fmt.pr "shape check: %s — %s@." (if ok then "PASS" else "FAIL") s)
     fmt
 
 let f1 v = Fmt.str "%.1f" v
@@ -38,7 +49,8 @@ let f2 v = Fmt.str "%.2f" v
 let i v = string_of_int v
 
 (* Per-experiment observability: every counter that moved between two
-   [Dmx_obs.Metrics.snapshot]s, as name/delta pairs. *)
+   [Dmx_obs.Metrics.snapshot]s, as name/delta pairs. Printed and returned
+   so the driver can serialize them. *)
 let counter_deltas ~before ~after =
   let base = Hashtbl.of_seq (List.to_seq before) in
   let moved =
@@ -51,4 +63,5 @@ let counter_deltas ~before ~after =
   if moved <> [] then begin
     Fmt.pr "counters (delta over experiment):@.";
     List.iter (fun (name, d) -> Fmt.pr "  %-28s %+d@." name d) moved
-  end
+  end;
+  moved

@@ -1,0 +1,51 @@
+(* dmx_prof — offline analyzer for DMX_TRACE_FILE JSON-Lines traces.
+
+   Usage:
+     dmx_prof.exe [--top N] [TRACE_FILE]
+
+   When TRACE_FILE is omitted, $DMX_TRACE_FILE is consulted, so the same
+   environment variable that produced the trace can be reused to read it
+   back. Reports: critical path of the slowest transaction, top-N slowest
+   spans, per-relation and per-attachment latency quantiles, lock-contention
+   pairs, and deadlock victims. *)
+
+let usage () =
+  Fmt.epr "usage: dmx_prof [--top N] [TRACE_FILE]@.";
+  Fmt.epr "       TRACE_FILE defaults to $DMX_TRACE_FILE@.";
+  exit 2
+
+let () =
+  let top = ref 10 in
+  let path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--top" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> top := n
+      | _ -> usage ());
+      parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: rest ->
+      (match !path with None -> path := Some arg | Some _ -> usage ());
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path =
+    match !path with
+    | Some p -> p
+    | None -> (
+      match Sys.getenv_opt "DMX_TRACE_FILE" with
+      | Some p when p <> "" -> p
+      | _ -> usage ())
+  in
+  if not (Sys.file_exists path) then begin
+    Fmt.epr "dmx_prof: no such trace file: %s@." path;
+    exit 1
+  end;
+  let records, errors = Dmx_obs.Trace_reader.load_file path in
+  List.iter (fun e -> Fmt.epr "dmx_prof: %s@." e) errors;
+  if records = [] then begin
+    Fmt.epr "dmx_prof: %s: no trace records@." path;
+    exit 1
+  end;
+  Fmt.pr "%a@." (Dmx_obs.Trace_reader.pp_report ~top:!top) records

@@ -7,7 +7,9 @@
      insert into emp values (1, 'alice', 120)
      select * from emp where salary > 100
      select name, salary from emp where id = 1
+     select * from emp join dept on dept=name where salary > 100
      explain select * from emp where id = 1
+     explain analyze select * from emp join dept on dept=name
      update emp set salary = 200 where id = 1
      delete from emp where id = 1
      begin | commit | abort | savepoint s1 | rollback to s1
@@ -15,6 +17,8 @@
      drop table emp
      show tables | describe emp | show extensions
      show stats          (metrics registry dump: counters + histograms)
+     show profile        (latency attribution by component, per transaction)
+     profile on | off | reset   (also DMX_PROFILE=1)
      trace on | trace off  (JSON Lines dispatch tracing; also DMX_TRACE=1)
      quit
 
@@ -206,6 +210,38 @@ let keys_matching st ctx rel where =
   let scan = ok (Relation.scan ctx desc ?filter ()) in
   Dmx_core.Scan_help.record_scan_to_list scan
 
+(* select <cols|*> from <rel> [join <rel2> on <f1> = <f2>] [where ...]
+   Shared by select, explain and explain analyze. [line] is the raw
+   statement text (for the predicate tail), [toks] its tokens. *)
+let parse_select line toks =
+  match toks with
+  | Word s :: rest when kw s = "select" ->
+    let cols, rest =
+      let rec take acc = function
+        | Word f :: rest when kw f = "from" -> (List.rev acc, rest)
+        | Word c :: rest -> take (c :: acc) rest
+        | Comma :: rest -> take acc rest
+        | _ -> err "expected: select cols from table"
+      in
+      take [] rest
+    in
+    let rel, rest =
+      match rest with
+      | Word r :: rest -> (r, rest)
+      | _ -> err "expected table name"
+    in
+    let project = match cols with [ "*" ] -> None | cols -> Some cols in
+    let where = raw_after_where line in
+    let q =
+      match rest with
+      | Word j :: Word rel2 :: Word on :: Word f1 :: Equals :: Word f2 :: _
+        when kw j = "join" && kw on = "on" ->
+        Query.join ?where ?project rel ~on:(rel2, f1, f2)
+      | _ -> Query.select ?where ?project rel
+    in
+    (q, project)
+  | _ -> err "expected a select statement"
+
 let print_rows schema_names rows =
   (match schema_names with
   | Some names -> Fmt.pr "%s@." (String.concat " | " names)
@@ -315,52 +351,24 @@ let exec_line st line =
           let key = ok (Db.insert st.db ctx ~relation:rel record) in
           Fmt.pr "INSERT %a@." Record_key.pp key)
     | "select", _ ->
-      (* select <cols|*> from <rel> [where ...] *)
-      let cols, rest =
-        let rec take acc = function
-          | Word f :: rest when kw f = "from" -> (List.rev acc, rest)
-          | Word c :: rest -> take (c :: acc) rest
-          | Comma :: rest -> take acc rest
-          | _ -> err "expected: select cols from table"
-        in
-        take [] rest
-      in
-      let rel =
-        match rest with Word r :: _ -> r | _ -> err "expected table name"
-      in
-      let project =
-        match cols with [ "*" ] -> None | cols -> Some cols
-      in
-      let where = raw_after_where line in
-      let q = Query.select ?where ?project rel in
+      let q, project = parse_select line toks in
       with_ctx st (fun ctx ->
           let rows = ok (Db.query st.db ctx q ()) in
           print_rows (Option.map Fun.id project) rows)
+    | "explain", Word a :: _ when kw a = "analyze" ->
+      (* explain analyze <select ...>: execute with per-operator stats *)
+      let stmt = String.sub line 16 (String.length line - 16) in
+      let q, _ = parse_select stmt (tokenize stmt) in
+      with_ctx st (fun ctx ->
+          let rows, stats = ok (Db.explain_analyze st.db ctx q ()) in
+          Fmt.pr "%a" Dmx_query.Executor.pp_analysis stats;
+          Fmt.pr "(%d row%s)@." (List.length rows)
+            (if List.length rows = 1 then "" else "s"))
     | "explain", _ ->
       let stmt = String.sub line 8 (String.length line - 8) in
-      let toks2 = tokenize stmt in
-      (match toks2 with
-      | Word s :: _ when kw s = "select" ->
-        let cols, rest =
-          let rec take acc = function
-            | Word f :: rest when kw f = "from" -> (List.rev acc, rest)
-            | Word c :: rest -> take (c :: acc) rest
-            | Comma :: rest -> take acc rest
-            | _ -> err "explain only supports select"
-          in
-          match toks2 with
-          | _ :: rest -> take [] rest
-          | [] -> err "empty explain"
-        in
-        ignore cols;
-        let rel =
-          match rest with Word r :: _ -> r | _ -> err "expected table"
-        in
-        let where = raw_after_where stmt in
-        let q = Query.select ?where rel in
-        with_ctx st (fun ctx ->
-            Fmt.pr "plan: %s@." (ok (Db.explain st.db ctx q)))
-      | _ -> err "explain only supports select")
+      let q, _ = parse_select stmt (tokenize stmt) in
+      with_ctx st (fun ctx ->
+          Fmt.pr "plan: %s@." (ok (Db.explain st.db ctx q)))
     | "update", Word rel :: Word s :: Word col :: Equals :: v :: _
       when kw s = "set" ->
       let where = raw_after_where line in
@@ -404,6 +412,17 @@ let exec_line st line =
           Fmt.pr "DELETE %d@." (List.length hits))
     | "show", [ Word t ] when kw t = "stats" ->
       Fmt.pr "%a@." Dmx_obs.Metrics.pp_dump ()
+    | "show", [ Word t ] when kw t = "profile" ->
+      Fmt.pr "%a" Dmx_obs.Profile.pp_report ()
+    | "profile", [ Word t ] when kw t = "on" ->
+      Dmx_obs.Profile.set_enabled true;
+      Fmt.pr "PROFILE ON@."
+    | "profile", [ Word t ] when kw t = "off" ->
+      Dmx_obs.Profile.set_enabled false;
+      Fmt.pr "PROFILE OFF@."
+    | "profile", [ Word t ] when kw t = "reset" ->
+      Dmx_obs.Profile.reset ();
+      Fmt.pr "PROFILE RESET@."
     | "trace", [ Word t ] when kw t = "on" ->
       Dmx_obs.Trace.set_enabled true;
       Fmt.pr "TRACE ON (JSON Lines to %s)@."
@@ -449,9 +468,11 @@ let banner =
 
 let () =
   let dir = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
-  (* The shell is interactive; counter upkeep is noise there, so metrics are
-     always on and `show stats` always has numbers. *)
+  (* The shell is interactive; counter upkeep is noise there, so metrics
+     and the profiler are always on and `show stats` / `show profile`
+     always have numbers. *)
   Dmx_obs.Metrics.set_enabled true;
+  Dmx_obs.Profile.set_enabled true;
   Db.register_defaults ();
   let db = Db.open_database ?dir () in
   let st = { db; txn = None } in

@@ -68,21 +68,47 @@ let lock_record ctx desc key mode =
 
 let ( let* ) = Result.bind
 
-(* ---- dispatch tracing -------------------------------------------------- *)
+(* ---- dispatch tracing and profiling ------------------------------------ *)
 (* Attribute closures run only when tracing is on; the disabled path costs
-   one branch per wrapper. *)
+   one branch per wrapper. [pkey] additionally charges the bracketed work to
+   the latency-attribution table under that (vector, slot) key when
+   profiling is on — vector-boundary sites (smethod/attachment slots) pass
+   it, purely observational spans do not. *)
 
 let result_outcome = function
   | Ok _ -> ("ok", None)
   | Error (Error.Veto { reason; _ }) -> ("veto", Some reason)
   | Error e -> ("error", Some (Error.to_string e))
 
-let with_result_span name ~txid attrs f =
-  if not (Dmx_obs.Trace.enabled ()) then f ()
+let profile_outcome = function
+  | Ok _ -> `Ok
+  | Error (Error.Veto _) -> `Veto
+  | Error _ -> `Error
+
+let with_result_span ?pkey name ~txid attrs f =
+  if
+    not
+      (Dmx_obs.Trace.enabled ()
+      || (pkey <> None && Dmx_obs.Profile.enabled ()))
+  then f ()
   else begin
-    let sp = Dmx_obs.Trace.enter name ~txid ~attrs:(attrs ()) in
+    let traced = Dmx_obs.Trace.enabled () in
+    let sp =
+      Dmx_obs.Trace.enter name ~txid ~attrs:(if traced then attrs () else [])
+    in
+    let fr =
+      match pkey with
+      | Some k -> Some (Dmx_obs.Profile.begin_frame ~txid k)
+      | None -> None
+    in
+    let close_frame outcome =
+      match fr with
+      | Some fr -> Dmx_obs.Profile.end_frame ~outcome fr
+      | None -> ()
+    in
     match f () with
     | r ->
+      close_frame (profile_outcome r);
       let outcome, reason = result_outcome r in
       let attrs =
         match reason with
@@ -92,6 +118,7 @@ let with_result_span name ~txid attrs f =
       Dmx_obs.Trace.exit_span ~outcome ~attrs sp;
       r
     | exception e ->
+      close_frame `Exn;
       Dmx_obs.Trace.exit_span ~outcome:"exn" sp;
       raise e
   end
@@ -105,6 +132,7 @@ let rel_span ctx desc op f =
 
 let sm_span ctx desc op f =
   with_result_span ("smethod." ^ op) ~txid:ctx.Ctx.txn.Txn.id
+    ~pkey:(Dmx_obs.Profile.Smethod desc.Descriptor.smethod_id)
     (fun () ->
       [ ("smethod_id", Dmx_obs.Obs_json.Int desc.Descriptor.smethod_id) ])
     f
@@ -127,6 +155,7 @@ let run_attached ctx desc ~op ~info f =
         incr at_calls;
         let r =
           with_result_span ("attach." ^ op) ~txid:ctx.Ctx.txn.Txn.id
+            ~pkey:(Dmx_obs.Profile.Attachment n)
             (fun () ->
               ("attachment", Dmx_obs.Obs_json.Str (attachment_label n))
               :: ("type_id", Dmx_obs.Obs_json.Int n)
@@ -235,10 +264,11 @@ let delete ctx desc key =
           Ok old_record))
 
 (* [fetch] is the hottest generic-interface call (the E1 bench drives it);
-   the untraced path below is the seed code verbatim so tracing costs the
-   disabled build exactly one branch, no closures. *)
+   the uninstrumented path below is the seed code verbatim so the combined
+   trace/profile gate costs the disabled build exactly one load and branch,
+   no closures. *)
 let fetch ctx desc key ?fields () =
-  if not (Dmx_obs.Trace.enabled ()) then
+  if not (Dmx_obs.Profile.instrumented ()) then
     let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
     let (module M : Intf.STORAGE_METHOD) =
       Registry.storage_method desc.Descriptor.smethod_id
@@ -251,17 +281,27 @@ let fetch ctx desc key ?fields () =
         Registry.storage_method desc.Descriptor.smethod_id
       in
       begin
+        let traced = Dmx_obs.Trace.enabled () in
         let sp =
           Dmx_obs.Trace.enter "smethod.fetch" ~txid:ctx.Ctx.txn.Txn.id
             ~attrs:
-              [ ("smethod_id", Dmx_obs.Obs_json.Int desc.Descriptor.smethod_id) ]
+              (if traced then
+                 [ ("smethod_id",
+                    Dmx_obs.Obs_json.Int desc.Descriptor.smethod_id) ]
+               else [])
+        in
+        let fr =
+          Dmx_obs.Profile.begin_frame ~txid:ctx.Ctx.txn.Txn.id
+            (Dmx_obs.Profile.Smethod desc.Descriptor.smethod_id)
         in
         match M.fetch ctx desc key ?fields () with
         | r ->
+          Dmx_obs.Profile.end_frame fr;
           Dmx_obs.Trace.exit_span sp
             ~attrs:[ ("found", Dmx_obs.Obs_json.Bool (Option.is_some r)) ];
           Ok r
         | exception e ->
+          Dmx_obs.Profile.end_frame fr ~outcome:`Exn;
           Dmx_obs.Trace.exit_span ~outcome:"exn" sp;
           raise e
       end)

@@ -38,6 +38,18 @@ let setup ?dir ?(pool_capacity = 256) () =
      folds them into the common metrics exposition at snapshot time. *)
   Dmx_obs.Metrics.register_probe "io" (fun () ->
       Io_stats.to_metrics (Disk.stats disk));
+  (* Resolve the profiler's (vector, slot) keys to registry names. The
+     registry is frozen above, so ids are stable for this process. *)
+  Dmx_obs.Profile.set_key_namer (function
+    | Dmx_obs.Profile.Smethod i -> (
+      match Registry.storage_method_name i with
+      | name -> Some ("smethod:" ^ name)
+      | exception Invalid_argument _ -> None)
+    | Dmx_obs.Profile.Attachment i -> (
+      match Registry.attachment_name i with
+      | name -> Some ("attach:" ^ name)
+      | exception Invalid_argument _ -> None)
+    | _ -> None);
   let locks = Dmx_lock.Lock_table.create () in
   let txn_mgr = Dmx_txn.Txn_mgr.create ~wal ~locks () in
   let t = { disk; bp; wal; locks; txn_mgr; catalog; last_recovery = None } in
@@ -92,7 +104,8 @@ let close t =
   Buffer_pool.flush_all t.bp;
   Dmx_catalog.Catalog.save t.catalog;
   Wal.close t.wal;
-  Disk.close t.disk
+  Disk.close t.disk;
+  Dmx_obs.Trace.flush_sink ()
 
 let simulate_crash t =
   (* Volatile memory vanishes: no force, no catalog save, no clean abort. *)

@@ -119,6 +119,10 @@ let explain t ctx q =
   let* () = check_query_authz t ctx q in
   Plan_cache.explain t.cache ctx q
 
+let explain_analyze t ctx q ?params () =
+  let* () = check_query_authz t ctx q in
+  Plan_cache.analyze t.cache ctx q ?params ()
+
 let grant t ~user ~privs ~relation =
   match Dmx_catalog.Catalog.find t.services.Services.catalog relation with
   | None -> Error (Error.No_such_relation relation)

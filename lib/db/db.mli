@@ -78,6 +78,13 @@ val query :
 val explain :
   t -> Ctx.t -> Dmx_query.Query.t -> (string, Error.t) result
 
+val explain_analyze :
+  t -> Ctx.t -> Dmx_query.Query.t -> ?params:Value.t array -> unit ->
+  (Record.t list * Dmx_query.Executor.op_stats, Error.t) result
+(** Execute with per-operator instrumentation; render the stats tree with
+    [Dmx_query.Executor.pp_analysis]. Same Select authorization as
+    {!query}. *)
+
 (** {2 Grants} *)
 
 val grant :

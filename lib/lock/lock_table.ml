@@ -88,15 +88,19 @@ let observe_outcome ~txid ~mode resource = function
   | Would_block holders -> observe_conflict ~txid ~mode resource holders
 
 let acquire t ~txid ~mode resource =
+  let fr = Dmx_obs.Profile.begin_frame ~txid Dmx_obs.Profile.Lock in
   match try_acquire t ~txid ~mode resource with
   | Granted as o ->
+    Dmx_obs.Profile.end_frame fr;
     Dmx_obs.Metrics.incr m_grants;
     o
   | Would_block holders as o ->
+    Dmx_obs.Profile.end_frame fr ~outcome:`Error;
     observe_conflict ~txid ~mode resource holders;
     o
 
 let enqueue t ~txid ~mode resource =
+  let fr = Dmx_obs.Profile.begin_frame ~txid Dmx_obs.Profile.Lock in
   let e = entry t resource in
   (* No barging: a request joins the queue behind existing waiters of other
      transactions even when it is compatible with the current holders,
@@ -119,6 +123,9 @@ let enqueue t ~txid ~mode resource =
         then e.waiting <- e.waiting @ [ (txid, mode) ];
         Would_block bs
   in
+  (match outcome with
+  | Granted -> Dmx_obs.Profile.end_frame fr
+  | Would_block _ -> Dmx_obs.Profile.end_frame fr ~outcome:`Error);
   observe_outcome ~txid ~mode resource outcome;
   outcome
 

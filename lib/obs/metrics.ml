@@ -66,6 +66,29 @@ let observe h v =
     h.h_total <- h.h_total + 1
   end
 
+let quantile h q =
+  if h.h_total = 0 || Array.length h.h_bounds = 0 then None
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int h.h_total in
+    let n = Array.length h.h_bounds in
+    let rec find i cum =
+      if i > n then Some h.h_bounds.(n - 1) (* overflow: clamp to last bound *)
+      else
+        let cum' = cum + h.h_counts.(i) in
+        if float_of_int cum' >= target && h.h_counts.(i) > 0 then
+          if i = n then Some h.h_bounds.(n - 1)
+          else
+            (* linear interpolation within the bucket [lo, bound] *)
+            let lo = if i = 0 then 0. else h.h_bounds.(i - 1) in
+            let hi = h.h_bounds.(i) in
+            let inside = (target -. float_of_int cum) /. float_of_int h.h_counts.(i) in
+            Some (lo +. ((hi -. lo) *. Float.max 0. inside))
+        else find (i + 1) cum'
+    in
+    find 0 0
+  end
+
 let histogram_buckets h = Array.copy h.h_bounds
 let histogram_counts h = Array.copy h.h_counts
 let histogram_count h = h.h_total
@@ -96,7 +119,13 @@ let pp_dump ppf () =
     List.iter
       (fun h ->
         let mean = if h.h_total = 0 then 0. else h.h_sum /. float_of_int h.h_total in
-        Fmt.pf ppf "  %-36s count=%d mean=%.1f@." h.h_name h.h_total mean;
+        let qs =
+          match (quantile h 0.50, quantile h 0.95, quantile h 0.99) with
+          | Some p50, Some p95, Some p99 ->
+            Fmt.str " p50=%.1f p95=%.1f p99=%.1f" p50 p95 p99
+          | _ -> ""
+        in
+        Fmt.pf ppf "  %-36s count=%d mean=%.1f%s@." h.h_name h.h_total mean qs;
         if h.h_total > 0 then begin
           Array.iteri
             (fun i c ->

@@ -49,6 +49,12 @@ val histogram_counts : histogram -> int array
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val quantile : histogram -> float -> float option
+(** [quantile h q] estimates the [q]-quantile ([0. <= q <= 1.]) from the
+    bucket counts by linear interpolation inside the covering bucket
+    (Prometheus [histogram_quantile] style). Observations in the overflow
+    bucket clamp to the last bound. [None] when the histogram is empty. *)
+
 val register_probe : string -> (unit -> (string * int) list) -> unit
 (** Registering under an existing probe name replaces it (a fresh
     [Services.setup] re-points the probe at the new database's state). *)

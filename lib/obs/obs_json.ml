@@ -58,3 +58,193 @@ let to_string v =
   let b = Buffer.create 64 in
   to_buffer b v;
   Buffer.contents b
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail "expected %c at offset %d" c !pos
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> fail "bad hex digit %c" c
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (if !pos >= n then fail "truncated escape";
+         match s.[!pos] with
+         | '"' -> Buffer.add_char buf '"'; advance ()
+         | '\\' -> Buffer.add_char buf '\\'; advance ()
+         | '/' -> Buffer.add_char buf '/'; advance ()
+         | 'b' -> Buffer.add_char buf '\b'; advance ()
+         | 'f' -> Buffer.add_char buf '\012'; advance ()
+         | 'n' -> Buffer.add_char buf '\n'; advance ()
+         | 'r' -> Buffer.add_char buf '\r'; advance ()
+         | 't' -> Buffer.add_char buf '\t'; advance ()
+         | 'u' ->
+           advance ();
+           let cp = parse_hex4 () in
+           (* Re-encode the code point as UTF-8; the serializer only emits
+              \u escapes for control characters, so the common case is a
+              single byte. *)
+           if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+           else if cp < 0x800 then begin
+             Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+             Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+           end
+         | c -> fail "bad escape \\%c" c);
+        loop ()
+      | c -> Buffer.add_char buf c; advance (); loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' -> true
+      | '.' | 'e' | 'E' | '+' | '-' -> is_float := true; true
+      | _ -> false
+    do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail "bad number %S" lit
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> fail "bad number %S" lit)
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      v
+    end
+    else fail "bad literal at offset %d" !pos
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let kvs = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          kvs := (k, v) :: !kvs;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or } at offset %d" !pos
+        in
+        members ();
+        Obj (List.rev !kvs)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); List [] end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ] at offset %d" !pos
+        in
+        elements ();
+        List (List.rev !items)
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "unexpected character %c at offset %d" c !pos
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage at offset %d" !pos;
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error m -> Error m
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let to_int_opt = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None

@@ -16,3 +16,17 @@ type t =
 
 val to_buffer : Buffer.t -> t -> unit
 val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (the whole string). Numbers without a fraction
+    or exponent become [Int]; everything else numeric becomes [Float]. Used
+    by [Trace_reader] to re-read the trace sink's own output. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the first binding of [k]; [None] otherwise. *)
+
+val to_float_opt : t -> float option
+(** Numeric coercion: [Int] and [Float] both succeed. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

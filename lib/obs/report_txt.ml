@@ -1,0 +1,76 @@
+type node = {
+  n_label : string;
+  n_metrics : (string * string) list;
+  n_children : node list;
+}
+
+let node ?(metrics = []) ?(children = []) label =
+  { n_label = label; n_metrics = metrics; n_children = children }
+
+let fmt_us us =
+  if Float.abs us < 1_000. then Printf.sprintf "%.1fus" us
+  else if Float.abs us < 1_000_000. then Printf.sprintf "%.2fms" (us /. 1_000.)
+  else Printf.sprintf "%.3fs" (us /. 1_000_000.)
+
+let line_of node =
+  match node.n_metrics with
+  | [] -> node.n_label
+  | ms ->
+    node.n_label ^ "  ("
+    ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) ms)
+    ^ ")"
+
+let pp_tree ppf root =
+  let buf = Buffer.create 256 in
+  let rec go prefix ~is_root ~is_last node =
+    if is_root then Buffer.add_string buf (line_of node)
+    else begin
+      Buffer.add_string buf prefix;
+      Buffer.add_string buf (if is_last then "└─ " else "├─ ");
+      Buffer.add_string buf (line_of node)
+    end;
+    Buffer.add_char buf '\n';
+    let child_prefix =
+      if is_root then prefix
+      else prefix ^ (if is_last then "   " else "│  ")
+    in
+    let n = List.length node.n_children in
+    List.iteri
+      (fun i c -> go child_prefix ~is_root:false ~is_last:(i = n - 1) c)
+      node.n_children
+  in
+  go "" ~is_root:true ~is_last:true root;
+  Fmt.pf ppf "%s" (Buffer.contents buf)
+
+type align = L | R
+
+let pp_table ~columns ppf rows =
+  let headers = List.map fst columns in
+  let aligns = List.map snd columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row ->
+            match List.nth_opt row i with
+            | Some cell -> max w (String.length cell)
+            | None -> w)
+          (String.length h) rows)
+      headers
+  in
+  let pad align w s =
+    let k = w - String.length s in
+    if k <= 0 then s
+    else if align = L then s ^ String.make k ' '
+    else String.make k ' ' ^ s
+  in
+  let render cells =
+    let rec zip cells widths aligns =
+      match (cells, widths, aligns) with
+      | c :: cs, w :: ws, a :: als -> pad a w c :: zip cs ws als
+      | _ -> []
+    in
+    String.concat "  " (zip cells widths aligns)
+  in
+  Fmt.pf ppf "  %s@." (render headers);
+  List.iter (fun row -> Fmt.pf ppf "  %s@." (render row)) rows

@@ -1,0 +1,32 @@
+(** Plain-text rendering helpers shared by the profiling reports: an
+    operator/span tree with box-drawing connectors and inline metrics, and a
+    fixed-width column table. Kept free of substrate dependencies so both
+    the shell and the offline [dmx_prof] analyzer can use it. *)
+
+type node = {
+  n_label : string;
+  n_metrics : (string * string) list;  (** rendered [k=v] after the label *)
+  n_children : node list;
+}
+
+val node :
+  ?metrics:(string * string) list -> ?children:node list -> string -> node
+
+val pp_tree : Format.formatter -> node -> unit
+(** {v
+    root  (rows=3, time=1.2ms)
+    ├─ child  (rows=10)
+    └─ child2
+    v} *)
+
+type align = L | R
+
+val pp_table :
+  columns:(string * align) list ->
+  Format.formatter ->
+  string list list ->
+  unit
+(** Header row plus data rows, columns padded to the widest cell. *)
+
+val fmt_us : float -> string
+(** Microseconds rendered at a human scale: [12.4us], [3.10ms], [1.250s]. *)

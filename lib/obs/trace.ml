@@ -15,25 +15,89 @@ let env_enables var =
 let on = ref (env_enables "DMX_TRACE")
 let enabled () = !on
 
+(* Other gates (Profile's combined dispatch gate) refresh off this toggle. *)
+let toggle_hooks : (bool -> unit) list ref = ref []
+let add_toggle_hook f = toggle_hooks := f :: !toggle_hooks
+
+(* forward reference so set_enabled can flush; filled below *)
+let flush_hook : (unit -> unit) ref = ref (fun () -> ())
+
 let set_enabled b =
   on := b;
-  if b then Metrics.set_enabled true
+  if b then Metrics.set_enabled true;
+  if not b then !flush_hook ();
+  List.iter (fun f -> f b) !toggle_hooks
 
 (* ---- sink ---- *)
+
+(* A file sink buffers writes (flushed on [Trace] disable and at exit) and
+   honors a [DMX_TRACE_MAX_MB] byte budget: the first line that would
+   exceed it is replaced by a single truncation marker and everything after
+   is dropped, instead of growing the file without bound. *)
+type file_sink = {
+  fs_oc : out_channel;
+  fs_cap : int option;  (* bytes; None = unbounded *)
+  mutable fs_written : int;
+  mutable fs_truncated : bool;
+}
+
+let cap_from_env () =
+  match Sys.getenv_opt "DMX_TRACE_MAX_MB" with
+  | None -> None
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some mb when mb > 0. -> Some (int_of_float (mb *. 1024. *. 1024.))
+    | Some _ | None -> None)
+
+let file_sinks : file_sink list ref = ref []
+
+let flush_sink () =
+  List.iter (fun fs -> try flush fs.fs_oc with Sys_error _ -> ()) !file_sinks
+
+let () = flush_hook := flush_sink
+let () = at_exit flush_sink
+
+let file_sink_write fs line =
+  if not fs.fs_truncated then begin
+    let len = String.length line + 1 in
+    match fs.fs_cap with
+    | Some cap when fs.fs_written + len > cap ->
+      fs.fs_truncated <- true;
+      let marker =
+        Printf.sprintf "{\"ts\":%.6f,\"ev\":\"truncated\",\"cap_bytes\":%d}"
+          (Unix.gettimeofday ()) cap
+      in
+      output_string fs.fs_oc marker;
+      output_char fs.fs_oc '\n';
+      flush fs.fs_oc
+    | _ ->
+      output_string fs.fs_oc line;
+      output_char fs.fs_oc '\n';
+      fs.fs_written <- fs.fs_written + len
+  end
+
+let make_file_sink path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  let fs =
+    {
+      fs_oc = oc;
+      fs_cap = cap_from_env ();
+      fs_written = (try out_channel_length oc with Sys_error _ -> 0);
+      fs_truncated = false;
+    }
+  in
+  file_sinks := fs :: !file_sinks;
+  file_sink_write fs
 
 let default_sink =
   lazy
     (match Sys.getenv_opt "DMX_TRACE_FILE" with
-    | Some path ->
-      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-      fun line ->
-        output_string oc line;
-        output_char oc '\n';
-        flush oc
+    | Some path -> make_file_sink path
     | None -> prerr_endline)
 
 let sink_override : (string -> unit) option ref = ref None
 let set_sink f = sink_override := Some f
+let open_file_sink path = sink_override := Some (make_file_sink path)
 let use_default_sink () = sink_override := None
 
 let emitted_count = ref 0

@@ -28,10 +28,26 @@ type span
 val enabled : unit -> bool
 
 val set_enabled : bool -> unit
-(** Turning tracing on also enables the metrics registry. *)
+(** Turning tracing on also enables the metrics registry; turning it off
+    flushes any buffered file sink. *)
+
+val add_toggle_hook : (bool -> unit) -> unit
+(** Called with the new state on every {!set_enabled}. [Profile] uses this
+    to refresh its combined dispatch gate. *)
 
 val set_sink : (string -> unit) -> unit
 (** Route JSON lines to a custom consumer (tests, the shell). *)
+
+val open_file_sink : string -> unit
+(** Route JSON lines to [path] (append mode). The sink buffers writes —
+    flushed by {!flush_sink}, on [set_enabled false], and at process exit —
+    and honors the [DMX_TRACE_MAX_MB] cap (read when the sink opens): the
+    first line that would exceed the budget is replaced with a single
+    [{"ev":"truncated",…}] marker and subsequent lines are dropped. The
+    default [DMX_TRACE_FILE] sink uses the same machinery. *)
+
+val flush_sink : unit -> unit
+(** Flush every open file sink. *)
 
 val use_default_sink : unit -> unit
 (** Back to [DMX_TRACE_FILE] (append) or stderr. *)

@@ -1,0 +1,83 @@
+(** Offline analysis of the JSON-Lines traces written by [Trace].
+
+    [dmx_prof.exe] (and the golden tests) load a [DMX_TRACE_FILE] capture
+    and answer the latency questions the raw log cannot: which root span
+    dominated, what does each relation's and attachment type's latency
+    distribution look like, and which (transaction, lock) pairs conflicted.
+
+    Quantiles here are {e nearest-rank} over the raw span samples — exact
+    and deterministic, unlike the online bucketed [Metrics.quantile]. *)
+
+type kind = Span | Event | Truncated
+
+type record = {
+  r_ts : float;
+  r_kind : kind;
+  r_id : int;
+  r_parent : int;
+  r_txn : int;
+  r_name : string;
+  r_us : float;  (** 0 for events *)
+  r_outcome : string option;
+  r_attrs : (string * Obs_json.t) list;
+}
+
+val parse_line : string -> (record, string) result
+
+val load_file : string -> record list * string list
+(** Records in file order plus per-line parse errors (blank lines are
+    skipped). *)
+
+type node = { n_rec : record; mutable n_kids : node list }
+
+val forest : record list -> node list
+(** Spans re-nested by parent id. Roots (parent 0 or unknown — the parent
+    span may have been truncated away) and siblings are sorted slowest
+    first. *)
+
+val critical_path : record list -> record list
+(** From the slowest root span, follow the heaviest child at every level. *)
+
+val top_spans : ?n:int -> record list -> record list
+
+val quantile : float list -> float -> float option
+(** Nearest-rank quantile of raw samples; [None] on an empty list. *)
+
+type group_stats = {
+  g_key : string;
+  g_count : int;
+  g_vetoes : int;
+  g_p50 : float;
+  g_p95 : float;
+  g_p99 : float;
+}
+
+val per_relation : record list -> group_stats list
+(** [relation.*] spans grouped by their [rel] attribute, sorted by key. *)
+
+val per_attachment : record list -> group_stats list
+(** [attach.*] spans grouped by their [attachment] attribute. *)
+
+type contention = {
+  c_waiter : int;
+  c_holder : int;
+  c_resource : string;
+  c_mode : string;
+  c_count : int;
+}
+
+val lock_contention : record list -> contention list
+(** Aggregated from [lock.conflict] events: one row per
+    (waiter transaction, holding transaction, resource, mode). *)
+
+type victim = { v_txn : int; v_cycle : int list }
+
+val deadlock_victims : record list -> victim list
+
+val truncated : record list -> bool
+(** True when the capture hit the [DMX_TRACE_MAX_MB] cap. *)
+
+val pp_report : ?top:int -> Format.formatter -> record list -> unit
+(** The full text report: summary line, critical path, top-N spans,
+    per-relation and per-attachment quantile tables, lock contention,
+    deadlock victims. *)

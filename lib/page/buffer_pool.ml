@@ -92,7 +92,12 @@ let pin t page_id =
     if Dmx_obs.Trace.enabled () then
       Dmx_obs.Trace.event "bp.miss"
         ~attrs:[ ("page", Dmx_obs.Obs_json.Int page_id) ];
-    install t page_id (Disk.read t.disk page_id)
+    (* the fill (plus any eviction write-back it forces) is charged to the
+       enclosing frame's transaction *)
+    let fr = Dmx_obs.Profile.begin_frame ~txid:(-1) Dmx_obs.Profile.Bp in
+    let frame = install t page_id (Disk.read t.disk page_id) in
+    Dmx_obs.Profile.end_frame fr;
+    frame
 
 let unpin ?(dirty = false) ?lsn t frame =
   if frame.pin_count <= 0 then failwith "Buffer_pool.unpin: frame not pinned";

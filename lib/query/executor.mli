@@ -20,3 +20,34 @@ val open_plan :
 val run :
   Dmx_core.Ctx.t -> Plan.t -> ?params:Value.t array -> unit ->
   (Record.t list, Dmx_core.Error.t) result
+
+(** {1 EXPLAIN ANALYZE}
+
+    [analyze] executes the plan with one {!op_stats} node per operator:
+    rows produced, direct-by-key vs. key-sequential fetch counts, elapsed
+    time per operator (inclusive of children, Postgres-style), and
+    buffer-pool hits/misses/reads measured around every [next] call with
+    [Io_stats.diff]. *)
+
+type op_stats = {
+  os_label : string;  (** [Plan.describe_access]-style operator label *)
+  os_est_rows : float;  (** planner estimate; 0 for synthetic nodes *)
+  mutable os_loops : int;  (** times (re)opened — inner of a nested loop *)
+  mutable os_rows : int;
+  mutable os_direct : int;
+  mutable os_seq : int;
+  mutable os_us : float;
+  mutable os_hits : int;
+  mutable os_misses : int;
+  mutable os_reads : int;
+  mutable os_children : op_stats list;
+}
+
+val analyze :
+  Dmx_core.Ctx.t -> Plan.t -> ?params:Value.t array -> unit ->
+  (Record.t list * op_stats, Dmx_core.Error.t) result
+(** Run the plan and return both the result rows and the root of the
+    per-operator stats tree (a synthetic [project]/[result] node). *)
+
+val pp_analysis : Format.formatter -> op_stats -> unit
+(** Operator tree with inline metrics — the [explain analyze] printout. *)

@@ -58,3 +58,7 @@ val valid : Dmx_core.Ctx.t -> t -> bool
 
 val describe : t -> string
 (** One-line physical plan summary ("what EXPLAIN prints"). *)
+
+val describe_access : Descriptor.t -> access -> string
+(** One operator's label, e.g. ["index_eq(dept via btree_index#0)"]; the
+    executor reuses these as EXPLAIN ANALYZE node labels. *)

@@ -61,6 +61,10 @@ let explain t ctx q =
   let* plan = plan_for t ctx q in
   Ok (Plan.describe plan)
 
+let analyze t ctx q ?params () =
+  let* plan = plan_for t ctx q in
+  Executor.analyze ctx plan ?params ()
+
 let peek t q = Hashtbl.find_opt t.table (Query.key q)
 let invalidate_all t = Hashtbl.reset t.table
 

@@ -31,6 +31,12 @@ val explain :
   t -> Dmx_core.Ctx.t -> Query.t -> (string, Dmx_core.Error.t) result
 (** Physical plan the next execution would use. *)
 
+val analyze :
+  t -> Dmx_core.Ctx.t -> Query.t -> ?params:Value.t array -> unit ->
+  (Record.t list * Executor.op_stats, Dmx_core.Error.t) result
+(** EXPLAIN ANALYZE through the cache: plan (or reuse) then execute with
+    per-operator instrumentation ([Executor.analyze]). *)
+
 val peek : t -> Query.t -> Plan.t option
 val invalidate_all : t -> unit
 val stats : t -> stats

@@ -130,11 +130,13 @@ let set_append_observer t f = t.append_observer <- f
 
 let append t txid kind =
   check_open t;
+  let fr = Dmx_obs.Profile.begin_frame ~txid Dmx_obs.Profile.Wal in
   let r = add_index t txid kind in
   (match t.backend with
   | Mem -> t.flushed <- r.Log_record.lsn
   | File _ -> t.pending <- (txid, kind) :: t.pending);
   t.append_observer r.Log_record.lsn;
+  Dmx_obs.Profile.end_frame fr;
   Dmx_obs.Metrics.incr m_appends;
   if Dmx_obs.Trace.enabled () then
     Dmx_obs.Trace.event "wal.append" ~txid
@@ -153,7 +155,14 @@ let flush ?upto t =
     match t.backend with
     | Mem -> ()
     | File f ->
-      let observed = Dmx_obs.Metrics.enabled () || Dmx_obs.Trace.enabled () in
+      (* the flush frame inherits the enclosing frame's transaction: a
+         commit-path flush charges the committing transaction, an
+         eviction-path flush charges whoever faulted the page *)
+      let fr = Dmx_obs.Profile.begin_frame ~txid:(-1) Dmx_obs.Profile.Wal in
+      let observed =
+        Dmx_obs.Metrics.enabled () || Dmx_obs.Trace.enabled ()
+        || Dmx_obs.Profile.enabled ()
+      in
       let records = if observed then List.length t.pending else 0 in
       let t0 = if observed then Unix.gettimeofday () else 0. in
       (* Write every pending record; fine-grained partial flush is not worth
@@ -168,6 +177,7 @@ let flush ?upto t =
       Unix.fsync f.fd;
       t.pending <- [];
       t.flushed <- last_lsn t;
+      Dmx_obs.Profile.end_frame fr;
       if observed then begin
         let us = (Unix.gettimeofday () -. t0) *. 1e6 in
         Dmx_obs.Metrics.incr m_flushes;

@@ -5,6 +5,7 @@ type config = {
   attach_dir : string;
   factory_file : string;
   mli_dirs : string list;
+  span_dirs : string list;
 }
 
 let default_config ~root =
@@ -15,6 +16,7 @@ let default_config ~root =
     attach_dir = "lib/attach";
     factory_file = "lib/db/db.ml";
     mli_dirs = [ "lib" ];
+    span_dirs = [ "lib"; "bin" ];
   }
 
 type report = {
@@ -48,6 +50,17 @@ let hot_file_diags config =
   in
   (List.length files, diags)
 
+(* R6 scope is wider than the hot dirs (spans are opened all over lib/ and
+   bin/); parse failures there are left to R2/R3's pass or the build. *)
+let span_pairing_diags config =
+  List.concat_map (Lint_rules.ml_files_under ~root:config.root) config.span_dirs
+  |> List.sort_uniq String.compare
+  |> List.concat_map (fun file ->
+         let full_path = Filename.concat config.root file in
+         match Lint_rules.parse_impl ~file ~full_path with
+         | Error _ -> []
+         | Ok structure -> Lint_rules.span_pairing ~file structure)
+
 let run ?baseline ?(update_baseline = false) config =
   let checked, hot = hot_file_diags config in
   let strict =
@@ -56,6 +69,7 @@ let run ?baseline ?(update_baseline = false) config =
         [ (config.smethod_dir, "storage-method"); (config.attach_dir, "attachment") ]
       ~factory:config.factory_file
     @ Lint_rules.mli_coverage ~root:config.root ~dirs:config.mli_dirs
+    @ span_pairing_diags config
   in
   let strict_hot, baselinable =
     List.partition (fun d -> not (Lint_rules.baselinable d.Lint_diag.rule)) hot

@@ -9,11 +9,13 @@ type config = {
   attach_dir : string;  (** R1: attachment implementations *)
   factory_file : string;  (** R1: the default-factory source *)
   mli_dirs : string list;  (** R5 scope *)
+  span_dirs : string list;  (** R6 scope: where Trace spans are opened *)
 }
 
 val default_config : root:string -> config
 (** The real tree: hot dirs [lib/smethod lib/attach lib/txn lib/wal],
-    factory [lib/db/db.ml], mli coverage over all of [lib]. *)
+    factory [lib/db/db.ml], mli coverage over all of [lib], span pairing
+    over [lib] and [bin]. *)
 
 type report = {
   violations : Lint_diag.t list;

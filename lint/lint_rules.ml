@@ -5,6 +5,7 @@ let rule_error_discipline = "error-discipline"
 let rule_exception_swallowing = "exception-swallowing"
 let rule_wal_before_page = "wal-before-page"
 let rule_mli_coverage = "mli-coverage"
+let rule_span_pairing = "span-pairing"
 let rule_parse_error = "parse-error"
 
 let baselinable rule =
@@ -312,6 +313,37 @@ let vector_completeness ~root ~ext_dirs ~factory =
                             link but never dispatch"
                            label modname factory))))
       ext_dirs
+
+(* ---- R6: Trace.enter / Trace.exit_span pairing ---- *)
+
+let trace_tail name parts =
+  match List.rev parts with
+  | last :: modname :: _ -> last = name && modname = "Trace"
+  | _ -> false
+
+let span_pairing ~file structure =
+  bindings_of_structure [] structure
+  |> List.rev
+  |> List.filter_map (fun (name, _loc, body) ->
+         let paths = ident_paths body in
+         let enters =
+           List.filter (fun (p, _) -> trace_tail "enter" p) paths
+         in
+         let has_exit =
+           List.exists (fun (p, _) -> trace_tail "exit_span" p) paths
+         in
+         match enters with
+         | (_, loc) :: _ when not has_exit ->
+           Some
+             (Lint_diag.make ~rule:rule_span_pairing ~file
+                ~line:(line_of_loc loc)
+                (Fmt.str
+                   "%s calls Trace.enter without Trace.exit_span in the same \
+                    body — an unclosed span corrupts nesting (and leaks the \
+                    profiler frame); close it on every path, or use \
+                    Trace.with_span / Ctx.with_span"
+                   name))
+         | _ -> None)
 
 (* ---- R5: mli coverage ---- *)
 

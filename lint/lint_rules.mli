@@ -7,14 +7,15 @@
 
     Baselinable rules (R2 {!error_discipline}, R3 {!exception_swallowing},
     R4 {!wal_before_page}) are enforced against {!Lint_baseline}; the others
-    (R1 {!vector_completeness}, R5 {!mli_coverage}, parse errors) fail
-    unconditionally. *)
+    (R1 {!vector_completeness}, R5 {!mli_coverage}, R6 {!span_pairing},
+    parse errors) fail unconditionally. *)
 
 val rule_vector_completeness : string
 val rule_error_discipline : string
 val rule_exception_swallowing : string
 val rule_wal_before_page : string
 val rule_mli_coverage : string
+val rule_span_pairing : string
 val rule_parse_error : string
 
 val baselinable : string -> bool
@@ -58,6 +59,14 @@ val vector_completeness :
 val mli_coverage : root:string -> dirs:string list -> Lint_diag.t list
 (** R5: every [.ml] under the given root-relative directories has a sibling
     [.mli] — extensions interact through declared interfaces only. *)
+
+val span_pairing : file:string -> Parsetree.structure -> Lint_diag.t list
+(** R6: any top-level (or module-nested) binding that calls [Trace.enter]
+    must also contain a [Trace.exit_span] call in the same body. An
+    unclosed span corrupts span nesting and leaks the paired profiler
+    frame; prefer [Trace.with_span] / [Ctx.with_span]. Strict (not
+    baselinable) — direct [Trace.enter] outside the blessed wrappers is
+    only acceptable with explicit pairing. *)
 
 val ml_files_under : root:string -> string -> string list
 (** Root-relative paths of the [.ml] files under a root-relative directory

@@ -180,6 +180,32 @@ let test_mli_coverage () =
       check_diag "missing mli" report ~rule:"mli-coverage"
         ~file:"lib/wal/nomli.ml" ~line:1)
 
+(* R6: Trace.enter without Trace.exit_span in the same binding. *)
+let test_span_pairing () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/wal/spans.ml")
+        "let leaky name =\n\
+        \  let sp = Trace.enter name in\n\
+        \  ignore sp\n\n\
+         let paired name =\n\
+        \  let sp = Trace.enter name in\n\
+        \  Trace.exit_span sp\n\n\
+         let wrapped f = Trace.with_span \"ok\" f\n";
+      write_file (root / "lib/wal/spans.mli")
+        "val leaky : string -> unit\n\
+         val paired : string -> unit\n\
+         val wrapped : (unit -> 'a) -> 'a\n";
+      let report = run root in
+      check_diag "unpaired enter" report ~rule:"span-pairing"
+        ~file:"lib/wal/spans.ml" ~line:2;
+      (* the paired and with_span-only bindings are clean *)
+      Alcotest.(check int)
+        "only the leaky binding is flagged" 1
+        (List.length
+           (List.filter
+              (fun d -> d.Lint_diag.rule = "span-pairing")
+              report.Lint_driver.violations)))
+
 (* Baseline: pinned counts pass; one extra violation fails; regeneration
    rewrites the file. *)
 let test_baseline_enforcement () =
@@ -244,6 +270,7 @@ let suite =
     Alcotest.test_case "R4: page mutation without WAL" `Quick
       test_wal_before_page;
     Alcotest.test_case "R5: missing mli" `Quick test_mli_coverage;
+    Alcotest.test_case "R6: unpaired Trace.enter" `Quick test_span_pairing;
     Alcotest.test_case "baseline pins violation counts" `Quick
       test_baseline_enforcement;
     Alcotest.test_case "real tree lints clean" `Quick test_real_tree_clean;

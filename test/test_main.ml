@@ -22,5 +22,6 @@ let () =
       ("registry", Test_registry.suite);
       ("sanitizer", Test_sanitizer.suite);
       ("obs", Test_obs.suite);
+      ("prof", Test_prof.suite);
       ("lint", Test_lint.suite);
     ]

@@ -1,0 +1,387 @@
+(* dmx-prof: EXPLAIN ANALYZE, per-extension latency attribution, and the
+   offline trace analyzer. *)
+open Test_util
+module Metrics = Dmx_obs.Metrics
+module Trace = Dmx_obs.Trace
+module Profile = Dmx_obs.Profile
+module Trace_reader = Dmx_obs.Trace_reader
+module Db = Dmx_db.Db
+module Query = Dmx_query.Query
+module Executor = Dmx_query.Executor
+
+let contains = Astring_contains.contains
+
+(* Every test restores the global obs/profile state it touched. *)
+let with_prof f =
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.use_default_sink ();
+      Trace.reset_for_testing ();
+      Metrics.set_enabled false;
+      Profile.set_enabled false;
+      Profile.reset ())
+    f
+
+(* ---- S1: histogram quantiles ---- *)
+
+let test_metrics_quantile () =
+  with_prof (fun () ->
+      Metrics.set_enabled true;
+      let h = Metrics.histogram ~buckets:[| 10.; 20.; 40. |] "prof.q_us" in
+      Alcotest.(check (option (float 0.001)))
+        "empty histogram has no quantiles" None (Metrics.quantile h 0.5);
+      (* 10 observations in the <=10 bucket, 10 in (10,20] *)
+      for _ = 1 to 10 do
+        Metrics.observe h 5.
+      done;
+      for _ = 1 to 10 do
+        Metrics.observe h 15.
+      done;
+      (* p50: target = 10th value = top of the first bucket *)
+      (match Metrics.quantile h 0.5 with
+      | None -> Alcotest.fail "p50 missing"
+      | Some v ->
+        Alcotest.(check (float 0.01)) "p50 interpolates to bucket edge" 10. v);
+      (* p95: 19th of 20, 90% through the (10,20] bucket *)
+      (match Metrics.quantile h 0.95 with
+      | None -> Alcotest.fail "p95 missing"
+      | Some v -> Alcotest.(check (float 0.01)) "p95 interpolated" 19. v);
+      (* overflow-only observations clamp to the last bound *)
+      let o = Metrics.histogram ~buckets:[| 10. |] "prof.q_over_us" in
+      Metrics.observe o 99.;
+      (match Metrics.quantile o 0.5 with
+      | None -> Alcotest.fail "overflow p50 missing"
+      | Some v ->
+        Alcotest.(check (float 0.01)) "overflow clamps to last bound" 10. v);
+      (* the dump (what `show stats` prints) carries the quantile summary *)
+      let dump = Fmt.str "%a" Metrics.pp_dump () in
+      Alcotest.(check bool) "pp_dump shows p50/p95/p99" true
+        (contains dump "p50=" && contains dump "p95=" && contains dump "p99="))
+
+(* ---- latency attribution ---- *)
+
+let seed_checked_rel db ctx =
+  ignore
+    (check_ok "create"
+       (Db.create_relation db ctx ~name:"emp_prof" ~schema:emp_schema ()));
+  check_ok "constraint"
+    (Db.create_attachment db ctx ~relation:"emp_prof" ~attachment_type:"check"
+       ~name:"paid" ~attrs:[ ("predicate", "salary > 0") ] ())
+
+let test_attribution_with_trace_off () =
+  ignore (fresh_services ());
+  let db = Db.open_database () in
+  with_prof (fun () ->
+      (* profiling alone, tracing off: the combined gate must still open the
+         instrumented dispatch paths *)
+      Profile.set_enabled true;
+      Profile.reset ();
+      Alcotest.(check bool) "gate open" true (Profile.instrumented ());
+      let r =
+        Db.with_txn db (fun ctx ->
+            seed_checked_rel db ctx;
+            ignore
+              (check_ok "insert ok"
+                 (Db.insert db ctx ~relation:"emp_prof" (emp 1 "ada" "eng" 120)));
+            (match
+               Db.insert db ctx ~relation:"emp_prof" (emp 2 "bob" "eng" (-5))
+             with
+            | Ok _ -> Alcotest.fail "vetoed insert succeeded"
+            | Error (Dmx_core.Error.Veto _) -> ()
+            | Error e ->
+              Alcotest.failf "expected veto, got %s"
+                (Dmx_core.Error.to_string e));
+            Ok ())
+      in
+      ignore (check_ok "txn" r);
+      let rows = Profile.report () in
+      let find name =
+        match List.find_opt (fun r -> r.Profile.r_name = name) rows with
+        | Some r -> r
+        | None ->
+          Alcotest.failf "no %s row (got: %s)" name
+            (String.concat ", " (List.map (fun r -> r.Profile.r_name) rows))
+      in
+      let sm = find "smethod:heap" in
+      Alcotest.(check bool) "storage-method work recorded" true
+        (sm.Profile.r_calls > 0 && sm.Profile.r_total_us >= 0.);
+      let check_row = find "attach:check" in
+      Alcotest.(check int) "veto charged to the check attachment" 1
+        check_row.Profile.r_vetoes;
+      let wal = find "wal" in
+      Alcotest.(check bool) "wal appends attributed" true
+        (wal.Profile.r_calls > 0);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: self <= total" r.Profile.r_name)
+            true
+            (r.Profile.r_self_us <= r.Profile.r_total_us +. 0.001))
+        rows;
+      (* per-transaction view: the txn that did the work is listed *)
+      Alcotest.(check bool) "per-txn table non-empty" true
+        (Profile.txids () <> []);
+      let rendered = Fmt.str "%a" Profile.pp_report () in
+      Alcotest.(check bool) "pp_report names components" true
+        (contains rendered "attach:check" && contains rendered "smethod:heap"));
+  Db.close db
+
+let test_disabled_frames_allocate_nothing () =
+  with_prof (fun () ->
+      Profile.set_enabled false;
+      Alcotest.(check bool) "gate closed" false (Profile.instrumented ());
+      let w0 = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        let fr = Profile.begin_frame ~txid:(-1) Profile.Lock in
+        Profile.end_frame fr
+      done;
+      let words = Gc.minor_words () -. w0 in
+      Alcotest.(check bool)
+        (Fmt.str "disabled frames allocate nothing (%.0f words)" words)
+        true (words < 256.))
+
+(* ---- EXPLAIN ANALYZE ---- *)
+
+let dept_schema =
+  Dmx_value.Schema.make_exn
+    [
+      Dmx_value.Schema.column ~nullable:false "dname" Dmx_value.Value.Tstring;
+      Dmx_value.Schema.column "building" Dmx_value.Value.Tstring;
+    ]
+
+let test_explain_analyze_join () =
+  ignore (fresh_services ());
+  let db = Db.open_database () in
+  with_prof (fun () ->
+      let r =
+        Db.with_txn db (fun ctx ->
+            ignore
+              (check_ok "emp"
+                 (Db.create_relation db ctx ~name:"emp_ea" ~schema:emp_schema ()));
+            ignore
+              (check_ok "dept"
+                 (Db.create_relation db ctx ~name:"dept_ea" ~schema:dept_schema
+                    ()));
+            check_ok "dept pk"
+              (Db.create_attachment db ctx ~relation:"dept_ea"
+                 ~attachment_type:"btree_index" ~name:"pk"
+                 ~attrs:[ ("fields", "dname"); ("unique", "true") ] ());
+            for d = 0 to 399 do
+              ignore
+                (check_ok "d"
+                   (Db.insert db ctx ~relation:"dept_ea"
+                      [|
+                        Dmx_value.Value.String (Fmt.str "d%d" d);
+                        Dmx_value.Value.String (Fmt.str "b%d" d);
+                      |]))
+            done;
+            for i = 1 to 40 do
+              ignore
+                (check_ok "e"
+                   (Db.insert db ctx ~relation:"emp_ea"
+                      (emp i (Fmt.str "u%d" i) (Fmt.str "d%d" (i mod 40)) (50 + i))))
+            done;
+            let q =
+              Query.join ~where:"salary > 60" "emp_ea"
+                ~on:("dept_ea", "dept", "dname")
+            in
+            let rows, stats = check_ok "analyze" (Db.explain_analyze db ctx q ()) in
+            Alcotest.(check int) "rows returned" 30 (List.length rows);
+            (* the stats tree mirrors the plan: a result root over the join *)
+            Alcotest.(check int) "root rows" 30 stats.Executor.os_rows;
+            Alcotest.(check bool) "root has a child operator" true
+              (stats.Executor.os_children <> []);
+            let join = List.hd stats.Executor.os_children in
+            let descendants =
+              let rec all st = st :: List.concat_map all st.Executor.os_children in
+              all join
+            in
+            Alcotest.(check bool)
+              "some operator did direct (by-key) fetches via the index" true
+              (List.exists (fun st -> st.Executor.os_direct > 0) descendants);
+            Alcotest.(check bool) "some operator scanned sequentially" true
+              (List.exists (fun st -> st.Executor.os_seq > 0) descendants);
+            let rendered = Fmt.str "%a" Executor.pp_analysis stats in
+            Fmt.epr "DEBUG analysis:@.%s@." rendered;
+            List.iter
+              (fun needle ->
+                Alcotest.(check bool)
+                  (Fmt.str "analysis mentions %S" needle)
+                  true (contains rendered needle))
+              [ "rows=30"; "index_eq"; "pool="; "time="; "direct=" ];
+            Ok ())
+      in
+      ignore (check_ok "txn" r));
+  Db.close db
+
+(* ---- trace round-trip through the file sink ---- *)
+
+let tmp_trace name =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "dmx_%s_%d.jsonl" name (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+let test_trace_round_trip () =
+  ignore (fresh_services ());
+  let db = Db.open_database () in
+  let path = tmp_trace "roundtrip" in
+  with_prof (fun () ->
+      Trace.reset_for_testing ();
+      Trace.open_file_sink path;
+      Trace.set_enabled true;
+      let r =
+        Db.with_txn db (fun ctx ->
+            seed_checked_rel db ctx;
+            ignore
+              (check_ok "insert ok"
+                 (Db.insert db ctx ~relation:"emp_prof" (emp 1 "ada" "eng" 120)));
+            (match
+               Db.insert db ctx ~relation:"emp_prof" (emp 2 "bob" "eng" (-5))
+             with
+            | Ok _ -> Alcotest.fail "vetoed insert succeeded"
+            | Error (Dmx_core.Error.Veto _) -> ()
+            | Error e ->
+              Alcotest.failf "expected veto, got %s"
+                (Dmx_core.Error.to_string e));
+            Ok ())
+      in
+      ignore (check_ok "txn" r);
+      let emitted = Trace.emitted () in
+      (* disabling the tracer flushes the sink (S3) *)
+      Trace.set_enabled false;
+      let records, errors = Trace_reader.load_file path in
+      Alcotest.(check (list string)) "every line parses back" [] errors;
+      Alcotest.(check int) "no record lost" emitted (List.length records);
+      let span name outcome =
+        match
+          List.find_opt
+            (fun r ->
+              r.Trace_reader.r_kind = Trace_reader.Span
+              && r.Trace_reader.r_name = name
+              && r.Trace_reader.r_outcome = outcome)
+            records
+        with
+        | Some r -> r
+        | None -> Alcotest.failf "no %s span with outcome %a" name
+                    Fmt.(Dump.option string) outcome
+      in
+      let rel_veto = span "relation.insert" (Some "veto") in
+      let att_veto = span "attach.insert" (Some "veto") in
+      Alcotest.(check int) "nesting preserved: attach under relation op"
+        rel_veto.Trace_reader.r_id att_veto.Trace_reader.r_parent;
+      Alcotest.(check int) "txn ids preserved" rel_veto.Trace_reader.r_txn
+        att_veto.Trace_reader.r_txn;
+      Alcotest.(check bool) "ids are unique" true
+        (let ids =
+           List.filter_map
+             (fun r ->
+               if r.Trace_reader.r_kind = Trace_reader.Span then
+                 Some r.Trace_reader.r_id
+               else None)
+             records
+         in
+         List.length (List.sort_uniq compare ids) = List.length ids);
+      Alcotest.(check bool) "durations re-read" true
+        (rel_veto.Trace_reader.r_us >= att_veto.Trace_reader.r_us));
+  Sys.remove path;
+  Db.close db
+
+let test_trace_cap_truncates () =
+  ignore (fresh_services ());
+  let db = Db.open_database () in
+  let path = tmp_trace "cap" in
+  Unix.putenv "DMX_TRACE_MAX_MB" "0.0005";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "DMX_TRACE_MAX_MB" "0")
+    (fun () ->
+      with_prof (fun () ->
+          Trace.open_file_sink path;
+          Trace.set_enabled true;
+          let r =
+            Db.with_txn db (fun ctx ->
+                seed_checked_rel db ctx;
+                for i = 1 to 50 do
+                  ignore
+                    (check_ok "insert"
+                       (Db.insert db ctx ~relation:"emp_prof"
+                          (emp i (Fmt.str "u%d" i) "eng" (50 + i))))
+                done;
+                Ok ())
+          in
+          ignore (check_ok "txn" r);
+          Trace.set_enabled false;
+          let records, errors = Trace_reader.load_file path in
+          Alcotest.(check (list string)) "truncated file still parses" [] errors;
+          Alcotest.(check bool) "explicit truncation marker present" true
+            (Trace_reader.truncated records);
+          let size = (Unix.stat path).Unix.st_size in
+          Alcotest.(check bool)
+            (Fmt.str "file bounded by the cap (%d bytes)" size)
+            true
+            (size < 1024)));
+  Sys.remove path;
+  Db.close db
+
+(* ---- offline analyzer golden test ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_analyzer_golden () =
+  let records, errors = Trace_reader.load_file "fixtures/trace_pr3.jsonl" in
+  Alcotest.(check (list string)) "fixture parses" [] errors;
+  (* structural spot-checks first, so a failure is legible *)
+  (match Trace_reader.critical_path records with
+  | [ root; leaf ] ->
+    Alcotest.(check string) "critical path root" "relation.insert"
+      root.Trace_reader.r_name;
+    Alcotest.(check (float 0.001)) "root is the slowest span" 150.
+      root.Trace_reader.r_us;
+    Alcotest.(check string) "heaviest child" "attach.insert"
+      leaf.Trace_reader.r_name
+  | p -> Alcotest.failf "critical path has %d steps, wanted 2" (List.length p));
+  let att = Trace_reader.per_attachment records in
+  (match
+     List.find_opt (fun g -> g.Trace_reader.g_key = "btree_index") att
+   with
+  | None -> Alcotest.fail "no btree_index attachment stats"
+  | Some g ->
+    Alcotest.(check (float 0.001)) "btree p50" 25. g.Trace_reader.g_p50;
+    Alcotest.(check (float 0.001)) "btree p95" 30. g.Trace_reader.g_p95);
+  (match List.find_opt (fun g -> g.Trace_reader.g_key = "check") att with
+  | None -> Alcotest.fail "no check attachment stats"
+  | Some g -> Alcotest.(check int) "check veto counted" 1 g.Trace_reader.g_vetoes);
+  (match Trace_reader.lock_contention records with
+  | { c_waiter = 3; c_holder = 2; c_resource = "rec:1/k42"; c_mode = "X"; c_count = 1 }
+    :: _ -> ()
+  | cs -> Alcotest.failf "unexpected contention head (%d pairs)" (List.length cs));
+  (match Trace_reader.deadlock_victims records with
+  | [ { v_txn = 3; v_cycle = [ 3; 2 ] } ] -> ()
+  | _ -> Alcotest.fail "deadlock victim not recovered");
+  (* then the full golden rendering *)
+  let got = Fmt.str "%a" (Trace_reader.pp_report ~top:10) records in
+  let want = read_file "fixtures/trace_pr3.report.txt" in
+  Alcotest.(check string) "golden report" want got
+
+let suite =
+  [
+    Alcotest.test_case "histogram quantiles" `Quick test_metrics_quantile;
+    Alcotest.test_case "attribution with tracing off" `Quick
+      test_attribution_with_trace_off;
+    Alcotest.test_case "disabled frames allocate nothing" `Quick
+      test_disabled_frames_allocate_nothing;
+    Alcotest.test_case "explain analyze on an indexed join" `Quick
+      test_explain_analyze_join;
+    Alcotest.test_case "trace file round-trip" `Quick test_trace_round_trip;
+    Alcotest.test_case "DMX_TRACE_MAX_MB truncation" `Quick
+      test_trace_cap_truncates;
+    Alcotest.test_case "offline analyzer golden report" `Quick
+      test_analyzer_golden;
+  ]
