@@ -56,26 +56,38 @@ let sum_of inst record =
   | Value.Null -> 0L
   | v -> Int64.of_float (Option.value ~default:0. (Value.to_float v))
 
-(* apply a (dcount, dsum) delta to one group; groups vanish at count 0 *)
-let apply_delta ctx inst group_vals dcount dsum =
+let cell_of ctx inst group_vals =
+  match Btree.find (tree ctx inst) ~key:group_vals with
+  | Some cell -> dec_cell cell
+  | None -> (0, 0L)
+
+let put_cell ctx inst group_vals count sum =
   let t = tree ctx inst in
-  let count, sum =
-    match Btree.find t ~key:group_vals with
-    | Some cell -> dec_cell cell
-    | None -> (0, 0L)
-  in
-  let count = count + dcount and sum = Int64.add sum dsum in
   if count <= 0 then ignore (Btree.delete t ~key:group_vals)
   else ignore (Btree.replace t ~key:group_vals ~payload:(enc_cell count sum))
 
-(* ---- log payloads: deltas, undone by negation ---- *)
+(* apply a (dcount, dsum) delta to one group; groups vanish at count 0 *)
+let apply_delta ctx inst group_vals dcount dsum =
+  let count, sum = cell_of ctx inst group_vals in
+  put_cell ctx inst group_vals (count + dcount) (Int64.add sum dsum)
 
-let enc_op no group_vals dcount dsum =
+(* ---- log payloads ----
+
+   Each record carries the delta plus the group's pre-image cell. Undo cannot
+   blindly negate the delta: after a crash the forward change may never have
+   reached the durable tree (no-redo recovery), and reversing an unapplied
+   delta corrupts the aggregate. The pre-image lets undo verify that the
+   post-image is actually present before restoring — the same
+   state-checking discipline as the index undos. *)
+
+let enc_op no group_vals dcount dsum ~old_count ~old_sum =
   let e = Codec.Enc.create () in
   Codec.Enc.varint e no;
   Codec.Enc.record e group_vals;
   Codec.Enc.varint e (dcount + 1);  (* deltas are -1/0/+1; shift unsigned *)
   Codec.Enc.int64 e dsum;
+  Codec.Enc.varint e old_count;
+  Codec.Enc.int64 e old_sum;
   Codec.Enc.to_string e
 
 let dec_op s =
@@ -84,19 +96,22 @@ let dec_op s =
   let group_vals = Codec.Dec.record d in
   let dcount = Codec.Dec.varint d - 1 in
   let dsum = Codec.Dec.int64 d in
-  (no, group_vals, dcount, dsum)
+  let old_count = Codec.Dec.varint d in
+  let old_sum = Codec.Dec.int64 d in
+  (no, group_vals, dcount, dsum, old_count, old_sum)
 
 let bump ctx (desc : Descriptor.t) no inst record sign =
   let group_vals = Record.project record inst.group_fields in
   let dsum =
     if sign > 0 then sum_of inst record else Int64.neg (sum_of inst record)
   in
+  let old_count, old_sum = cell_of ctx inst group_vals in
   apply_delta ctx inst group_vals sign dsum;
   ignore
     (Ctx.log ctx
        ~source:(Log_record.Attachment (id ()))
        ~rel_id:desc.rel_id
-       ~data:(enc_op no group_vals sign dsum));
+       ~data:(enc_op no group_vals sign dsum ~old_count ~old_sum));
   Ok ()
 
 let ( let* ) = Result.bind
@@ -202,11 +217,19 @@ module Impl = struct
       match Descriptor.attachment_desc desc (id ()) with
       | None -> ()
       | Some slot ->
-        let no, group_vals, dcount, dsum = dec_op data in
+        let no, group_vals, dcount, dsum, old_count, old_sum = dec_op data in
         (match Attach_util.find_by_no (insts_of slot) no with
-        | None -> ()
-        | Some inst ->
-          apply_delta ctx inst group_vals (-dcount) (Int64.neg dsum))
+        | Some inst
+          when Dmx_page.Buffer_pool.page_live ctx.Ctx.bp inst.root ->
+          (* Restore the pre-image only when the post-image is present; an
+             absent post-image means the forward delta never became durable
+             (or was already undone) and there is nothing to reverse. *)
+          let cur_count, cur_sum = cell_of ctx inst group_vals in
+          if
+            cur_count = old_count + dcount
+            && Int64.equal cur_sum (Int64.add old_sum dsum)
+          then put_cell ctx inst group_vals old_count old_sum
+        | Some _ | None -> () (* tree lost with the crash: nothing durable *))
     end
 end
 

@@ -366,8 +366,10 @@ module Impl = struct
         let insts = insts_of slot in
         let apply no f =
           match Attach_util.find_by_no insts no with
-          | None -> ()
-          | Some inst -> f inst
+          | Some inst
+            when Dmx_page.Buffer_pool.page_live ctx.Ctx.bp inst.root ->
+            f inst
+          | Some _ | None -> () (* tree lost with the crash: nothing durable *)
         in
         (match dec_op data with
         | Add (no, vals, reckey) ->

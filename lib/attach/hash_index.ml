@@ -361,25 +361,30 @@ module Impl = struct
       | None -> ()
       | Some slot ->
         let insts = insts_of slot in
+        (* Bucket pages of an index born after the last force vanished with
+           the crash: nothing durable to undo in them. *)
+        let bucket_live inst vals =
+          Buffer_pool.page_live ctx.Ctx.bp inst.buckets.(bucket_index inst vals)
+        in
         (match dec_op data with
         | Add (no, vals, reckey) -> begin
           match Attach_util.find_by_no insts no with
-          | None -> ()
-          | Some inst ->
+          | Some inst when bucket_live inst vals ->
             remove_from_chain ctx
               inst.buckets.(bucket_index inst vals)
               vals reckey
+          | Some _ | None -> ()
         end
         | Rem (no, vals, reckey) -> begin
           match Attach_util.find_by_no insts no with
-          | None -> ()
-          | Some inst ->
+          | Some inst when bucket_live inst vals ->
             let head = inst.buckets.(bucket_index inst vals) in
             if
               not
                 (List.exists (Record_key.equal reckey)
                    (chain_collect ctx head vals))
             then add_to_chain ctx head vals reckey (capacity ctx)
+          | Some _ | None -> ()
         end)
     end
 end

@@ -11,17 +11,35 @@ type t = {
   mutable last_recovery : Recovery.analysis option;
 }
 
-let setup ?dir ?(pool_capacity = 256) () =
+let rec setup ?dir ?disk ?(pool_capacity = 256) () =
   Registry.freeze ();
   let disk, wal, catalog =
     match dir with
-    | None -> (Disk.in_memory (), Wal.in_memory (), Dmx_catalog.Catalog.create ())
+    | None ->
+      ( (match disk with Some d -> d | None -> Disk.in_memory ()),
+        Wal.in_memory (),
+        Dmx_catalog.Catalog.create () )
     | Some dir ->
       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-      ( Disk.open_file (Filename.concat dir "pages.dmx"),
+      ( (match disk with
+        | Some d -> d
+        | None -> Disk.open_file (Filename.concat dir "pages.dmx")),
         Wal.open_file (Filename.concat dir "wal.dmx"),
         Dmx_catalog.Catalog.load ~path:(Filename.concat dir "catalog.dmx") )
   in
+  match
+    setup_with ~dir ~disk ~wal ~catalog ~pool_capacity
+  with
+  | t -> t
+  | exception e ->
+    (* Recovery itself can die (the chaos harness crashes the page store
+       mid-recovery). Release the file handles so the caller can retry with a
+       fresh [setup] against the same directory. *)
+    Wal.abandon wal;
+    Disk.close disk;
+    raise e
+
+and setup_with ~dir ~disk ~wal ~catalog ~pool_capacity =
   let bp = Buffer_pool.create ~capacity:pool_capacity disk in
   (* WAL rule: undo information must be durable before a dirty page reaches
      the backing store. Extensions are not trusted to thread LSNs through

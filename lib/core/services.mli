@@ -12,13 +12,16 @@ type t = {
   mutable last_recovery : Dmx_wal.Recovery.analysis option;
 }
 
-val setup : ?dir:string -> ?pool_capacity:int -> unit -> t
+val setup :
+  ?dir:string -> ?disk:Dmx_page.Disk.t -> ?pool_capacity:int -> unit -> t
 (** [dir] selects durable operation: pages in [dir/pages.dmx], log in
     [dir/wal.dmx], catalog snapshot in [dir/catalog.dmx]; omitted means fully
-    in-memory (tests, benches, temporaries). Freezes the registry — all
-    extensions must be registered before this call — then wires the
-    WAL-before-page hook, the force-at-commit hook and the undo dispatcher,
-    and runs restart recovery. *)
+    in-memory (tests, benches, temporaries). [disk] substitutes the page
+    store regardless of [dir] (the chaos harness injects a
+    {!Dmx_page.Fault_disk} view here while keeping the log and catalog in
+    [dir]). Freezes the registry — all extensions must be registered before
+    this call — then wires the WAL-before-page hook, the force-at-commit hook
+    and the undo dispatcher, and runs restart recovery. *)
 
 val begin_txn : t -> Ctx.t
 val commit : t -> Ctx.t -> unit

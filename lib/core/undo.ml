@@ -1,6 +1,16 @@
 open Dmx_wal
 
+(* Chaos-harness mutation point: when set, matching Ext records are silently
+   skipped instead of dispatched — a deliberately planted undo bug used to
+   prove the torture oracle catches real recovery defects. Never set outside
+   mutation runs (bin/dmx_chaos.exe --mutate). *)
+let chaos_skip : (Log_record.t -> bool) option ref = ref None
+let set_chaos_skip f = chaos_skip := f
+
 let dispatch ~txn_mgr ~bp ~catalog txn (r : Log_record.t) =
+  match !chaos_skip with
+  | Some skip when skip r -> ()
+  | _ -> (
   match r.Log_record.kind with
   | Ext { source; rel_id; data } -> begin
     let ctx = Ctx.make ~txn ~txn_mgr ~bp ~catalog in
@@ -14,4 +24,4 @@ let dispatch ~txn_mgr ~bp ~catalog txn (r : Log_record.t) =
     | Catalog ->
       Dmx_catalog.Catalog.undo_op catalog (Dmx_catalog.Catalog.decode_op data)
   end
-  | Begin | Commit | Abort | Savepoint _ | Clr _ -> ()
+  | Begin | Commit | Abort | Savepoint _ | Clr _ -> ())

@@ -17,3 +17,9 @@ val dispatch :
   Dmx_txn.Txn.t ->
   Dmx_wal.Log_record.t ->
   unit
+
+val set_chaos_skip : (Dmx_wal.Log_record.t -> bool) option -> unit
+(** Mutation point for the chaos harness: records matching the predicate are
+    silently *not* undone — a planted recovery bug that the torture oracle
+    must catch (see DESIGN.md §10). [None] (the default) restores correct
+    dispatch. Never used outside deliberate mutation runs. *)

@@ -34,9 +34,9 @@ let register_defaults () =
     ignore (Dmx_attach.Agg.register ())
   end
 
-let open_database ?dir ?(user = "admin") ?pool_capacity () =
+let open_database ?dir ?disk ?(user = "admin") ?pool_capacity () =
   register_defaults ();
-  let services = Services.setup ?dir ?pool_capacity () in
+  let services = Services.setup ?dir ?disk ?pool_capacity () in
   let authz =
     match dir with
     | None -> Authz.create ()

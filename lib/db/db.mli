@@ -22,9 +22,11 @@ val register_defaults : unit -> unit
     check, refint, trigger, stats, agg. *)
 
 val open_database :
-  ?dir:string -> ?user:string -> ?pool_capacity:int -> unit -> t
+  ?dir:string -> ?disk:Dmx_page.Disk.t -> ?user:string ->
+  ?pool_capacity:int -> unit -> t
 (** [user] defaults to ["admin"], which is always an administrator. Runs
     restart recovery when [dir] holds an existing database.
+    [disk] substitutes the page store (fault-injection harnesses);
     [pool_capacity] sizes the buffer pool (default 256 frames). *)
 
 val close : t -> unit

@@ -28,6 +28,11 @@ let create ?(capacity = 256) disk =
   }
 
 let disk t = t.disk
+
+(* With no-redo recovery, a logged effect can name a page allocated after the
+   last force — such a page vanished with the crash and there is nothing
+   durable to undo on it. Undo entry points probe here before pinning. *)
+let page_live t id = id >= 1 && id <= Disk.page_count t.disk
 let capacity t = t.cap
 let set_flush_hook t hook = t.flush_hook <- hook
 

@@ -25,6 +25,13 @@ val create : ?capacity:int -> Disk.t -> t
 
 val disk : t -> Disk.t
 val capacity : t -> int
+
+val page_live : t -> int -> bool
+(** Whether [id] names a page of the backing store. Undo entry points probe
+    this before pinning: with no-redo recovery, a logged effect can name a
+    page allocated after the last force, which vanished with the crash —
+    there is nothing durable to undo on it. *)
+
 val set_flush_hook : t -> (int64 -> unit) -> unit
 
 val pin : t -> int -> frame

@@ -1,21 +1,40 @@
 let default_page_size = 4096
 
+type ops = {
+  o_page_count : unit -> int;
+  o_alloc : unit -> int;
+  o_read : int -> bytes;
+  o_write : int -> bytes -> unit;
+  o_sync : unit -> unit;
+  o_close : unit -> unit;
+  o_durable : bool;
+}
+
 type backend =
   | Mem of bytes array ref
   | File of Unix.file_descr
+  | Custom of ops
 
 type t = {
   page_size : int;
   backend : backend;
-  mutable pages : int;  (* allocated user pages; ids 1..pages *)
+  mutable pages : int;  (* allocated user pages; ids 1..pages (Mem/File) *)
   stats : Io_stats.t;
   mutable closed : bool;
 }
 
 let page_size t = t.page_size
-let page_count t = t.pages
+
+let page_count t =
+  match t.backend with Custom o -> o.o_page_count () | Mem _ | File _ -> t.pages
+
 let stats t = t.stats
-let is_file_backed t = match t.backend with File _ -> true | Mem _ -> false
+
+let is_file_backed t =
+  match t.backend with
+  | File _ -> true
+  | Mem _ -> false
+  | Custom o -> o.o_durable
 
 let in_memory ?(page_size = default_page_size) () =
   {
@@ -62,8 +81,17 @@ let really_pwrite fd ~off buf =
 
 let write_header t =
   match t.backend with
-  | Mem _ -> ()
+  | Mem _ | Custom _ -> ()
   | File fd -> really_pwrite fd ~off:0 (header_bytes t)
+
+let custom ?(page_size = default_page_size) ops =
+  {
+    page_size;
+    backend = Custom ops;
+    pages = 0;
+    stats = Io_stats.create ();
+    closed = false;
+  }
 
 let open_file ?(page_size = default_page_size) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
@@ -107,32 +135,35 @@ let open_file ?(page_size = default_page_size) path =
 let check_open t = if t.closed then invalid_arg "Disk: store is closed"
 
 let check_id t id =
-  if id < 1 || id > t.pages then
-    invalid_arg (Fmt.str "Disk: page %d out of range (1..%d)" id t.pages)
+  let n = page_count t in
+  if id < 1 || id > n then
+    invalid_arg (Fmt.str "Disk: page %d out of range (1..%d)" id n)
 
 let alloc t =
   check_open t;
-  t.pages <- t.pages + 1;
   t.stats.page_allocs <- t.stats.page_allocs + 1;
-  let id = t.pages in
-  let zero = Bytes.make t.page_size '\000' in
-  begin
-    match t.backend with
-    | Mem store ->
-      let arr = !store in
-      if Array.length arr < id then begin
-        let bigger =
-          Array.make (max 8 (2 * Array.length arr)) Bytes.empty
-        in
-        Array.blit arr 0 bigger 0 (Array.length arr);
-        store := bigger
-      end;
-      !store.(id - 1) <- zero
-    | File fd ->
-      really_pwrite fd ~off:(id * t.page_size) zero;
-      write_header t
-  end;
-  id
+  match t.backend with
+  | Custom o -> o.o_alloc ()
+  | Mem store ->
+    t.pages <- t.pages + 1;
+    let id = t.pages in
+    let zero = Bytes.make t.page_size '\000' in
+    let arr = !store in
+    if Array.length arr < id then begin
+      let bigger =
+        Array.make (max 8 (2 * Array.length arr)) Bytes.empty
+      in
+      Array.blit arr 0 bigger 0 (Array.length arr);
+      store := bigger
+    end;
+    !store.(id - 1) <- zero;
+    id
+  | File fd ->
+    t.pages <- t.pages + 1;
+    let id = t.pages in
+    really_pwrite fd ~off:(id * t.page_size) (Bytes.make t.page_size '\000');
+    write_header t;
+    id
 
 let read t id =
   check_open t;
@@ -144,6 +175,7 @@ let read t id =
     let buf = Bytes.create t.page_size in
     really_pread fd ~off:(id * t.page_size) buf;
     buf
+  | Custom o -> o.o_read id
 
 let write t id data =
   check_open t;
@@ -154,13 +186,20 @@ let write t id data =
   match t.backend with
   | Mem store -> !store.(id - 1) <- Bytes.copy data
   | File fd -> really_pwrite fd ~off:(id * t.page_size) data
+  | Custom o -> o.o_write id data
 
 let sync t =
   check_open t;
-  match t.backend with Mem _ -> () | File fd -> Unix.fsync fd
+  match t.backend with
+  | Mem _ -> ()
+  | File fd -> Unix.fsync fd
+  | Custom o -> o.o_sync ()
 
 let close t =
   if not t.closed then begin
-    (match t.backend with Mem _ -> () | File fd -> Unix.close fd);
+    (match t.backend with
+    | Mem _ -> ()
+    | File fd -> Unix.close fd
+    | Custom o -> o.o_close ());
     t.closed <- true
   end

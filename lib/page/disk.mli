@@ -10,7 +10,26 @@ type t
 val default_page_size : int
 (** 4096 bytes. *)
 
+(** A pluggable backend: the vector of operations a custom page store must
+    implement. Page ids are 1-based and dense; [o_alloc] returns the new
+    page's id and is responsible for zero-filling it. [o_durable] is what
+    {!is_file_backed} reports — custom stores that model stable storage
+    (e.g. the fault-injection store used by the chaos harness) say [true]. *)
+type ops = {
+  o_page_count : unit -> int;
+  o_alloc : unit -> int;
+  o_read : int -> bytes;
+  o_write : int -> bytes -> unit;
+  o_sync : unit -> unit;
+  o_close : unit -> unit;
+  o_durable : bool;
+}
+
 val in_memory : ?page_size:int -> unit -> t
+
+val custom : ?page_size:int -> ops -> t
+(** A store over a caller-supplied backend. I/O accounting ({!stats}) and
+    open/size checks stay in this module; everything else delegates. *)
 
 val open_file : ?page_size:int -> string -> t
 (** Opens (creating if needed) a file-backed store. Page 0 is reserved for the

@@ -1,0 +1,160 @@
+(* Deterministic fault injection over an in-memory dual-state page store.
+
+   Two copies of every page are notionally kept: the *current* image (what the
+   running system reads back) and the *durable* image (what survives a
+   simulated power loss — the state as of the last successful [sync]).
+   Durability is tracked copy-on-write: the first write to a page since the
+   last sync saves its durable pre-image; [crash] restores the pre-images and
+   drops pages allocated since the last sync. *)
+
+type fault = Write_error | Sync_error | Torn_write | Crash
+
+let fault_to_string = function
+  | Write_error -> "write_error"
+  | Sync_error -> "sync_error"
+  | Torn_write -> "torn_write"
+  | Crash -> "crash"
+
+exception Injected of { op : int; fault : fault }
+
+type t = {
+  page_size : int;
+  mutable pages : bytes array;  (* current image; index [id - 1] *)
+  mutable count : int;
+  preimages : (int, bytes) Hashtbl.t;
+      (* durable image of pages overwritten since the last sync; pages
+         allocated since the last sync have no entry (they vanish) *)
+  mutable durable_count : int;
+  mutable ops : int;  (* global I/O-op counter: read/write/alloc/sync *)
+  mutable writes : int;
+  mutable syncs : int;
+  mutable crash_at : int option;  (* fire before executing op [k] *)
+  write_errors : (int, unit) Hashtbl.t;  (* nth write fails, not applied *)
+  sync_errors : (int, unit) Hashtbl.t;  (* nth sync fails, not applied *)
+  torn_writes : (int, unit) Hashtbl.t;  (* nth write half-applied, durably *)
+  mutable crashed : bool;  (* set by a fired fault until [crash] is called *)
+}
+
+let create ?(page_size = Disk.default_page_size) () =
+  {
+    page_size;
+    pages = [||];
+    count = 0;
+    preimages = Hashtbl.create 32;
+    durable_count = 0;
+    ops = 0;
+    writes = 0;
+    syncs = 0;
+    crash_at = None;
+    write_errors = Hashtbl.create 4;
+    sync_errors = Hashtbl.create 4;
+    torn_writes = Hashtbl.create 4;
+    crashed = false;
+  }
+
+let op_count t = t.ops
+let write_count t = t.writes
+let sync_count t = t.syncs
+let durable_page_count t = t.durable_count
+
+let plan_crash_at t k =
+  if k < 1 then invalid_arg "Fault_disk.plan_crash_at: op < 1";
+  t.crash_at <- Some k
+
+let plan_write_error t ~nth = Hashtbl.replace t.write_errors nth ()
+let plan_sync_error t ~nth = Hashtbl.replace t.sync_errors nth ()
+let plan_torn_write t ~nth = Hashtbl.replace t.torn_writes nth ()
+
+let clear_plan t =
+  t.crash_at <- None;
+  Hashtbl.reset t.write_errors;
+  Hashtbl.reset t.sync_errors;
+  Hashtbl.reset t.torn_writes
+
+(* Count one op; fire a planned crash before the op executes ("the power
+   failed as operation [k] was issued"). *)
+let tick t =
+  t.ops <- t.ops + 1;
+  match t.crash_at with
+  | Some k when t.ops >= k ->
+    t.crashed <- true;
+    raise (Injected { op = t.ops; fault = Crash })
+  | _ -> ()
+
+let check_live t what =
+  if t.crashed then
+    invalid_arg
+      (Fmt.str "Fault_disk.%s: store has crashed; call crash to recover" what)
+
+(* Save the durable pre-image of [id] unless one exists or the page was born
+   after the last sync. *)
+let save_preimage t id =
+  if id <= t.durable_count && not (Hashtbl.mem t.preimages id) then
+    Hashtbl.replace t.preimages id (Bytes.copy t.pages.(id - 1))
+
+let alloc t =
+  check_live t "alloc";
+  tick t;
+  t.count <- t.count + 1;
+  let id = t.count in
+  if Array.length t.pages < id then begin
+    let bigger = Array.make (max 8 (2 * Array.length t.pages)) Bytes.empty in
+    Array.blit t.pages 0 bigger 0 (Array.length t.pages);
+    t.pages <- bigger
+  end;
+  t.pages.(id - 1) <- Bytes.make t.page_size '\000';
+  id
+
+let read t id =
+  check_live t "read";
+  tick t;
+  Bytes.copy t.pages.(id - 1)
+
+let write t id data =
+  check_live t "write";
+  tick t;
+  t.writes <- t.writes + 1;
+  if Hashtbl.mem t.write_errors t.writes then
+    raise (Injected { op = t.ops; fault = Write_error });
+  if Hashtbl.mem t.torn_writes t.writes then begin
+    (* Power failed mid-write: the first half-page reached the platter, the
+       rest kept its old contents — and that torn image *is* the durable one. *)
+    let torn = Bytes.copy t.pages.(id - 1) in
+    Bytes.blit data 0 torn 0 (t.page_size / 2);
+    t.pages.(id - 1) <- torn;
+    if id <= t.durable_count then Hashtbl.replace t.preimages id (Bytes.copy torn);
+    t.crashed <- true;
+    raise (Injected { op = t.ops; fault = Torn_write })
+  end;
+  save_preimage t id;
+  t.pages.(id - 1) <- Bytes.copy data
+
+let sync t =
+  check_live t "sync";
+  tick t;
+  t.syncs <- t.syncs + 1;
+  if Hashtbl.mem t.sync_errors t.syncs then
+    raise (Injected { op = t.ops; fault = Sync_error });
+  Hashtbl.reset t.preimages;
+  t.durable_count <- t.count
+
+let crash t =
+  (* Lose everything since the last successful sync: restore pre-images,
+     drop young pages. The op counter keeps running so a schedule can span
+     the recovery run too. *)
+  Hashtbl.iter (fun id pre -> t.pages.(id - 1) <- pre) t.preimages;
+  Hashtbl.reset t.preimages;
+  t.count <- t.durable_count;
+  t.crashed <- false
+
+let disk t =
+  Disk.custom ~page_size:t.page_size
+    {
+      Disk.o_page_count = (fun () -> t.count);
+      o_alloc = (fun () -> alloc t);
+      o_read = (fun id -> read t id);
+      o_write = (fun id data -> write t id data);
+      o_sync = (fun () -> sync t);
+      o_close = ignore;
+      o_durable = true;
+    }

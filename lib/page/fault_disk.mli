@@ -1,0 +1,68 @@
+(** Deterministic fault injection for the page store (dmx-chaos).
+
+    A dual-state in-memory page store exposed through {!Disk.custom}: it
+    tracks the *current* image of every page and the *durable* image — the
+    state as of the last successful {!Disk.sync}. A seeded, deterministic
+    fault schedule can make any write fail, any sync fail, tear a write in
+    half (the torn image becomes durable, as if power failed mid-sector), or
+    simulate a full crash at global I/O operation [k]; {!crash} then discards
+    every write since the last successful sync, after which the store can be
+    handed to a fresh {!Services.setup} to exercise restart recovery.
+
+    Every fault raises {!Injected} carrying the op number, so a failing
+    torture run is replayable from a (seed, op) pair alone. *)
+
+type fault = Write_error | Sync_error | Torn_write | Crash
+
+val fault_to_string : fault -> string
+
+exception Injected of { op : int; fault : fault }
+
+type t
+(** The control handle. The [Disk.t] view handed to the buffer pool is
+    obtained from {!disk}; both share this state. *)
+
+val create : ?page_size:int -> unit -> t
+
+val disk : t -> Disk.t
+(** A fresh [Disk.t] view over the store's current state. Views stay valid
+    across {!crash}; [Disk.close] on a view is a no-op so the harness can
+    reuse the store across crash–reopen cycles. *)
+
+val op_count : t -> int
+(** Global I/O operations executed so far (reads, writes, allocs, syncs).
+    Monotone across crashes — a schedule can target the recovery run. *)
+
+val write_count : t -> int
+(** Writes executed so far (the 1-based counter [plan_write_error] targets). *)
+
+val sync_count : t -> int
+(** Syncs executed so far (the 1-based counter [plan_sync_error] targets). *)
+
+val durable_page_count : t -> int
+
+(** {2 Fault schedule} *)
+
+val plan_crash_at : t -> int -> unit
+(** Crash when the global op counter reaches [k] (the op does not execute). *)
+
+val plan_write_error : t -> nth:int -> unit
+(** The [nth] write (1-based, counted over the store's lifetime) raises
+    [Injected] and is not applied. One-shot: later writes proceed. *)
+
+val plan_sync_error : t -> nth:int -> unit
+(** The [nth] sync raises and does not harden anything. *)
+
+val plan_torn_write : t -> nth:int -> unit
+(** The [nth] write applies only the first half page — durably — and then
+    behaves like a crash. *)
+
+val clear_plan : t -> unit
+
+(** {2 Crash–recovery} *)
+
+val crash : t -> unit
+(** Simulate the power loss: revert every page to its durable image and drop
+    pages allocated since the last successful sync. Required after a [Crash]
+    or [Torn_write] fault fired (the store refuses further I/O until then);
+    callable at any time otherwise. *)

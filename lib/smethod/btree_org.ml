@@ -280,7 +280,8 @@ module Impl = struct
     (* The descriptor may already be gone (dropped relation): nothing to do. *)
     match Catalog.find_by_id ctx.Ctx.catalog rel_id with
     | None -> ()
-    | Some desc -> begin
+    | Some desc when
+        Dmx_page.Buffer_pool.page_live ctx.Ctx.bp (bdesc_of desc).root -> begin
       let bd = bdesc_of desc in
       let tree = tree_of ctx bd in
       match dec_op data with
@@ -314,6 +315,7 @@ module Impl = struct
             ignore
               (Btree.insert tree ~key:old_key ~payload:(payload_of old_record)))
     end
+    | Some _ -> () (* tree born after the last force: lost with the crash *)
 end
 
 include Impl

@@ -306,11 +306,18 @@ module Impl = struct
         ignore (Slotted.delete data slot);
         Slotted.make_reusable data slot)
 
+  (* A crash can lose a page that was allocated after the last force; every
+     logged effect on it vanished along with it. [live] filters those
+     record keys out so restart undo does not pin nonexistent pages. *)
+  let live ctx = function
+    | Some (page, _) when not (Buffer_pool.page_live ctx.Ctx.bp page) -> None
+    | parts -> parts
+
   let undo ctx ~rel_id ~data =
     ignore rel_id;
     match dec_op data with
     | Ins (key, record) -> begin
-      match rid_parts key with
+      match live ctx (rid_parts key) with
       | None -> ()
       | Some (page, slot) -> begin
         match with_page ctx page (fun data -> Slotted.read data slot) with
@@ -323,7 +330,7 @@ module Impl = struct
       end
     end
     | Del (key, record) -> begin
-      match rid_parts key with
+      match live ctx (rid_parts key) with
       | None -> ()
       | Some (page, slot) ->
         with_page_mut ctx page (fun data ->
@@ -338,7 +345,7 @@ module Impl = struct
     end
     | Upd (old_key, new_key, old_record, new_record) ->
       if Record_key.equal old_key new_key then begin
-        match rid_parts old_key with
+        match live ctx (rid_parts old_key) with
         | None -> ()
         | Some (page, slot) ->
           with_page_mut ctx page (fun data ->

@@ -115,7 +115,7 @@ let open_file path =
        pos := !pos + 8 + len;
        valid_end := !pos
      done
-   with Exit | Failure _ -> ());
+   with Exit | Failure _ | Invalid_argument _ -> ());
   (match t.backend with
   | File f ->
     if !valid_end < size then Unix.ftruncate fd !valid_end;

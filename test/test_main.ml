@@ -23,5 +23,6 @@ let () =
       ("sanitizer", Test_sanitizer.suite);
       ("obs", Test_obs.suite);
       ("prof", Test_prof.suite);
+      ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
     ]

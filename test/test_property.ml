@@ -265,18 +265,7 @@ let prop_crash_recovery =
     QCheck.(
       pair arb_script (pair arb_script bool))
     (fun (committed_ops, (inflight_ops, flush_before_crash)) ->
-      let dir =
-        Filename.concat (Filename.get_temp_dir_name ())
-          (Fmt.str "dmx_prop_%d_%f" (Unix.getpid ()) (Unix.gettimeofday ()))
-      in
-      Unix.mkdir dir 0o755;
-      Fun.protect
-        ~finally:(fun () ->
-          Array.iter
-            (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
-            (Sys.readdir dir);
-          (try Unix.rmdir dir with _ -> ()))
-        (fun () ->
+      with_temp_dir ~prefix:"dmx_prop" (fun dir ->
           let services = fresh_services ~dir () in
           let ctx = Services.begin_txn services in
           let desc =
@@ -432,8 +421,109 @@ let prop_planner_equals_naive =
       | Ok b -> b
       | Error e -> QCheck.Test.fail_report (Error.to_string e))
 
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips and record-key order laws                          *)
+(* ------------------------------------------------------------------ *)
+
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Value.Null);
+        (2, map (fun b -> Value.Bool b) bool);
+        (4, map (fun i -> Value.Int i) ui64);
+        ( 4,
+          oneofl
+            [
+              Value.Int Int64.min_int;
+              Value.Int Int64.max_int;
+              Value.Int 0L;
+              Value.Int (-1L);
+            ] );
+        ( 3,
+          map
+            (fun f -> Value.Float f)
+            (oneof [ float; oneofl [ 0.; -0.; infinity; neg_infinity; 1e-308 ] ])
+        );
+        (4, map (fun s -> Value.String s) (string_size (int_range 0 64)));
+        ( 1,
+          oneofl
+            [ Value.String "\000\255\n"; Value.String (String.make 300 'x') ] );
+      ])
+
+let arb_value = QCheck.make value_gen ~print:Value.to_string
+
+let arb_record =
+  QCheck.make
+    QCheck.Gen.(map Array.of_list (list_size (int_range 0 8) value_gen))
+    ~print:Record.to_string
+
+let prop_value_codec_roundtrip =
+  QCheck.Test.make ~name:"value codec roundtrip" ~count:500 arb_value
+    (fun v ->
+      let e = Codec.Enc.create () in
+      Codec.Enc.value e v;
+      let d = Codec.Dec.of_string (Codec.Enc.to_string e) in
+      let v' = Codec.Dec.value d in
+      Codec.Dec.at_end d && Value.equal v v')
+
+let prop_record_codec_roundtrip =
+  QCheck.Test.make ~name:"record codec roundtrip" ~count:200 arb_record
+    (fun r -> Record.equal r (Codec.decode_record (Codec.encode_record r)))
+
+let key_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun page slot -> Record_key.rid ~page ~slot)
+          (int_range 0 100_000) (int_range 0 512);
+        map
+          (fun vs -> Record_key.fields (Array.of_list vs))
+          (list_size (int_range 0 4)
+             (* NaN floats break compare's totality by design; keys never
+                contain them (indexable columns reject NaN upstream) *)
+             (value_gen
+             |> map (function
+                  | Value.Float f when Float.is_nan f -> Value.Float 0.
+                  | v -> v)));
+      ])
+
+let arb_key = QCheck.make key_gen ~print:Record_key.to_string
+
+let arb_key3 = QCheck.(triple arb_key arb_key arb_key)
+
+let prop_record_key_order =
+  QCheck.Test.make ~name:"record key total order laws" ~count:500 arb_key3
+    (fun (a, b, c) ->
+      let sgn n = compare n 0 in
+      (* antisymmetry *)
+      sgn (Record_key.compare a b) = -sgn (Record_key.compare b a)
+      (* equal agrees with compare *)
+      && Record_key.equal a b = (Record_key.compare a b = 0)
+      (* transitivity *)
+      && (not (Record_key.compare a b <= 0 && Record_key.compare b c <= 0)
+         || Record_key.compare a c <= 0)
+      (* equal keys hash equally *)
+      && (not (Record_key.equal a b) || Record_key.hash a = Record_key.hash b))
+
+let prop_record_key_codec =
+  QCheck.Test.make ~name:"record key codec roundtrip preserves order"
+    ~count:300
+    QCheck.(pair arb_key arb_key)
+    (fun (a, b) ->
+      let rt k = Record_key.decode (Record_key.encode k) in
+      let a', b' = (rt a, rt b) in
+      Record_key.equal a a' && Record_key.equal b b'
+      && compare (Record_key.compare a b) 0
+         = compare (Record_key.compare a' b') 0)
+
 let suite =
   [
+    QCheck_alcotest.to_alcotest prop_value_codec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_record_codec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_record_key_order;
+    QCheck_alcotest.to_alcotest prop_record_key_codec;
     QCheck_alcotest.to_alcotest prop_planner_equals_naive;
     QCheck_alcotest.to_alcotest prop_heap_dispatch;
     QCheck_alcotest.to_alcotest prop_btree_org_dispatch;

@@ -5,23 +5,7 @@ open Test_util
 module Ddl = Dmx_ddl.Ddl
 module Relation = Dmx_core.Relation
 
-let fresh_dir () =
-  let dir =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Fmt.str "dmx_rec_%d_%f" (Unix.getpid ()) (Unix.gettimeofday ()))
-  in
-  Unix.mkdir dir 0o755;
-  dir
-
-let rm_rf dir =
-  if Sys.file_exists dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-    Unix.rmdir dir
-  end
-
-let with_dir f =
-  let dir = fresh_dir () in
-  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+let with_dir f = with_temp_dir ~prefix:"dmx_rec" f
 
 let test_committed_survives_crash () =
   with_dir (fun dir ->

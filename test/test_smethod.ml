@@ -81,16 +81,7 @@ let test_heap_update_relocates () =
 
 let test_heap_under_tiny_pool_file_backed () =
   (* evictions + reloads through a 8-frame pool against a real file *)
-  let dir =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Fmt.str "dmx_tiny_%d_%f" (Unix.getpid ()) (Unix.gettimeofday ()))
-  in
-  Unix.mkdir dir 0o755;
-  Fun.protect
-    ~finally:(fun () ->
-      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-      Unix.rmdir dir)
-    (fun () ->
+  with_temp_dir ~prefix:"dmx_tiny" (fun dir ->
       ignore (Lazy.force registered);
       let services = Dmx_core.Services.setup ~dir ~pool_capacity:8 () in
       let ctx = Services.begin_txn services in

@@ -19,6 +19,13 @@ let vs s = Value.String s
 let vf f = Value.Float f
 let vb b = Value.Bool b
 
+(* Temp-dir plumbing shared with the torture harness: recursive removal (the
+   flat per-suite copies broke as soon as a store grew a subdirectory) and
+   guaranteed cleanup. *)
+let rm_rf = Dmx_torture.Chaos_util.rm_rf
+let fresh_dir = Dmx_torture.Chaos_util.fresh_dir
+let with_temp_dir = Dmx_torture.Chaos_util.with_temp_dir
+
 (* Extension registration is global and freeze-once; all suites share one
    registration set, established on first use. The audit trigger function
    used by the trigger tests is registered here too ("at the factory"). *)

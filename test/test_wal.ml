@@ -91,6 +91,97 @@ let test_torn_frame_truncated () =
   Wal.close w3;
   Sys.remove path
 
+let test_empty_log () =
+  (* Filename.temp_file leaves a zero-length file behind: opening it must
+     yield an empty, usable log *)
+  let path = Filename.temp_file "dmx_wal_empty" ".log" in
+  let w = Wal.open_file path in
+  Alcotest.(check int) "no records" 0 (Wal.record_count w);
+  ignore (Wal.append w 1 LR.Begin);
+  Wal.flush w;
+  Wal.close w;
+  let w2 = Wal.open_file path in
+  Alcotest.(check int) "usable afterwards" 1 (Wal.record_count w2);
+  Wal.close w2;
+  Sys.remove path
+
+let test_torn_tail_every_offset () =
+  (* Cut the log at every byte offset inside the final frame: each cut must
+     drop exactly that frame (cut 0 = clean log keeps all three). *)
+  let path = Filename.temp_file "dmx_wal_cut" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let build () =
+        let w = Wal.open_file path in
+        ignore (Wal.append w 1 LR.Begin);
+        ignore (Wal.append w 1 (ext "penultimate"));
+        ignore (Wal.append w 1 (ext "final-record"));
+        Wal.flush w;
+        w
+      in
+      let last_frame =
+        let w = Wal.open_file path in
+        ignore (Wal.append w 1 LR.Begin);
+        ignore (Wal.append w 1 (ext "penultimate"));
+        Wal.flush w;
+        let prefix = (Unix.stat path).Unix.st_size in
+        ignore (Wal.append w 1 (ext "final-record"));
+        Wal.flush w;
+        let full = (Unix.stat path).Unix.st_size in
+        Wal.close w;
+        full - prefix
+      in
+      for cut = 0 to last_frame do
+        Sys.remove path;
+        let w = build () in
+        Wal.simulate_torn_tail w ~bytes_to_truncate:cut;
+        Wal.abandon w;
+        let w2 = Wal.open_file path in
+        Alcotest.(check int)
+          (Fmt.str "cut %d of %d" cut last_frame)
+          (if cut = 0 then 3 else 2)
+          (Wal.record_count w2);
+        Wal.close w2
+      done)
+
+let test_corrupt_byte_drops_tail () =
+  (* One flipped byte mid-log fails that frame's checksum; the frame and
+     everything after it are truncated, and the prefix stays appendable. *)
+  let path = Filename.temp_file "dmx_wal_flip" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let w = Wal.open_file path in
+      ignore (Wal.append w 1 LR.Begin);
+      Wal.flush w;
+      let first_frame = (Unix.stat path).Unix.st_size in
+      ignore (Wal.append w 1 (ext "second"));
+      ignore (Wal.append w 1 (ext "third"));
+      Wal.flush w;
+      Wal.abandon w;
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      let off = first_frame + 5 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      let w2 = Wal.open_file path in
+      Alcotest.(check int) "corrupt frame and tail dropped" 1
+        (Wal.record_count w2);
+      ignore (Wal.append w2 2 LR.Begin);
+      Wal.flush w2;
+      Wal.close w2;
+      let w3 = Wal.open_file path in
+      Alcotest.(check int) "appendable after truncation" 2
+        (Wal.record_count w3);
+      Wal.close w3)
+
 let test_recovery_analysis () =
   let w = Wal.in_memory () in
   (* tx1 commits, tx2 aborts cleanly, tx3 is a loser, tx4 crashed mid-abort *)
@@ -123,6 +214,59 @@ let test_recovery_analysis () =
     (work_of 3);
   (* 4b was already compensated: only 4a remains *)
   Alcotest.(check (list string)) "tx4 skips compensated" [ "4a" ] (work_of 4)
+
+let test_analysis_fully_compensated () =
+  (* a loser whose every Ext was already undone by Clrs before the crash:
+     still a loser, but with an empty undo worklist *)
+  let w = Wal.in_memory () in
+  ignore (Wal.append w 1 LR.Begin);
+  let l_a = Wal.append w 1 (ext "a") in
+  let l_b = Wal.append w 1 (ext "b") in
+  ignore (Wal.append w 1 (LR.Clr { undone = l_b }));
+  ignore (Wal.append w 1 (LR.Clr { undone = l_a }));
+  let a = Recovery.analyze w in
+  Alcotest.(check (list int)) "still a loser" [ 1 ] a.Recovery.losers;
+  Alcotest.(check int) "nothing left to undo" 0
+    (List.length (List.assoc 1 a.undo_work))
+
+let test_analysis_interleaved () =
+  (* winners and losers interleaved record-by-record: classification and the
+     per-loser worklists must not bleed across transactions *)
+  let w = Wal.in_memory () in
+  ignore (Wal.append w 1 LR.Begin);
+  ignore (Wal.append w 2 LR.Begin);
+  ignore (Wal.append w 1 (ext "1a"));
+  ignore (Wal.append w 3 LR.Begin);
+  ignore (Wal.append w 2 (ext "2a"));
+  ignore (Wal.append w 1 (ext "1b"));
+  ignore (Wal.append w 1 LR.Commit);
+  ignore (Wal.append w 3 (ext "3a"));
+  ignore (Wal.append w 2 (ext "2b"));
+  ignore (Wal.append w 3 LR.Commit);
+  let a = Recovery.analyze w in
+  Alcotest.(check (list int)) "winners" [ 1; 3 ]
+    (List.sort compare a.Recovery.winners);
+  Alcotest.(check (list int)) "losers" [ 2 ] a.losers;
+  let work =
+    List.assoc 2 a.undo_work
+    |> List.map (fun (r : LR.t) ->
+           match r.kind with LR.Ext { data; _ } -> data | _ -> "?")
+  in
+  Alcotest.(check (list string)) "only tx2's records, newest first"
+    [ "2b"; "2a" ] work
+
+let test_analysis_zero_ext_loser () =
+  (* a transaction that began (and maybe set a savepoint) but never logged an
+     Ext: a loser with no undo work, alongside an untouched winner *)
+  let w = Wal.in_memory () in
+  ignore (Wal.append w 1 LR.Begin);
+  ignore (Wal.append w 1 LR.Commit);
+  ignore (Wal.append w 2 LR.Begin);
+  ignore (Wal.append w 2 (LR.Savepoint "sp"));
+  let a = Recovery.analyze w in
+  Alcotest.(check (list int)) "winner" [ 1 ] a.Recovery.winners;
+  Alcotest.(check (list int)) "loser" [ 2 ] a.losers;
+  Alcotest.(check int) "no undo work" 0 (List.length (List.assoc 2 a.undo_work))
 
 let test_log_record_codec () =
   let roundtrip kind =
@@ -188,6 +332,17 @@ let suite =
     Alcotest.test_case "unflushed records lost on crash" `Quick
       test_unflushed_lost;
     Alcotest.test_case "torn frame truncated" `Quick test_torn_frame_truncated;
+    Alcotest.test_case "empty log opens clean" `Quick test_empty_log;
+    Alcotest.test_case "torn tail at every offset of the last frame" `Quick
+      test_torn_tail_every_offset;
+    Alcotest.test_case "corrupt byte drops the tail" `Quick
+      test_corrupt_byte_drops_tail;
     Alcotest.test_case "recovery analysis" `Quick test_recovery_analysis;
+    Alcotest.test_case "analysis: fully compensated loser" `Quick
+      test_analysis_fully_compensated;
+    Alcotest.test_case "analysis: interleaved winners and losers" `Quick
+      test_analysis_interleaved;
+    Alcotest.test_case "analysis: loser with no ext records" `Quick
+      test_analysis_zero_ext_loser;
     Alcotest.test_case "log record codec" `Quick test_log_record_codec;
   ]

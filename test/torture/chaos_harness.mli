@@ -1,0 +1,79 @@
+(** The crash–recovery torture loop: seeded workload, injected fault,
+    simulated power loss, reopen (restart recovery), attachment-consistency
+    oracle. Fully deterministic — every failure is replayable from a
+    (seed, fault-point) pair. *)
+
+exception Chaos_failure of string
+(** An operation's real outcome disagreed with the reference model's
+    expectation mid-workload (before any fault fired). *)
+
+type config = {
+  seed : int;
+  n_txns : int;
+  ops_per_txn : int;
+  pool_capacity : int;
+  recovery_crash_gap : int option;
+      (** when set, the recovery run after a crash is itself crashed this
+          many page-store ops after reopen — exercising recovery
+          idempotence *)
+}
+
+val default_config : seed:int -> config
+
+type fault_plan =
+  | No_fault
+  | Crash_at of int  (** power loss at global page-store op [k] *)
+  | Write_error_nth of int  (** the nth page write fails, one-shot *)
+  | Sync_error_nth of int  (** the nth sync fails, one-shot *)
+  | Torn_write_nth of int  (** the nth write tears mid-page, then power loss *)
+
+val pp_plan : Format.formatter -> fault_plan -> unit
+
+type episode = {
+  ep_ops : int;
+  ep_writes : int;
+  ep_syncs : int;
+  ep_fault : string option;
+  ep_recovery_crashes : int;
+  ep_failures : string list;  (** [[]] = consistent *)
+}
+
+val run_episode : config -> fault_plan -> episode
+(** One full workload → fault → recover → oracle cycle in a fresh temp
+    directory. Raises {!Chaos_failure} on a mid-workload expectation
+    mismatch. *)
+
+val safe_episode : config -> fault_plan -> episode
+(** Like {!run_episode} but converts escaped exceptions into failures. *)
+
+type mode = Mode_crash | Mode_io_error | Mode_torn
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+type point_result = { pt_plan : fault_plan; pt_failures : string list }
+
+type seed_report = {
+  sr_seed : int;
+  sr_mode : mode;
+  sr_clean_ops : int;
+  sr_points : int;
+  sr_bad : point_result list;
+}
+
+val sweep :
+  ?progress:(int * int -> unit) -> config -> mode -> recovery_crash:bool ->
+  seed_report
+(** A clean run sizes the schedule (N ops, W writes, S syncs); then one
+    episode per fault point: crash at every op ([Mode_crash]), every write
+    and sync error ([Mode_io_error]), or every torn write ([Mode_torn]). *)
+
+val pp_seed_report : Format.formatter -> seed_report -> unit
+val report_json : seed_report list -> string
+
+val enable_undo_mutation : unit -> unit
+(** Deliberately break undo — btree-index attachment log records are skipped
+    during rollback/restart — to demonstrate that the oracle catches the
+    resulting ghost index entries. *)
+
+val disable_undo_mutation : unit -> unit

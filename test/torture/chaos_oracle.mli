@@ -1,0 +1,13 @@
+(** The attachment-consistency oracle: diffs the reopened database against
+    the reference model's committed state. Checks winners-present /
+    losers-absent on the base relations (contents and record keys), audits
+    every index (unique btree, hash, non-unique btree, rtree) against full
+    base scans via both point probes and full index scans, recomputes the
+    materialised aggregate, and re-derives the referential-integrity
+    invariant from the base scans. *)
+
+val check :
+  Dmx_core.Services.t -> committed:Chaos_model.state option -> string list
+(** Runs inside its own (read-only) transaction. Returns human-readable
+    failure descriptions; [[]] means consistent. [committed = None] asserts
+    that the workload's relations do not exist (their DDL never committed). *)

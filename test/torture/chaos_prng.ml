@@ -1,0 +1,22 @@
+(* Splitmix64: tiny, fast, and — unlike [Random.State] — specified purely by
+   this file, so a (seed, crash-point) pair replays byte-for-byte on any OCaml
+   version. *)
+
+type t = { mutable s : int64 }
+
+let create seed = { s = Int64.of_int seed }
+
+let next t =
+  let open Int64 in
+  t.s <- add t.s 0x9E3779B97F4A7C15L;
+  let z = t.s in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Chaos_prng.int: bound <= 0";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int)
+                  (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L

@@ -1,0 +1,11 @@
+(** Deterministic PRNG (splitmix64) for replayable chaos runs. Self-contained
+    so seeds replay identically across OCaml versions, unlike [Random.State]. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises for [bound <= 0]. *)
+
+val bool : t -> bool

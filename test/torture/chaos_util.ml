@@ -1,0 +1,28 @@
+(* Filesystem helpers shared by the torture harness and (re-exported through
+   Test_util) every test suite that needs a scratch directory. *)
+
+let ( / ) = Filename.concat
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (path / e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let temp_counter = ref 0
+
+let fresh_dir prefix =
+  incr temp_counter;
+  let dir =
+    Filename.get_temp_dir_name ()
+    / Fmt.str "%s_%d_%d_%f" prefix (Unix.getpid ()) !temp_counter
+        (Unix.gettimeofday ())
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let with_temp_dir ?(prefix = "dmx_tmp") f =
+  let dir = fresh_dir prefix in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)

@@ -1,0 +1,11 @@
+(** Scratch-directory helpers: one recursive implementation shared by the
+    torture harness and, via [Test_util], every test suite. *)
+
+val rm_rf : string -> unit
+(** Recursive delete; tolerates a missing path and nested directories. *)
+
+val fresh_dir : string -> string
+(** Create (and return) a unique directory under the system temp dir. *)
+
+val with_temp_dir : ?prefix:string -> (string -> 'a) -> 'a
+(** Run [f dir] with a fresh directory, removing it afterwards. *)
