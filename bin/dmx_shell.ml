@@ -346,10 +346,27 @@ let exec_line st line =
       Fmt.pr "DROP %s ON %s@." name rel
     | "insert", Word into :: Word rel :: Word v :: rest
       when kw into = "into" && kw v = "values" ->
-      let record, _ = parse_values rest in
+      (* Multi-row VALUES — (..), (..), ... — goes through the bulk path:
+         one authorization check, one dispatch per batch. *)
+      let rec tuples acc rest =
+        let record, rest = parse_values rest in
+        match rest with
+        | Comma :: (Lpar :: _ as more) -> tuples (record :: acc) more
+        | _ -> List.rev (record :: acc)
+      in
+      let records = tuples [] rest in
       with_ctx st (fun ctx ->
-          let key = ok (Db.insert st.db ctx ~relation:rel record) in
-          Fmt.pr "INSERT %a@." Record_key.pp key)
+          match records with
+          | [ record ] ->
+            let key = ok (Db.insert st.db ctx ~relation:rel record) in
+            Fmt.pr "INSERT %a@." Record_key.pp key
+          | records ->
+            let keys =
+              ok
+                (Db.insert_many st.db ctx ~relation:rel
+                   (Array.of_list records))
+            in
+            Fmt.pr "INSERT %d rows@." (Array.length keys))
     | "select", _ ->
       let q, project = parse_select line toks in
       with_ctx st (fun ctx ->

@@ -212,6 +212,61 @@ module Impl = struct
     each_instance slot (fun no name inst ->
         add_entry ctx desc name no inst record reckey)
 
+  (* Batch vector entry: sorted-batch maintenance. Entries descend into the
+     tree in full-key order, so each leaf is decoded and rewritten once per
+     run instead of once per record ({!Btree.insert_batch}), and uniqueness
+     is checked against the merged leaf's sorted neighbors in the same pass,
+     replacing the per-record tree probe. The whole batch is logged ahead of
+     the tree mutation: undoing an [Add] that never applied is a no-op
+     delete, so a mid-batch veto or fault cannot leave an unlogged entry. *)
+  let on_insert_batch ctx (desc : Descriptor.t) ~slot entries =
+    each_instance slot (fun no name inst ->
+        let keyed =
+          Array.map
+            (fun (rk, record) ->
+              ( full_key inst record rk,
+                Bytes.to_string (Record_key.encode rk),
+                Record.project record inst.fields,
+                rk ))
+            entries
+        in
+        Array.sort
+          (fun (k1, _, _, _) (k2, _, _, _) ->
+            (* lexicographic over the full key (fields + discriminator) *)
+            let rec cmp i =
+              if i >= Array.length k1 then 0
+              else
+                let c = Value.compare k1.(i) k2.(i) in
+                if c <> 0 then c else cmp (i + 1)
+            in
+            cmp 0)
+          keyed;
+        ignore
+          (Ctx.log_many ctx
+             ~source:(Log_record.Attachment (id ()))
+             ~rel_id:desc.rel_id
+             ~datas:
+               (Array.to_list
+                  (Array.map
+                     (fun (_, _, vals, rk) -> enc_op (Add (no, vals, rk)))
+                     keyed)));
+        let unique_prefix =
+          if inst.unique then Some (Array.length inst.fields) else None
+        in
+        match
+          Btree.insert_batch ?unique_prefix (tree ctx inst)
+            (Array.map (fun (k, p, _, _) -> (k, p)) keyed)
+        with
+        | Ok () -> Ok ()
+        | Error j ->
+          let _, _, vals, _ = keyed.(j) in
+          Error
+            (Error.veto
+               ~attachment:(Fmt.str "unique index %S" name)
+               (Fmt.str "duplicate key (%a)"
+                  Fmt.(array ~sep:(any ",") Value.pp)
+                  vals)))
+
   let on_delete ctx (desc : Descriptor.t) ~slot reckey record =
     each_instance slot (fun no _name inst ->
         remove_entry ctx desc no inst record reckey)
@@ -398,4 +453,5 @@ let register () =
   | None ->
     let id = Registry.register_attachment (module Impl : Intf.ATTACHMENT) in
     reg_id := Some id;
+    Registry.set_at_insert_batch id Impl.on_insert_batch;
     id

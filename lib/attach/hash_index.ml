@@ -287,6 +287,43 @@ module Impl = struct
     each_instance slot (fun no name inst ->
         add_entry ctx desc name no inst record reckey)
 
+  (* Batch vector entry: entries are sorted by bucket index so each chain's
+     pages are visited consecutively, and the page-capacity computation is
+     hoisted out of the loop. Within-batch duplicates on a unique index are
+     still caught by the chain probe — earlier entries of the batch are
+     already in their chains. *)
+  let on_insert_batch ctx (desc : Descriptor.t) ~slot entries =
+    each_instance slot (fun no name inst ->
+        let cap = capacity ctx in
+        let keyed =
+          Array.map
+            (fun (rk, record) ->
+              let vals = Record.project record inst.fields in
+              (bucket_index inst vals, vals, rk))
+            entries
+        in
+        Array.sort (fun (b1, _, _) (b2, _, _) -> compare b1 b2) keyed;
+        let rec loop i =
+          if i >= Array.length keyed then Ok ()
+          else begin
+            let bi, vals, rk = keyed.(i) in
+            let head = inst.buckets.(bi) in
+            if inst.unique && chain_collect ctx head vals <> [] then
+              Error
+                (Error.veto
+                   ~attachment:(Fmt.str "unique hash index %S" name)
+                   (Fmt.str "duplicate key (%a)"
+                      Fmt.(array ~sep:(any ",") Value.pp)
+                      vals))
+            else begin
+              add_to_chain ctx head vals rk cap;
+              ignore (log_op ctx desc.rel_id (Add (no, vals, rk)));
+              loop (i + 1)
+            end
+          end
+        in
+        loop 0)
+
   let on_delete ctx desc ~slot reckey record =
     each_instance slot (fun no _name inst ->
         remove_entry ctx desc no inst record reckey)
@@ -397,4 +434,5 @@ let register () =
   | None ->
     let id = Registry.register_attachment (module Impl : Intf.ATTACHMENT) in
     reg_id := Some id;
+    Registry.set_at_insert_batch id Impl.on_insert_batch;
     id

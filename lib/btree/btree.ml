@@ -419,6 +419,142 @@ let seek c pos =
   c.finished <- false;
   c.leaf_hint <- 0
 
+(* ---- sorted-batch insert ---- *)
+
+(* Descend to the leaf covering [key], tracking the separators bounding its
+   key space: [lo] inclusive-below, [hi] exclusive-above (None at the tree's
+   edges). *)
+let rec descend_bounds t page_id key lo hi =
+  match read_node t page_id with
+  | Leaf { entries; next } -> (page_id, lo, hi, entries, next)
+  | Internal { seps; children } ->
+    let i = child_index seps key in
+    let lo = if i > 0 then Some (List.nth seps (i - 1)) else lo in
+    let hi = match List.nth_opt seps i with Some _ as s -> s | None -> hi in
+    descend_bounds t (List.nth children i) key lo hi
+
+(* Equality on the first [p] key values (the unique-index field prefix). *)
+let equal_on p a b =
+  let rec loop j = j >= p || (Value.compare a.(j) b.(j) = 0 && loop (j + 1)) in
+  Array.length a >= p && Array.length b >= p && loop 0
+
+let prefix_present t prefix =
+  let c = cursor ~lo:(Incl prefix) ~hi:(Incl prefix) t in
+  next c <> None
+
+let insert_batch ?unique_prefix t entries =
+  let n = Array.length entries in
+  (* Under a unique prefix, adjacent batch entries sharing the prefix veto
+     at the second one: [limit] is the first offender (sorted input makes
+     within-batch duplicates adjacent), and nothing at or past it applies. *)
+  let limit =
+    match unique_prefix with
+    | None -> n
+    | Some p ->
+      let rec scan j =
+        if j >= n then n
+        else if equal_on p (fst entries.(j - 1)) (fst entries.(j)) then j
+        else scan (j + 1)
+      in
+      if n <= 1 then n else scan 1
+  in
+  let exception Halt of int in
+  let halted = ref None in
+  (try
+     let i = ref 0 in
+     while !i < limit do
+       let key0, payload0 = entries.(!i) in
+       let leaf_id, lo, hi, old_entries, next =
+         descend_bounds t t.root key0 None None
+       in
+       let in_leaf k =
+         match hi with None -> true | Some s -> compare_full k s < 0
+       in
+       (* the maximal run that fits in this leaf without splitting *)
+       let budget =
+         ref (capacity t - node_size (Leaf { entries = old_entries; next }))
+       in
+       let j = ref !i in
+       let stop = ref false in
+       while (not !stop) && !j < limit do
+         let (k, _) as e = entries.(!j) in
+         if not (in_leaf k) then stop := true
+         else begin
+           let sz = entry_size e in
+           if sz > !budget then stop := true
+           else begin
+             budget := !budget - sz;
+             incr j
+           end
+         end
+       done;
+       if !j = !i then begin
+         (* the leaf cannot take even one more entry: the split path *)
+         (match unique_prefix with
+         | Some p when prefix_present t (Array.sub key0 0 p) ->
+           raise (Halt !i)
+         | _ -> ());
+         ignore (insert t ~key:key0 ~payload:payload0);
+         incr i
+       end
+       else begin
+         (* merge entries !i..!j-1 with the decoded leaf: one node decode,
+            one write, uniqueness checked against the sorted neighbors (a
+            prefix group is contiguous in key order, so a match not adjacent
+            to the insert position can only straddle a leaf boundary — the
+            separator carries the prefix in that case and triggers a probe) *)
+         let probe k p = prefix_present t (Array.sub k 0 p) in
+         let dup_at ~last_old ~old k =
+           match unique_prefix with
+           | None -> false
+           | Some p ->
+             let eq o = equal_on p o k in
+             (match last_old with
+             | Some o -> eq o
+             | None -> (
+               match lo with Some s when eq s -> probe k p | _ -> false))
+             ||
+             (match old with
+             | (o, _) :: _ -> eq o
+             | [] -> (
+               match hi with Some s when eq s -> probe k p | _ -> false))
+         in
+         let run =
+           List.init (!j - !i) (fun d ->
+               let k, p = entries.(!i + d) in
+               (!i + d, k, p))
+         in
+         let rec merge acc last_old run old =
+           match run, old with
+           | [], _ -> (List.rev_append acc old, None)
+           | (_, k, _) :: _, ((ok_, _) as o) :: otl
+             when compare_full k ok_ > 0 ->
+             merge (o :: acc) (Some ok_) run otl
+           | (idx, k, _) :: rtl, (ok_, _) :: _ when compare_full k ok_ = 0 ->
+             (* identical entry already present: idempotent, unless the
+                caller's uniqueness covers it *)
+             if unique_prefix <> None then (List.rev_append acc old, Some idx)
+             else merge acc last_old rtl old
+           | (idx, k, p) :: rtl, old ->
+             if dup_at ~last_old ~old k then (List.rev_append acc old, Some idx)
+             else begin
+               match acc with
+               | (ak, _) :: _ when compare_full k ak = 0 ->
+                 (* duplicate full key within the batch: keep the first *)
+                 merge acc last_old rtl old
+               | _ -> merge ((k, p) :: acc) last_old rtl old
+             end
+         in
+         let merged, halt = merge [] None run old_entries in
+         write_node t leaf_id (Leaf { entries = merged; next });
+         (match halt with Some idx -> raise (Halt idx) | None -> ());
+         i := !j
+       end
+     done;
+     if limit < n then halted := Some limit
+   with Halt idx -> halted := Some idx);
+  match !halted with None -> Ok () | Some idx -> Error idx
+
 (* ---- invariants ---- *)
 
 let check_invariants t =

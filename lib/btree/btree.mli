@@ -28,6 +28,20 @@ val open_tree : Dmx_page.Buffer_pool.t -> root:int -> t
 val root : t -> int
 
 val insert : t -> key:Value.t array -> payload:string -> [ `Ok | `Duplicate ]
+
+val insert_batch :
+  ?unique_prefix:int -> t -> (Value.t array * string) array ->
+  (unit, int) result
+(** Sorted-batch insert: [entries] must be ascending in key order. Each
+    maximal run of entries landing in one leaf is merged with a single node
+    decode and a single write, so the per-node codec cost of {!insert}
+    amortizes over the run; an entry that would split its leaf falls back to
+    {!insert}. [unique_prefix:p] vetoes an entry whose first [p] key values
+    match an existing entry or an earlier batch entry: the batch halts with
+    [Error j] — entries before index [j] are applied, [j] and later are not.
+    Without it, full-key duplicates are skipped ([`Duplicate] semantics of
+    {!insert}) and the result is [Ok ()]. *)
+
 val replace : t -> key:Value.t array -> payload:string -> [ `Inserted | `Replaced ]
 val delete : t -> key:Value.t array -> bool
 val find : t -> key:Value.t array -> string option

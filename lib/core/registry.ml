@@ -41,6 +41,36 @@ module Vec = struct
   let at_on_insert = Array.init Descriptor.max_attachment_types stub_at_on_insert
   let at_on_update = Array.init Descriptor.max_attachment_types stub_at_on_update
   let at_on_delete = Array.init Descriptor.max_attachment_types stub_at_on_delete
+
+  (* Optional batch entries. The default falls back to the per-record slot of
+     the same vector index, so extensions that never register a batch routine
+     keep exactly their per-record semantics; extensions with a cheaper bulk
+     form override their entry via [set_sm_insert_batch]/[set_at_insert_batch]. *)
+  let default_sm_insert_batch id ctx desc records =
+    let rec loop i acc =
+      if i >= Array.length records then Ok (Array.of_list (List.rev acc))
+      else
+        match sm_insert.(id) ctx desc records.(i) with
+        | Ok key -> loop (i + 1) (key :: acc)
+        | Error e -> Error e
+    in
+    loop 0 []
+
+  let default_at_on_insert_batch id ctx desc ~slot entries =
+    let rec loop i =
+      if i >= Array.length entries then Ok ()
+      else
+        let key, record = entries.(i) in
+        match at_on_insert.(id) ctx desc ~slot key record with
+        | Ok () -> loop (i + 1)
+        | Error e -> Error e
+    in
+    loop 0
+
+  let sm_insert_batch = Array.init max_storage_methods default_sm_insert_batch
+
+  let at_on_insert_batch =
+    Array.init Descriptor.max_attachment_types default_at_on_insert_batch
 end
 
 let check_not_frozen what =
@@ -91,6 +121,18 @@ let register_attachment (module M : Intf.ATTACHMENT) =
   Vec.at_on_delete.(id) <- M.on_delete;
   id
 
+let set_sm_insert_batch id f =
+  check_not_frozen (Fmt.str "batch insert for storage method %d" id);
+  if id < 0 || id >= max_storage_methods then
+    invalid_arg "Registry.set_sm_insert_batch: bad id";
+  Vec.sm_insert_batch.(id) <- f
+
+let set_at_insert_batch id f =
+  check_not_frozen (Fmt.str "batch insert for attachment %d" id);
+  if id < 0 || id >= Descriptor.max_attachment_types then
+    invalid_arg "Registry.set_at_insert_batch: bad id";
+  Vec.at_on_insert_batch.(id) <- f
+
 let freeze () = frozen := true
 let is_frozen () = !frozen
 
@@ -111,7 +153,13 @@ let reset_for_testing () =
     Vec.at_on_update;
   Array.iteri
     (fun i _ -> Vec.at_on_delete.(i) <- stub_at_on_delete i)
-    Vec.at_on_delete
+    Vec.at_on_delete;
+  Array.iteri
+    (fun i _ -> Vec.sm_insert_batch.(i) <- Vec.default_sm_insert_batch i)
+    Vec.sm_insert_batch;
+  Array.iteri
+    (fun i _ -> Vec.at_on_insert_batch.(i) <- Vec.default_at_on_insert_batch i)
+    Vec.at_on_insert_batch
 
 let storage_method id =
   match

@@ -28,6 +28,23 @@ val register_attachment : (module Intf.ATTACHMENT) -> int
 (** Attachment type ids also index the relation descriptor's slots, so at most
     {!Descriptor.max_attachment_types} types exist. *)
 
+val set_sm_insert_batch :
+  int ->
+  (Ctx.t -> Descriptor.t -> Record.t array ->
+   (Record_key.t array, Error.t) result) ->
+  unit
+(** Override the optional bulk-insert entry of a storage method's procedure
+    vector. Without an override the entry loops the per-record [sm_insert]
+    slot, so registering one is purely an optimization. Raises after
+    {!freeze} or for an out-of-range id. *)
+
+val set_at_insert_batch :
+  int ->
+  (Ctx.t -> Descriptor.t -> slot:string -> (Record_key.t * Record.t) array ->
+   (unit, Error.t) result) ->
+  unit
+(** Same for an attachment type's bulk [on_insert] entry. *)
+
 val freeze : unit -> unit
 val is_frozen : unit -> bool
 val reset_for_testing : unit -> unit
@@ -71,5 +88,19 @@ module Vec : sig
   val at_on_delete :
     (Ctx.t -> Descriptor.t -> slot:string -> Record_key.t -> Record.t ->
      (unit, Error.t) result)
+    array
+
+  (** Optional bulk entries (see {!set_sm_insert_batch} /
+      {!set_at_insert_batch}); the default implementations loop the
+      per-record slots above. *)
+
+  val sm_insert_batch :
+    (Ctx.t -> Descriptor.t -> Record.t array ->
+     (Record_key.t array, Error.t) result)
+    array
+
+  val at_on_insert_batch :
+    (Ctx.t -> Descriptor.t -> slot:string ->
+     (Record_key.t * Record.t) array -> (unit, Error.t) result)
     array
 end

@@ -200,6 +200,55 @@ let insert ctx desc record =
           in
           Ok key))
 
+(* Bulk insert: validation, the relation lock, the savepoint bracket and the
+   span/profile setup are paid once per batch; the storage method and each
+   attachment type present are dispatched once per batch through the optional
+   batch vector entries (whose defaults loop the per-record slots). Atomic:
+   either every record of the batch is inserted or — on the first storage
+   method error or attachment veto — the whole batch rolls back. *)
+let insert_many ctx desc records =
+  Invariant.check_frozen_for_dispatch ~op:"insert_many";
+  if Array.length records = 0 then Ok [||]
+  else
+    rel_span ctx desc "insert_many" (fun () ->
+        let* () =
+          Array.fold_left
+            (fun acc r ->
+              let* () = acc in
+              validate ctx desc r)
+            (Ok ()) records
+        in
+        let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IX in
+        with_op_savepoint ctx (fun () ->
+            incr sm_calls;
+            let* keys =
+              sm_span ctx desc "insert_many" (fun () ->
+                  Registry.Vec.sm_insert_batch.(desc.Descriptor.smethod_id)
+                    ctx desc records)
+            in
+            if Array.length keys <> Array.length records then
+              Error
+                (Error.Internal
+                   "insert_many: storage method returned a key count \
+                    different from the batch size")
+            else
+              let* () =
+                Array.fold_left
+                  (fun acc key ->
+                    let* () = acc in
+                    lock_record ctx desc key Dmx_lock.Lock_mode.X)
+                  (Ok ()) keys
+              in
+              let entries = Array.map2 (fun k r -> (k, r)) keys records in
+              let* () =
+                run_attached ctx desc ~op:"insert_many"
+                  ~info:(fun () ->
+                    [ ("batch", Dmx_obs.Obs_json.Int (Array.length records)) ])
+                  (fun n slot ->
+                    Registry.Vec.at_on_insert_batch.(n) ctx desc ~slot entries)
+              in
+              Ok keys))
+
 let update ctx desc key new_record =
   Invariant.check_frozen_for_dispatch ~op:"update";
   rel_span ctx desc "update" (fun () ->

@@ -22,6 +22,19 @@ open Dmx_catalog
 val insert :
   Ctx.t -> Descriptor.t -> Record.t -> (Record_key.t, Error.t) result
 
+val insert_many :
+  Ctx.t -> Descriptor.t -> Record.t array ->
+  (Record_key.t array, Error.t) result
+(** Bulk insert through the same two-step dispatch, with per-batch instead of
+    per-record overhead: one validation pass, one relation lock, one internal
+    savepoint, one span/profile bracket, then the storage method and each
+    attachment type once per batch via the optional batch vector entries
+    (default: loop the per-record slot). Atomic — on the first error or veto
+    the whole batch is rolled back and nothing is inserted. Note the deferred
+    visibility inside a batch: attachments observe the batch after all its
+    records reached storage, so e.g. a referential-integrity parent and its
+    child may arrive in the same batch in either order. *)
+
 val update :
   Ctx.t -> Descriptor.t -> Record_key.t -> Record.t ->
   (Record_key.t, Error.t) result

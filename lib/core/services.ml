@@ -126,9 +126,11 @@ let close t =
   Dmx_obs.Trace.flush_sink ()
 
 let simulate_crash t =
-  (* Volatile memory vanishes: no force, no catalog save, no clean abort. *)
+  (* Volatile memory vanishes: no force, no catalog save, no clean abort.
+     [Wal.crash] also drops written-but-unsynced log bytes (group commit),
+     modelling power loss rather than a mere process kill. *)
   Buffer_pool.drop_cache t.bp;
-  Wal.abandon t.wal;
+  Wal.crash t.wal;
   Disk.close t.disk
 
 let io_stats t = Disk.stats t.disk

@@ -92,6 +92,13 @@ let insert t ctx ~relation record =
   let* () = check t Authz.Insert desc.Descriptor.rel_id in
   Relation.insert ctx desc record
 
+(* Bulk surface: descriptor lookup and the authorization check are paid once
+   for the whole batch, then dispatch goes through the batch vector entry. *)
+let insert_many t ctx ~relation records =
+  let* desc = Ddl.find_relation ctx relation in
+  let* () = check t Authz.Insert desc.Descriptor.rel_id in
+  Relation.insert_many ctx desc records
+
 let update t ctx ~relation key record =
   let* desc = Ddl.find_relation ctx relation in
   let* () = check t Authz.Update desc.Descriptor.rel_id in

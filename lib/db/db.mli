@@ -64,6 +64,12 @@ val relation :
 val insert :
   t -> Ctx.t -> relation:string -> Record.t -> (Record_key.t, Error.t) result
 
+val insert_many :
+  t -> Ctx.t -> relation:string -> Record.t array ->
+  (Record_key.t array, Error.t) result
+(** Bulk {!insert}: one descriptor lookup and authorization check per batch,
+    then {!Dmx_core.Relation.insert_many}. Atomic per batch. *)
+
 val update :
   t -> Ctx.t -> relation:string -> Record_key.t -> Record.t ->
   (Record_key.t, Error.t) result

@@ -4,14 +4,82 @@ type frame = {
   mutable dirty : bool;
   mutable pin_count : int;
   mutable page_lsn : int64;
-  mutable last_used : int;
+  mutable ref_bit : bool;
 }
 
+(* Fixed-capacity page-id → slot map: open-addressing linear probing with
+   backward-shift deletion. The pool holds at most [capacity] mappings, so
+   the table is sized once at ≥ 4× capacity (load factor ≤ 1/4) and never
+   resizes. Every probe walks adjacent array cells where a stdlib hashtable
+   chases bucket-list cells scattered across the heap, which keeps the
+   per-eviction map cost flat as the pool grows (E7). *)
+module Slot_map : sig
+  type t
+
+  val create : int -> t
+  val find_opt : t -> int -> int option
+  val replace : t -> int -> int -> unit
+  val remove : t -> int -> unit
+  val reset : t -> unit
+end = struct
+  type t = { keys : int array; vals : int array; mask : int }
+
+  let empty_key = min_int
+
+  let create cap =
+    let rec pow2 n = if n >= 4 * cap then n else pow2 (2 * n) in
+    let n = pow2 16 in
+    { keys = Array.make n empty_key; vals = Array.make n 0; mask = n - 1 }
+
+  let home t k = k * 0x9E3779B1 land t.mask
+
+  (* First cell holding [k] or empty; terminates because load ≤ 1/4. *)
+  let rec probe t k i =
+    let key = t.keys.(i) in
+    if key = k || key = empty_key then i else probe t k ((i + 1) land t.mask)
+
+  let find_opt t k =
+    let i = probe t k (home t k) in
+    if t.keys.(i) = k then Some t.vals.(i) else None
+
+  let replace t k v =
+    let i = probe t k (home t k) in
+    t.keys.(i) <- k;
+    t.vals.(i) <- v
+
+  let remove t k =
+    let i = probe t k (home t k) in
+    if t.keys.(i) = k then
+      (* Backward shift instead of tombstones: walk the rest of the cluster,
+         pulling back any entry whose home position lies at or before the
+         hole, so every remaining entry stays reachable from its home. *)
+      let rec shift hole j =
+        let key = t.keys.(j) in
+        if key = empty_key then t.keys.(hole) <- empty_key
+        else if (j - home t key) land t.mask >= (j - hole) land t.mask then begin
+          t.keys.(hole) <- key;
+          t.vals.(hole) <- t.vals.(j);
+          shift j ((j + 1) land t.mask)
+        end
+        else shift hole ((j + 1) land t.mask)
+      in
+      shift i ((i + 1) land t.mask)
+
+  let reset t = Array.fill t.keys 0 (Array.length t.keys) empty_key
+end
+
+(* Second-chance clock over a fixed frame array. The slot map is only the
+   page-id → slot index; replacement state lives in the frames themselves
+   ([ref_bit]) and the hand, so eviction is O(1) amortized instead of the
+   former O(frames) least-recently-used fold over the whole table. *)
 type t = {
   disk : Disk.t;
   cap : int;
-  frames : (int, frame) Hashtbl.t;
-  mutable tick : int;
+  slots : Slot_map.t;  (* page_id -> index into [arr] *)
+  arr : frame option array;
+  mutable free : int list;  (* unoccupied slots (cold pool, after drop) *)
+  mutable used : int;
+  mutable hand : int;
   mutable flush_hook : int64 -> unit;
 }
 
@@ -22,8 +90,11 @@ let create ?(capacity = 256) disk =
   {
     disk;
     cap = capacity;
-    frames = Hashtbl.create capacity;
-    tick = 0;
+    slots = Slot_map.create capacity;
+    arr = Array.make capacity None;
+    free = List.init capacity Fun.id;
+    used = 0;
+    hand = 0;
     flush_hook = ignore;
   }
 
@@ -36,10 +107,6 @@ let page_live t id = id >= 1 && id <= Disk.page_count t.disk
 let capacity t = t.cap
 let set_flush_hook t hook = t.flush_hook <- hook
 
-let touch t frame =
-  t.tick <- t.tick + 1;
-  frame.last_used <- t.tick
-
 let write_back t frame =
   if frame.dirty then begin
     t.flush_hook frame.page_lsn;
@@ -47,50 +114,65 @@ let write_back t frame =
     frame.dirty <- false
   end
 
-(* Evict the least-recently-used unpinned frame to make room. *)
-let evict_one t =
-  let victim =
-    Hashtbl.fold
-      (fun _ f best ->
-        if f.pin_count > 0 then best
-        else
-          match best with
-          | Some b when b.last_used <= f.last_used -> best
-          | _ -> Some f)
-      t.frames None
+(* One clock sweep step per call site: skip pinned frames, give a set
+   reference bit its second chance, take the first unpinned frame whose bit
+   is already clear. After two full revolutions every unpinned frame has had
+   its bit cleared and been revisited, so coming up empty means every frame
+   is pinned. *)
+let evict_slot t =
+  let rec sweep steps =
+    if steps > 2 * t.cap then failwith "Buffer_pool: all frames pinned"
+    else begin
+      let i = t.hand in
+      t.hand <- (t.hand + 1) mod t.cap;
+      match t.arr.(i) with
+      | Some f when f.pin_count = 0 ->
+        if f.ref_bit then begin
+          f.ref_bit <- false;
+          sweep (steps + 1)
+        end
+        else i
+      | Some _ | None -> sweep (steps + 1)
+    end
   in
-  match victim with
-  | None -> failwith "Buffer_pool: all frames pinned"
-  | Some f ->
-    Dmx_obs.Metrics.incr m_evictions;
-    if Dmx_obs.Trace.enabled () then
-      Dmx_obs.Trace.event "bp.evict"
-        ~attrs:
-          [ ("page", Dmx_obs.Obs_json.Int f.page_id);
-            ("dirty", Dmx_obs.Obs_json.Bool f.dirty) ];
-    write_back t f;
-    Hashtbl.remove t.frames f.page_id
+  let i = sweep 0 in
+  let f = match t.arr.(i) with Some f -> f | None -> assert false in
+  Dmx_obs.Metrics.incr m_evictions;
+  if Dmx_obs.Trace.enabled () then
+    Dmx_obs.Trace.event "bp.evict"
+      ~attrs:
+        [ ("page", Dmx_obs.Obs_json.Int f.page_id);
+          ("dirty", Dmx_obs.Obs_json.Bool f.dirty) ];
+  write_back t f;
+  Slot_map.remove t.slots f.page_id;
+  t.arr.(i) <- None;
+  t.used <- t.used - 1;
+  i
 
-let ensure_room t =
-  while Hashtbl.length t.frames >= t.cap do
-    evict_one t
-  done
+let take_slot t =
+  match t.free with
+  | i :: rest ->
+    t.free <- rest;
+    i
+  | [] -> evict_slot t
 
 let install t page_id data =
-  ensure_room t;
+  let i = take_slot t in
   let frame =
-    { page_id; data; dirty = false; pin_count = 1; page_lsn = 0L; last_used = 0 }
+    { page_id; data; dirty = false; pin_count = 1; page_lsn = 0L; ref_bit = true }
   in
-  touch t frame;
-  Hashtbl.replace t.frames page_id frame;
+  t.arr.(i) <- Some frame;
+  Slot_map.replace t.slots page_id i;
+  t.used <- t.used + 1;
   frame
 
-let pin t page_id =
-  match Hashtbl.find_opt t.frames page_id with
-  | Some frame ->
+let pin ?(txid = -1) t page_id =
+  match Slot_map.find_opt t.slots page_id with
+  | Some i ->
+    let frame = match t.arr.(i) with Some f -> f | None -> assert false in
     (Disk.stats t.disk).pool_hits <- (Disk.stats t.disk).pool_hits + 1;
     frame.pin_count <- frame.pin_count + 1;
-    touch t frame;
+    frame.ref_bit <- true;
     frame
   | None ->
     (Disk.stats t.disk).pool_misses <- (Disk.stats t.disk).pool_misses + 1;
@@ -98,20 +180,20 @@ let pin t page_id =
       Dmx_obs.Trace.event "bp.miss"
         ~attrs:[ ("page", Dmx_obs.Obs_json.Int page_id) ];
     (* the fill (plus any eviction write-back it forces) is charged to the
-       enclosing frame's transaction *)
-    let fr = Dmx_obs.Profile.begin_frame ~txid:(-1) Dmx_obs.Profile.Bp in
+       caller's transaction, falling back to the enclosing frame's *)
+    let fr = Dmx_obs.Profile.begin_frame ~txid Dmx_obs.Profile.Bp in
     let frame = install t page_id (Disk.read t.disk page_id) in
     Dmx_obs.Profile.end_frame fr;
     frame
 
 let unpin ?(dirty = false) ?lsn t frame =
+  ignore t;
   if frame.pin_count <= 0 then failwith "Buffer_pool.unpin: frame not pinned";
   if dirty then frame.dirty <- true;
   (match lsn with
   | Some l when l > frame.page_lsn -> frame.page_lsn <- l
   | _ -> ());
-  frame.pin_count <- frame.pin_count - 1;
-  touch t frame
+  frame.pin_count <- frame.pin_count - 1
 
 let alloc t =
   let page_id = Disk.alloc t.disk in
@@ -130,27 +212,50 @@ let with_page_mut t page_id ~lsn f =
     (fun () -> f frame)
 
 let flush_page t page_id =
-  match Hashtbl.find_opt t.frames page_id with
+  match Slot_map.find_opt t.slots page_id with
   | None -> ()
-  | Some frame -> write_back t frame
+  | Some i -> (match t.arr.(i) with Some f -> write_back t f | None -> ())
 
 let flush_all t =
-  Hashtbl.iter (fun _ f -> write_back t f) t.frames;
+  (* Ascending page-id order: the force step becomes one sequential pass over
+     the backing store instead of hashtable order. *)
+  let dirty =
+    Array.fold_left
+      (fun acc slot ->
+        match slot with Some f when f.dirty -> f :: acc | _ -> acc)
+      [] t.arr
+  in
+  List.iter (write_back t)
+    (List.sort (fun a b -> compare a.page_id b.page_id) dirty);
   Disk.sync t.disk
 
 let drop_cache t =
-  Hashtbl.iter
-    (fun _ f ->
-      if f.pin_count > 0 then
+  Array.iter
+    (function
+      | Some f when f.pin_count > 0 ->
         failwith
-          (Fmt.str "Buffer_pool.drop_cache: page %d still pinned" f.page_id))
-    t.frames;
-  Hashtbl.reset t.frames
+          (Fmt.str "Buffer_pool.drop_cache: page %d still pinned" f.page_id)
+      | _ -> ())
+    t.arr;
+  Slot_map.reset t.slots;
+  Array.fill t.arr 0 t.cap None;
+  t.free <- List.init t.cap Fun.id;
+  t.used <- 0;
+  t.hand <- 0
 
-let cached_pages t = Hashtbl.length t.frames
+let cached_pages t = t.used
+
+let cached_page_ids t =
+  Array.fold_left
+    (fun acc slot -> match slot with Some f -> f.page_id :: acc | None -> acc)
+    [] t.arr
+  |> List.sort compare
 
 let pinned_pages t =
-  Hashtbl.fold
-    (fun id f acc -> if f.pin_count > 0 then (id, f.pin_count) :: acc else acc)
-    t.frames []
+  Array.fold_left
+    (fun acc slot ->
+      match slot with
+      | Some f when f.pin_count > 0 -> (f.page_id, f.pin_count) :: acc
+      | _ -> acc)
+    [] t.arr
   |> List.sort compare

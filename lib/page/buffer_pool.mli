@@ -1,9 +1,11 @@
 (** Buffer pool.
 
-    Fixed-capacity page cache over a {!Disk} store with pin/unpin, LRU
-    eviction of unpinned frames, and a write-ahead-log hook: before a dirty
-    frame reaches the backing store, the registered hook is called with the
-    frame's latest LSN so the log can be forced first.
+    Fixed-capacity page cache over a {!Disk} store with pin/unpin,
+    second-chance clock eviction of unpinned frames (O(1) amortized — the
+    hand advances over a frame array; the hashtable is only the page-id →
+    slot map), and a write-ahead-log hook: before a dirty frame reaches the
+    backing store, the registered hook is called with the frame's latest LSN
+    so the log can be forced first.
 
     The paper expects filter predicates to be evaluated "while the field
     values from the relation storage or access path are still in the buffer
@@ -17,7 +19,7 @@ type frame = private {
   mutable dirty : bool;
   mutable pin_count : int;
   mutable page_lsn : int64;
-  mutable last_used : int;
+  mutable ref_bit : bool;  (** clock reference bit; set on every pin *)
 }
 
 val create : ?capacity:int -> Disk.t -> t
@@ -34,9 +36,11 @@ val page_live : t -> int -> bool
 
 val set_flush_hook : t -> (int64 -> unit) -> unit
 
-val pin : t -> int -> frame
+val pin : ?txid:int -> t -> int -> frame
 (** Fetch (or find cached) page; increments the pin count. Raises [Failure]
-    when every frame is pinned. *)
+    when every frame is pinned. On a miss, [txid] charges the fill (and any
+    eviction write-back it forces) to that transaction in the profile;
+    omitted, the cost falls to the enclosing profile frame's transaction. *)
 
 val unpin : ?dirty:bool -> ?lsn:int64 -> t -> frame -> unit
 (** Release one pin; [dirty] marks the frame modified and [lsn] records the
@@ -53,8 +57,8 @@ val with_page_mut : t -> int -> lsn:int64 -> (frame -> 'a) -> 'a
 
 val flush_page : t -> int -> unit
 val flush_all : t -> unit
-(** Write every dirty frame (and fsync file-backed stores): the force step of
-    the undo/no-redo commit protocol. *)
+(** Write every dirty frame in ascending page-id order (and fsync file-backed
+    stores): the force step of the undo/no-redo commit protocol. *)
 
 val drop_cache : t -> unit
 (** Forget all unpinned frames without writing them — simulates losing
@@ -62,6 +66,9 @@ val drop_cache : t -> unit
     any frame is still pinned. *)
 
 val cached_pages : t -> int
+
+val cached_page_ids : t -> int list
+(** Page ids currently resident, ascending (eviction tests). *)
 
 val pinned_pages : t -> (int * int) list
 (** [(page_id, pin_count)] of every currently pinned frame, ascending by page

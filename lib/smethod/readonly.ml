@@ -54,13 +54,17 @@ let dec_ins s =
   (key, record)
 
 let with_page ctx page f =
-  let frame = Buffer_pool.pin ctx.Ctx.bp page in
+  let frame =
+    Buffer_pool.pin ~txid:ctx.Ctx.txn.Dmx_txn.Txn.id ctx.Ctx.bp page
+  in
   Fun.protect
     ~finally:(fun () -> Buffer_pool.unpin ctx.Ctx.bp frame)
     (fun () -> f frame.Buffer_pool.data)
 
 let with_page_mut ctx page f =
-  let frame = Buffer_pool.pin ctx.Ctx.bp page in
+  let frame =
+    Buffer_pool.pin ~txid:ctx.Ctx.txn.Dmx_txn.Txn.id ctx.Ctx.bp page
+  in
   Fun.protect
     ~finally:(fun () -> Buffer_pool.unpin ~dirty:true ctx.Ctx.bp frame)
     (fun () -> f frame.Buffer_pool.data)

@@ -15,6 +15,8 @@ type t = {
   mutable undo_dispatch : (Txn.t -> Log_record.t -> unit) option;
   mutable force_hook : unit -> unit;
   mutable undone_count : int;
+  mutable group_commit : int;  (* fsync window; <= 1 syncs every commit *)
+  mutable group_pending : int;  (* commits written since the last group sync *)
 }
 
 let create ~wal ~locks () =
@@ -30,12 +32,20 @@ let create ~wal ~locks () =
     undo_dispatch = None;
     force_hook = ignore;
     undone_count = 0;
+    group_commit = 1;
+    group_pending = 0;
   }
 
 let wal t = t.wal
 let locks t = t.locks
 let set_undo_dispatch t f = t.undo_dispatch <- Some f
 let set_force_hook t f = t.force_hook <- f
+
+let set_group_commit t n =
+  t.group_commit <- max 1 n;
+  t.group_pending <- 0
+
+let group_commit t = t.group_commit
 
 let begin_txn t =
   let id = t.next_txid in
@@ -53,6 +63,16 @@ let active_txns t = Hashtbl.fold (fun _ tx acc -> tx :: acc) t.active []
 let log_ext t txn ~source ~rel_id ~data =
   Txn.check_active txn;
   Wal.append t.wal txn.Txn.id (Log_record.Ext { source; rel_id; data })
+
+(* Batched variant of [log_ext] for bulk operations: one activity check for
+   the whole batch; the appends land contiguously in the pending buffer and
+   harden in one write at the next flush. *)
+let log_ext_many t txn ~source ~rel_id ~datas =
+  Txn.check_active txn;
+  List.map
+    (fun data ->
+      Wal.append t.wal txn.Txn.id (Log_record.Ext { source; rel_id; data }))
+    datas
 
 let dispatch_undo t txn (r : Log_record.t) =
   match t.undo_dispatch with
@@ -132,10 +152,29 @@ let do_commit t txn =
   | exception e ->
     abort t txn;
     raise e);
-  Wal.flush t.wal;
-  t.force_hook ();
-  ignore (Wal.append t.wal txn.Txn.id Log_record.Commit);
-  Wal.flush t.wal;
+  if t.group_commit <= 1 then begin
+    Wal.flush t.wal;
+    t.force_hook ();
+    ignore (Wal.append t.wal txn.Txn.id Log_record.Commit);
+    Wal.flush t.wal
+  end
+  else begin
+    (* Group commit: write the commit's records without an fsync; every
+       [group_commit]th commit fsyncs once for the whole group. Commit
+       returns with its records written (and its LSN flushed); durability
+       is hardened at the group boundary or at the next syncing flush
+       (page force, shutdown, recovery). A crash can lose a suffix of the
+       most recent commits, never a non-prefix subset. *)
+    Wal.flush ~sync:false t.wal;
+    t.force_hook ();
+    ignore (Wal.append t.wal txn.Txn.id Log_record.Commit);
+    Wal.flush ~sync:false t.wal;
+    t.group_pending <- t.group_pending + 1;
+    if t.group_pending >= t.group_commit then begin
+      Wal.sync t.wal;
+      t.group_pending <- 0
+    end
+  end;
   let after = Txn.take_deferred txn On_commit in
   finish t txn Committed;
   Dmx_obs.Metrics.incr m_commits;

@@ -38,6 +38,23 @@ val log_ext : t -> Txn.t -> source:Log_record.source -> rel_id:int ->
   data:string -> Log_record.lsn
 (** Common service used by extensions to log an undoable operation. *)
 
+val log_ext_many : t -> Txn.t -> source:Log_record.source -> rel_id:int ->
+  datas:string list -> Log_record.lsn list
+(** Batched {!log_ext}: one activity check, contiguous appends (bulk paths). *)
+
+val set_group_commit : t -> int -> unit
+(** Group-commit policy. Window [n <= 1] (the default) fsyncs on every
+    commit. [n > 1] makes commits write their log records without an fsync
+    and every [n]th commit fsync once on behalf of the whole group — commit
+    still returns only after its records are written and its LSN flushed,
+    and any syncing flush (page force, shutdown, recovery) hardens early.
+    After a crash, a suffix of the most recent commits may be lost, never a
+    non-prefix subset. Deterministic (count-based, no timers); kept off under
+    the chaos default so fault schedules stay replayable. Values below 1 are
+    clamped to 1. *)
+
+val group_commit : t -> int
+
 val commit : t -> Txn.t -> unit
 (** Raises whatever a [Before_prepare] action raises — in that case the
     transaction has been rolled back and aborted before the exception

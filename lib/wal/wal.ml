@@ -3,18 +3,25 @@ open Dmx_value
 let m_appends = Dmx_obs.Metrics.counter "wal.appends"
 let m_flushes = Dmx_obs.Metrics.counter "wal.flushes"
 let m_flushed_records = Dmx_obs.Metrics.counter "wal.flushed_records"
+let m_write_syscalls = Dmx_obs.Metrics.counter "wal.write_syscalls"
+let m_fsyncs = Dmx_obs.Metrics.counter "wal.fsyncs"
 let h_flush_us = Dmx_obs.Metrics.histogram "wal.flush_us"
 
 type backend =
   | Mem
-  | File of { fd : Unix.file_descr; mutable size : int }
+  | File of {
+      fd : Unix.file_descr;
+      mutable size : int;  (* bytes written to the file *)
+      mutable synced : int;  (* prefix of [size] known durable (fsynced) *)
+      buf : Buffer.t;  (* pending records, already framed *)
+      mutable buffered : int;  (* record count in [buf] *)
+    }
 
 type t = {
   backend : backend;
   mutable records : Log_record.t array;  (* index 0 holds LSN 1 *)
   mutable count : int;
   mutable flushed : Log_record.lsn;
-  mutable pending : (Log_record.txid * Log_record.kind) list;  (* newest first *)
   by_txn : (Log_record.txid, Log_record.t list) Hashtbl.t;  (* newest first *)
   mutable closed : bool;
   mutable append_observer : Log_record.lsn -> unit;
@@ -42,7 +49,6 @@ let in_memory () =
     records = [||];
     count = 0;
     flushed = 0L;
-    pending = [];
     by_txn = Hashtbl.create 16;
     closed = false;
     append_observer = ignore;
@@ -54,21 +60,25 @@ let checksum s =
   String.iter (fun c -> acc := (!acc + Char.code c) land 0x3fffffff) s;
   !acc
 
-let frame txid kind =
+(* Records are framed straight into the pending buffer at append time, so a
+   flush is one contiguous write of everything buffered — no per-record
+   [Bytes] allocation, no per-record write syscall. *)
+let frame_into buf txid kind =
   let e = Codec.Enc.create () in
   Log_record.encode e txid kind;
   let payload = Codec.Enc.to_string e in
-  let n = String.length payload in
-  let b = Bytes.create (n + 8) in
-  Bytes.set_int32_le b 0 (Int32.of_int n);
-  Bytes.blit_string payload 0 b 4 n;
-  Bytes.set_int32_le b (4 + n) (Int32.of_int (checksum payload));
-  b
+  Buffer.add_int32_le buf (Int32.of_int (String.length payload));
+  Buffer.add_string buf payload;
+  Buffer.add_int32_le buf (Int32.of_int (checksum payload))
 
-let really_write fd buf =
-  let n = Bytes.length buf in
+let really_write fd s =
+  let n = String.length s in
   let rec loop done_ =
-    if done_ < n then loop (done_ + Unix.write fd buf done_ (n - done_))
+    if done_ < n then begin
+      let w = Unix.write_substring fd s done_ (n - done_) in
+      Dmx_obs.Metrics.incr m_write_syscalls;
+      loop (done_ + w)
+    end
   in
   loop 0
 
@@ -88,27 +98,26 @@ let open_file path =
   in
   let t =
     {
-      backend = File { fd; size = 0 };
+      backend = File { fd; size = 0; synced = 0; buf = Buffer.create 4096; buffered = 0 };
       records = [||];
       count = 0;
       flushed = 0L;
-      pending = [];
       by_txn = Hashtbl.create 16;
       closed = false;
       append_observer = ignore;
     }
   in
-  (* Replay frames; stop at the first torn/corrupt frame and truncate it. *)
+  (* Replay frames; stop at the first torn/corrupt frame and truncate it.
+     Headers and checksums are decoded at offsets into the one immutable
+     string read above — replay is O(log size), not O(size) per frame. *)
   let pos = ref 0 in
   let valid_end = ref 0 in
   (try
      while !pos + 8 <= size do
-       let len = Int32.to_int (Bytes.get_int32_le (Bytes.of_string data) !pos) in
+       let len = Int32.to_int (String.get_int32_le data !pos) in
        if len < 0 || !pos + 8 + len > size then raise Exit;
        let payload = String.sub data (!pos + 4) len in
-       let sum =
-         Int32.to_int (Bytes.get_int32_le (Bytes.of_string data) (!pos + 4 + len))
-       in
+       let sum = Int32.to_int (String.get_int32_le data (!pos + 4 + len)) in
        if sum <> checksum payload then raise Exit;
        let txid, kind = Log_record.decode (Codec.Dec.of_string payload) in
        ignore (add_index t txid kind);
@@ -119,7 +128,8 @@ let open_file path =
   (match t.backend with
   | File f ->
     if !valid_end < size then Unix.ftruncate fd !valid_end;
-    f.size <- !valid_end
+    f.size <- !valid_end;
+    f.synced <- !valid_end
   | Mem -> ());
   t.flushed <- Int64.of_int t.count;
   t
@@ -134,7 +144,9 @@ let append t txid kind =
   let r = add_index t txid kind in
   (match t.backend with
   | Mem -> t.flushed <- r.Log_record.lsn
-  | File _ -> t.pending <- (txid, kind) :: t.pending);
+  | File f ->
+    frame_into f.buf txid kind;
+    f.buffered <- f.buffered + 1);
   t.append_observer r.Log_record.lsn;
   Dmx_obs.Profile.end_frame fr;
   Dmx_obs.Metrics.incr m_appends;
@@ -148,13 +160,17 @@ let append t txid kind =
 let last_lsn t = Int64.of_int t.count
 let flushed_lsn t = t.flushed
 
-let flush ?upto t =
+let flush ?upto ?(sync = true) t =
   check_open t;
   let upto = Option.value ~default:(last_lsn t) upto in
-  if upto > t.flushed then begin
-    match t.backend with
-    | Mem -> ()
-    | File f ->
+  match t.backend with
+  | Mem -> ()
+  | File f ->
+    let need_write = upto > t.flushed in
+    (* A syncing flush must also harden bytes written by earlier non-syncing
+       flushes (group commit), even when nothing new is pending. *)
+    let need_sync = sync && (need_write || f.synced < f.size) in
+    if need_write || need_sync then begin
       (* the flush frame inherits the enclosing frame's transaction: a
          commit-path flush charges the committing transaction, an
          eviction-path flush charges whoever faulted the page *)
@@ -163,34 +179,47 @@ let flush ?upto t =
         Dmx_obs.Metrics.enabled () || Dmx_obs.Trace.enabled ()
         || Dmx_obs.Profile.enabled ()
       in
-      let records = if observed then List.length t.pending else 0 in
       let t0 = if observed then Unix.gettimeofday () else 0. in
-      (* Write every pending record; fine-grained partial flush is not worth
-         the bookkeeping since pending records are contiguous. *)
-      let frames = List.rev_map (fun (txid, kind) -> frame txid kind) t.pending in
-      ignore (Unix.LargeFile.lseek f.fd (Int64.of_int f.size) Unix.SEEK_SET);
-      List.iter
-        (fun b ->
-          really_write f.fd b;
-          f.size <- f.size + Bytes.length b)
-        frames;
-      Unix.fsync f.fd;
-      t.pending <- [];
-      t.flushed <- last_lsn t;
+      let records = f.buffered in
+      if need_write then begin
+        (* Write every pending record in one contiguous write; fine-grained
+           partial flush is not worth the bookkeeping since pending records
+           are contiguous. *)
+        let data = Buffer.contents f.buf in
+        ignore (Unix.LargeFile.lseek f.fd (Int64.of_int f.size) Unix.SEEK_SET);
+        really_write f.fd data;
+        f.size <- f.size + String.length data;
+        Buffer.clear f.buf;
+        f.buffered <- 0;
+        t.flushed <- last_lsn t
+      end;
+      if need_sync then begin
+        Unix.fsync f.fd;
+        f.synced <- f.size;
+        Dmx_obs.Metrics.incr m_fsyncs
+      end;
       Dmx_obs.Profile.end_frame fr;
       if observed then begin
         let us = (Unix.gettimeofday () -. t0) *. 1e6 in
-        Dmx_obs.Metrics.incr m_flushes;
-        Dmx_obs.Metrics.add m_flushed_records records;
+        if need_write then begin
+          Dmx_obs.Metrics.incr m_flushes;
+          Dmx_obs.Metrics.add m_flushed_records records
+        end;
         Dmx_obs.Metrics.observe h_flush_us us;
         if Dmx_obs.Trace.enabled () then
           Dmx_obs.Trace.event "wal.flush"
             ~attrs:
               [ ("records", Dmx_obs.Obs_json.Int records);
+                ("synced", Dmx_obs.Obs_json.Bool need_sync);
                 ("upto", Dmx_obs.Obs_json.Int (Int64.to_int t.flushed));
                 ("us", Dmx_obs.Obs_json.Float us) ]
       end
-  end
+    end
+
+let sync t = flush t
+
+let unsynced_bytes t =
+  match t.backend with Mem -> 0 | File f -> f.size - f.synced
 
 let read t lsn =
   check_open t;
@@ -227,6 +256,19 @@ let abandon t =
     t.closed <- true
   end
 
+let crash t =
+  if not t.closed then begin
+    (match t.backend with
+    | Mem -> ()
+    | File f ->
+      (* Power loss: written-but-unsynced bytes are not durable. Dropping
+         them all is the deterministic worst case; torn-tail tests cover the
+         partial-persistence prefixes in between. *)
+      if f.synced < f.size then Unix.ftruncate f.fd f.synced;
+      Unix.close f.fd);
+    t.closed <- true
+  end
+
 let simulate_torn_tail t ~bytes_to_truncate =
   match t.backend with
   | Mem -> invalid_arg "Wal.simulate_torn_tail: memory-backed log"
@@ -234,4 +276,5 @@ let simulate_torn_tail t ~bytes_to_truncate =
     flush t;
     let new_size = max 0 (f.size - bytes_to_truncate) in
     Unix.ftruncate f.fd new_size;
-    f.size <- new_size
+    f.size <- new_size;
+    f.synced <- min f.synced new_size

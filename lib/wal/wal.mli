@@ -28,8 +28,20 @@ val set_append_observer : t -> (Log_record.lsn -> unit) -> unit
 val last_lsn : t -> Log_record.lsn
 val flushed_lsn : t -> Log_record.lsn
 
-val flush : ?upto:Log_record.lsn -> t -> unit
-(** Harden records up to [upto] (default: all). *)
+val flush : ?upto:Log_record.lsn -> ?sync:bool -> t -> unit
+(** Harden records up to [upto] (default: all). All pending records are
+    framed into one contiguous write — one write syscall per flush however
+    many records are buffered — followed by a single fsync. [sync:false]
+    writes without the fsync (group commit defers the fsync to the group
+    boundary); a later syncing flush hardens those bytes even when nothing
+    new is pending. *)
+
+val sync : t -> unit
+(** Fsync any written-but-unsynced bytes (the group-commit boundary). *)
+
+val unsynced_bytes : t -> int
+(** Bytes written to the file but not yet known durable; 0 for memory-backed
+    logs and whenever the last flush synced. *)
 
 val read : t -> Log_record.lsn -> Log_record.t
 (** Raises [Invalid_argument] for an unknown LSN. *)
@@ -46,7 +58,14 @@ val record_count : t -> int
 val close : t -> unit
 
 val abandon : t -> unit
-(** Close without writing buffered records — crash simulation. *)
+(** Close without writing buffered records — crash simulation. The file keeps
+    every byte already written, synced or not. *)
+
+val crash : t -> unit
+(** Power-loss simulation: truncate the file to the last fsynced byte
+    (written-but-unsynced bytes are not durable), then close. With group
+    commit this loses a suffix of recently committed transactions — never a
+    non-prefix subset. *)
 
 val simulate_torn_tail : t -> bytes_to_truncate:int -> unit
 (** Chop bytes off the end of a file-backed log (crash-injection tests). *)

@@ -114,6 +114,15 @@ let test_io_error_sweep () =
 let test_recovery_crash_sweep () =
   check_report (H.sweep (config 44) H.Mode_crash ~recovery_crash:true)
 
+let test_crash_sweep_group_commit () =
+  (* same torture with the commit-record fsync deferred across a window of
+     three commits: a crash may drop a suffix of committed transactions, and
+     the oracle verifies the survivors form an exact committed prefix *)
+  check_report
+    (H.sweep
+       { (config 45) with H.group_commit = 3 }
+       H.Mode_crash ~recovery_crash:false)
+
 let test_mutation_caught () =
   (* Break btree-index undo on purpose: some fault point must now leave a
      ghost index entry that the oracle reports. A silent pass would mean the
@@ -144,6 +153,8 @@ let suite =
       test_io_error_sweep;
     Alcotest.test_case "crash-during-recovery sweep" `Quick
       test_recovery_crash_sweep;
+    Alcotest.test_case "crash sweep with group commit on" `Quick
+      test_crash_sweep_group_commit;
     Alcotest.test_case "mutation run: oracle catches broken undo" `Quick
       test_mutation_caught;
   ]

@@ -151,12 +151,20 @@ let test_wal_before_page () =
          let logged_write ctx data payload =\n\
         \  ignore (Wal.append ctx 0 payload);\n\
         \  Slotted.insert data payload\n\n\
-         let undo_write data payload = Slotted.insert_at data 0 payload\n";
+         let undo_write data payload = Slotted.insert_at data 0 payload\n\n\
+         let batch_write ctx data payloads =\n\
+        \  ignore (Ctx.log_many ctx payloads);\n\
+        \  Slotted.insert data payloads\n\n\
+         let batch_sneaky data payloads =\n\
+        \  ignore (Buffer_pool.alloc data);\n\
+        \  Slotted.insert data payloads\n";
       write_file (root / "lib/smethod/nolog.mli")
         "val register : unit -> int\n\
          val sneaky_write : 'a -> 'b -> 'c\n\
          val logged_write : 'a -> 'b -> 'c -> 'd\n\
-         val undo_write : 'a -> 'b -> 'c\n";
+         val undo_write : 'a -> 'b -> 'c\n\
+         val batch_write : 'a -> 'b -> 'c -> 'd\n\
+         val batch_sneaky : 'a -> 'b -> 'c\n";
       write_file (root / "lib/db/db.ml")
         "let register_defaults () =\n\
         \  ignore (Dmx_smethod.Goodheap.register ());\n\
@@ -165,8 +173,12 @@ let test_wal_before_page () =
       let report = run root in
       check_diag "unlogged mutator" report ~rule:"wal-before-page"
         ~file:"lib/smethod/nolog.ml" ~line:3;
+      (* the batched logging entry point (Ctx.log_many) is recognized; an
+         unlogged batch mutator is still flagged *)
+      check_diag "unlogged batch mutator" report ~rule:"wal-before-page"
+        ~file:"lib/smethod/nolog.ml" ~line:16;
       Alcotest.(check int)
-        "logged and undo functions pass" 1
+        "logged, undo and batch-logged functions pass" 2
         (List.length
            (List.filter
               (fun d -> d.Lint_diag.rule = "wal-before-page")

@@ -138,6 +138,73 @@ let test_buffer_pool_pin_evict () =
     (Bytes.get f1'.Buffer_pool.data 0);
   Buffer_pool.unpin bp f1'
 
+(* ---- second-chance clock eviction ---- *)
+
+(* The free list hands out slots 0, 1, 2, ... in order and the hand starts
+   at slot 0, so these sweeps are deterministic. *)
+
+let alloc_unpinned bp =
+  let f = Buffer_pool.alloc bp in
+  Buffer_pool.unpin ~dirty:true bp f;
+  f.Buffer_pool.page_id
+
+let test_clock_skips_pinned () =
+  let d = Disk.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~capacity:2 d in
+  let f1 = Buffer_pool.alloc bp in
+  (* f1 stays pinned *)
+  let p2 = alloc_unpinned bp in
+  let f3 = Buffer_pool.alloc bp in
+  (* the sweep must pass over the pinned frame and take the unpinned one *)
+  Alcotest.(check (list int)) "pinned frame survives"
+    (List.sort compare [ f1.Buffer_pool.page_id; f3.Buffer_pool.page_id ])
+    (Buffer_pool.cached_page_ids bp);
+  Alcotest.(check bool) "unpinned frame evicted" true
+    (not (List.mem p2 (Buffer_pool.cached_page_ids bp)));
+  Buffer_pool.unpin ~dirty:true bp f1;
+  Buffer_pool.unpin ~dirty:true bp f3
+
+let test_clock_second_chance () =
+  let d = Disk.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~capacity:3 d in
+  let _a = alloc_unpinned bp in
+  let b = alloc_unpinned bp in
+  let c = alloc_unpinned bp in
+  (* First eviction: the full sweep clears every reference bit, then takes
+     slot 0 (page [a]). The hand now rests on slot 1 (page [b]). *)
+  let d4 = alloc_unpinned bp in
+  Alcotest.(check (list int)) "first eviction takes the hand's slot"
+    [ b; c; d4 ]
+    (Buffer_pool.cached_page_ids bp);
+  (* Re-reference [b] but not [c]: the next sweep reaches [b] first, must
+     spare it (second chance) and take the unreferenced [c] instead. *)
+  let fb = Buffer_pool.pin bp b in
+  Buffer_pool.unpin bp fb;
+  let e = alloc_unpinned bp in
+  Alcotest.(check (list int)) "referenced frame spared, unreferenced evicted"
+    [ b; d4; e ]
+    (Buffer_pool.cached_page_ids bp);
+  Alcotest.(check bool) "c gone" true
+    (not (List.mem c (Buffer_pool.cached_page_ids bp)))
+
+let test_clock_all_pinned_bounded_sweep () =
+  (* every frame pinned: the sweep must terminate with a failure rather than
+     revolve forever *)
+  let d = Disk.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~capacity:2 d in
+  let f1 = Buffer_pool.alloc bp in
+  let f2 = Buffer_pool.alloc bp in
+  let victim = Disk.alloc d in
+  (match Buffer_pool.pin bp victim with
+  | exception Failure msg ->
+    Alcotest.(check string) "diagnostic" "Buffer_pool: all frames pinned" msg
+  | _ -> Alcotest.fail "pin succeeded with every frame pinned");
+  (* releasing one pin makes the same pin succeed *)
+  Buffer_pool.unpin ~dirty:true bp f2;
+  let fv = Buffer_pool.pin bp victim in
+  Buffer_pool.unpin bp fv;
+  Buffer_pool.unpin ~dirty:true bp f1
+
 let test_buffer_pool_all_pinned () =
   let d = Disk.in_memory ~page_size:256 () in
   let bp = Buffer_pool.create ~capacity:1 d in
@@ -279,6 +346,12 @@ let suite =
     Alcotest.test_case "disk file persistence" `Quick
       test_disk_file_persistence;
     Alcotest.test_case "buffer pool pin/evict" `Quick test_buffer_pool_pin_evict;
+    Alcotest.test_case "clock skips pinned frames" `Quick
+      test_clock_skips_pinned;
+    Alcotest.test_case "clock grants a second chance" `Quick
+      test_clock_second_chance;
+    Alcotest.test_case "clock all-pinned sweep is bounded" `Quick
+      test_clock_all_pinned_bounded_sweep;
     Alcotest.test_case "buffer pool all pinned" `Quick
       test_buffer_pool_all_pinned;
     Alcotest.test_case "buffer pool WAL hook" `Quick test_buffer_pool_flush_hook;

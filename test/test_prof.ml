@@ -141,6 +141,31 @@ let test_disabled_frames_allocate_nothing () =
         (Fmt.str "disabled frames allocate nothing (%.0f words)" words)
         true (words < 256.))
 
+let test_bp_miss_charged_to_caller_txid () =
+  with_prof (fun () ->
+      Profile.set_enabled true;
+      Profile.reset ();
+      let d = Dmx_page.Disk.in_memory ~page_size:256 () in
+      let bp = Dmx_page.Buffer_pool.create ~capacity:4 d in
+      let f = Dmx_page.Buffer_pool.alloc bp in
+      let page = f.Dmx_page.Buffer_pool.page_id in
+      Dmx_page.Buffer_pool.unpin bp f;
+      Dmx_page.Buffer_pool.drop_cache bp;
+      (* a miss fill with no enclosing frame: the I/O must be charged to the
+         transaction the caller passed, not to the 0 fallback *)
+      let f' = Dmx_page.Buffer_pool.pin ~txid:7 bp page in
+      Dmx_page.Buffer_pool.unpin bp f';
+      Alcotest.(check bool) "txid 7 has an attribution row" true
+        (List.mem 7 (Profile.txids ()));
+      match
+        List.find_opt
+          (fun r -> r.Profile.r_name = "buffer-pool")
+          (Profile.txn_report 7)
+      with
+      | Some r ->
+        Alcotest.(check bool) "fill counted" true (r.Profile.r_calls >= 1)
+      | None -> Alcotest.fail "no buffer-pool row charged to txid 7")
+
 (* ---- EXPLAIN ANALYZE ---- *)
 
 let dept_schema =
@@ -377,6 +402,8 @@ let suite =
       test_attribution_with_trace_off;
     Alcotest.test_case "disabled frames allocate nothing" `Quick
       test_disabled_frames_allocate_nothing;
+    Alcotest.test_case "buffer-pool miss charged to caller txid" `Quick
+      test_bp_miss_charged_to_caller_txid;
     Alcotest.test_case "explain analyze on an indexed join" `Quick
       test_explain_analyze_join;
     Alcotest.test_case "trace file round-trip" `Quick test_trace_round_trip;

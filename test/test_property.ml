@@ -336,6 +336,127 @@ let prop_crash_recovery =
           Services.close services;
           actual = Imap.bindings committed_model))
 
+(* ------------------------------------------------------------------ *)
+(* insert_many equivalence: the batched path must be observationally     *)
+(* indistinguishable from a savepointed insert loop.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Batches mix fresh ids, duplicate ids (the unique pk index vetoes them,
+   both across the batch and against committed rows) and negative salaries
+   (the check attachment vetoes those), so both the all-placed and the
+   mid-batch-failure/whole-batch-rollback paths run. Record keys are NOT
+   compared — placement legitimately differs — only content-level state:
+   relation contents, per-id btree lookups, per-dept hash lookups, stats. *)
+let arb_batch =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_range 0 30)
+        (pair (int_range 0 15) (int_range (-3) 500)))
+    ~print:(fun pairs ->
+      String.concat "; "
+        (List.map (fun (i, s) -> Fmt.str "(%d,%d)" i s) pairs))
+
+let insert_many_state ctx desc batch_ids =
+  let contents =
+    all_records ctx desc |> List.map Record.to_string |> List.sort compare
+  in
+  let bt = Option.get (Registry.attachment_id "btree_index") in
+  let hash = Option.get (Registry.attachment_id "hash_index") in
+  let probe attachment_id instance key =
+    check_ok "lookup"
+      (Relation.lookup ctx desc ~attachment_id ~instance ~key)
+    |> List.length
+  in
+  let id_hits =
+    List.map (fun id -> probe bt 1 [| vi id |]) (List.sort_uniq compare batch_ids)
+  in
+  let dept_hits = List.init 5 (fun d -> probe hash 1 [| vs (Fmt.str "d%d" d) |]) in
+  let stats =
+    match Dmx_attach.Stats.get ctx desc ~name:"st" with
+    | None -> (-1, 0L)
+    | Some s ->
+      (s.Dmx_attach.Stats.live_count, (List.hd s.per_field).Dmx_attach.Stats.sum)
+  in
+  (contents, id_hits, dept_hits, stats)
+
+let run_insert_many_side ~storage_method ~batched pairs =
+  let batch = Array.of_list (List.map (fun (i, s) -> record_of i s) pairs) in
+  let services = fresh_services () in
+  let ctx = Services.begin_txn services in
+  let desc =
+    check_ok "create"
+      (Ddl.create_relation ctx ~name:"t" ~schema:emp_schema ~storage_method ())
+  in
+  check_ok "pk"
+    (Ddl.create_attachment ctx ~relation:"t" ~attachment_type:"btree_index"
+       ~name:"pk"
+       ~attrs:[ ("fields", "id"); ("unique", "true") ] ());
+  check_ok "hd"
+    (Ddl.create_attachment ctx ~relation:"t" ~attachment_type:"hash_index"
+       ~name:"hd" ~attrs:[ ("fields", "dept") ] ());
+  check_ok "ck"
+    (Ddl.create_attachment ctx ~relation:"t" ~attachment_type:"check"
+       ~name:"paid" ~attrs:[ ("predicate", "salary > 0") ] ());
+  check_ok "st"
+    (Ddl.create_attachment ctx ~relation:"t" ~attachment_type:"stats"
+       ~name:"st" ~attrs:[ ("fields", "salary") ] ());
+  (* committed baseline, so a whole-batch rollback restores something
+     non-trivial (and batches can collide with committed ids) *)
+  List.iter
+    (fun i -> ignore (check_ok "seed" (Relation.insert ctx desc (record_of i 10))))
+    [ 3; 7 ];
+  Services.commit services ctx;
+  let ctx = Services.begin_txn services in
+  let desc = check_ok "find" (Ddl.find_relation ctx "t") in
+  let ok =
+    if batched then
+      match Relation.insert_many ctx desc batch with
+      | Ok keys -> Array.length keys = Array.length batch
+      | Error _ -> false
+    else begin
+      (* the loop gets the same atomicity contract via a savepoint *)
+      Services.savepoint ctx "batch";
+      let res =
+        Array.fold_left
+          (fun acc r ->
+            match acc with
+            | Error _ -> acc
+            | Ok () -> Result.map (fun _ -> ()) (Relation.insert ctx desc r))
+          (Ok ()) batch
+      in
+      match res with
+      | Ok () -> true
+      | Error _ ->
+        Services.rollback_to ctx "batch";
+        false
+    end
+  in
+  let state = insert_many_state ctx desc (List.map fst pairs) in
+  Services.commit services ctx;
+  (ok, state)
+
+let prop_insert_many_equiv_of ~storage_method =
+  QCheck.Test.make
+    ~name:(Fmt.str "insert_many = savepointed loop (%s)" storage_method)
+    ~count:30 arb_batch
+    (fun pairs ->
+      let ok_b, st_b = run_insert_many_side ~storage_method ~batched:true pairs in
+      let ok_l, st_l =
+        run_insert_many_side ~storage_method ~batched:false pairs
+      in
+      if ok_b <> ok_l then
+        QCheck.Test.fail_reportf "outcome diverges: batched %b vs loop %b" ok_b
+          ok_l;
+      if st_b <> st_l then QCheck.Test.fail_report "post-state diverges";
+      true)
+
+(* heap registers a specialized sm_insert_batch; memory rides the registry's
+   default per-record fallback — both must match the loop *)
+let prop_insert_many_equiv_heap = prop_insert_many_equiv_of ~storage_method:"heap"
+
+let prop_insert_many_equiv_memory =
+  prop_insert_many_equiv_of ~storage_method:"memory"
+
 (* Whatever access path the planner picks, the answer must equal a naive
    full-scan + common-evaluator filter. Predicates are random combinations of
    sargable and non-sargable conjuncts over an indexed relation. *)
@@ -526,6 +647,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_record_key_codec;
     QCheck_alcotest.to_alcotest prop_planner_equals_naive;
     QCheck_alcotest.to_alcotest prop_heap_dispatch;
+    QCheck_alcotest.to_alcotest prop_insert_many_equiv_heap;
+    QCheck_alcotest.to_alcotest prop_insert_many_equiv_memory;
     QCheck_alcotest.to_alcotest prop_btree_org_dispatch;
     QCheck_alcotest.to_alcotest prop_memory_dispatch;
     QCheck_alcotest.to_alcotest prop_abort_restores;

@@ -182,6 +182,104 @@ let test_corrupt_byte_drops_tail () =
         (Wal.record_count w3);
       Wal.close w3)
 
+let test_flush_is_one_write_one_fsync () =
+  (* However many records are pending, a flush is one contiguous write plus
+     one fsync; an empty flush issues neither syscall. *)
+  let path = Filename.temp_file "dmx_wal_syscalls" ".log" in
+  Sys.remove path;
+  let module Metrics = Dmx_obs.Metrics in
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let writes = Metrics.counter "wal.write_syscalls" in
+      let fsyncs = Metrics.counter "wal.fsyncs" in
+      let w = Wal.open_file path in
+      for i = 1 to 100 do
+        ignore (Wal.append w 1 (ext (Fmt.str "record-%03d" i)))
+      done;
+      let w0 = Metrics.value writes and f0 = Metrics.value fsyncs in
+      Wal.flush w;
+      Alcotest.(check int) "one write for 100 records" 1
+        (Metrics.value writes - w0);
+      Alcotest.(check int) "one fsync" 1 (Metrics.value fsyncs - f0);
+      let w1 = Metrics.value writes and f1 = Metrics.value fsyncs in
+      Wal.flush w;
+      Alcotest.(check int) "empty flush writes nothing" 0
+        (Metrics.value writes - w1);
+      Alcotest.(check int) "empty flush syncs nothing" 0
+        (Metrics.value fsyncs - f1);
+      Wal.close w)
+
+let test_group_flush_crash_keeps_prefix () =
+  (* The group-commit write/fsync split: unsynced flushed bytes survive a
+     process kill ([abandon]) but not power loss ([crash]); a crash keeps
+     exactly the synced prefix of commit groups — never a subset with holes. *)
+  let path = Filename.temp_file "dmx_wal_group" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let commit w i =
+        ignore (Wal.append w i LR.Begin);
+        ignore (Wal.append w i (ext (Fmt.str "op%d" i)));
+        ignore (Wal.append w i LR.Commit);
+        Wal.flush ~sync:false w;
+        if i mod 3 = 0 then Wal.sync w
+      in
+      let w = Wal.open_file path in
+      for i = 1 to 8 do
+        commit w i
+      done;
+      (* groups 1-3 and 4-6 fsynced; commits 7 and 8 written only *)
+      Alcotest.(check bool) "tail written but unsynced" true
+        (Wal.unsynced_bytes w > 0);
+      Wal.crash w;
+      let w2 = Wal.open_file path in
+      Alcotest.(check int) "synced prefix survives" 18 (Wal.record_count w2);
+      let a = Recovery.analyze w2 in
+      Alcotest.(check (list int)) "exactly the first six commits"
+        [ 1; 2; 3; 4; 5; 6 ]
+        (List.sort compare a.Recovery.winners);
+      Alcotest.(check (list int)) "no losers: lost commits vanish whole" []
+        a.Recovery.losers;
+      Wal.close w2;
+      (* same log, process kill instead: every written byte survives *)
+      Sys.remove path;
+      let w = Wal.open_file path in
+      for i = 1 to 8 do
+        commit w i
+      done;
+      Wal.abandon w;
+      let w3 = Wal.open_file path in
+      Alcotest.(check int) "abandon keeps unsynced bytes" 24
+        (Wal.record_count w3);
+      Wal.close w3)
+
+let test_sync_self_corrects () =
+  (* [sync] after a syncing flush is a no-op; unsynced_bytes tracks the
+     write/fsync split exactly. *)
+  let path = Filename.temp_file "dmx_wal_sync" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let w = Wal.open_file path in
+      Alcotest.(check int) "empty log has nothing unsynced" 0
+        (Wal.unsynced_bytes w);
+      ignore (Wal.append w 1 LR.Begin);
+      Alcotest.(check int) "buffered, not written" 0 (Wal.unsynced_bytes w);
+      Wal.flush ~sync:false w;
+      Alcotest.(check bool) "written, not synced" true
+        (Wal.unsynced_bytes w > 0);
+      Wal.sync w;
+      Alcotest.(check int) "synced" 0 (Wal.unsynced_bytes w);
+      Wal.sync w;
+      Alcotest.(check int) "idempotent" 0 (Wal.unsynced_bytes w);
+      Wal.close w)
+
 let test_recovery_analysis () =
   let w = Wal.in_memory () in
   (* tx1 commits, tx2 aborts cleanly, tx3 is a loser, tx4 crashed mid-abort *)
@@ -337,6 +435,11 @@ let suite =
       test_torn_tail_every_offset;
     Alcotest.test_case "corrupt byte drops the tail" `Quick
       test_corrupt_byte_drops_tail;
+    Alcotest.test_case "flush is one write + one fsync" `Quick
+      test_flush_is_one_write_one_fsync;
+    Alcotest.test_case "group flush: crash keeps a commit prefix" `Quick
+      test_group_flush_crash_keeps_prefix;
+    Alcotest.test_case "sync self-corrects" `Quick test_sync_self_corrects;
     Alcotest.test_case "recovery analysis" `Quick test_recovery_analysis;
     Alcotest.test_case "analysis: fully compensated loser" `Quick
       test_analysis_fully_compensated;

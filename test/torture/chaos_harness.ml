@@ -24,11 +24,14 @@ type config = {
          path (WAL flush before a dirty page leaves the pool) *)
   recovery_crash_gap : int option;
       (* also crash the recovery run this many ops after reopen *)
+  group_commit : int;
+      (* commit-record fsyncs shared across this many commits; 1 = off (the
+         default), keeping the fault schedules of the seed suite unchanged *)
 }
 
 let default_config ~seed =
   { seed; n_txns = 5; ops_per_txn = 6; pool_capacity = 8;
-    recovery_crash_gap = None }
+    recovery_crash_gap = None; group_commit = 1 }
 
 type fault_plan =
   | No_fault
@@ -238,16 +241,36 @@ let run_episode cfg plan =
         | Some s -> s
         | None -> failf "harness bug: services used before setup"
       in
+      let setup_services () =
+        let s =
+          Services.setup ~dir ~disk:(Fault_disk.disk fd)
+            ~pool_capacity:cfg.pool_capacity ()
+        in
+        if cfg.group_commit > 1 then
+          Dmx_txn.Txn_mgr.set_group_commit s.Services.txn_mgr cfg.group_commit;
+        s
+      in
+      (* Committed snapshots, newest first. With group commit a crash may
+         lose a suffix of committed transactions, so the post-crash oracle
+         accepts any snapshot the window could still have in flight. *)
+      let history = ref [ None ] in
+      let push_history () =
+        match !history with
+        | h :: _ when h == model.M.committed -> ()  (* no commit happened *)
+        | _ -> history := model.M.committed :: !history
+      in
       let crashed =
         (* The very first op can already be the fault point: the initial
            [setup]'s empty-log recovery syncs the store. *)
         match
-          services :=
-            Some
-              (Services.setup ~dir ~disk:(Fault_disk.disk fd)
-                 ~pool_capacity:cfg.pool_capacity ());
+          services := Some (setup_services ());
           setup_schema (live ()) model;
-          List.iter (run_txn (live ()) model) script.W.w_txns
+          push_history ();
+          List.iter
+            (fun txn ->
+              run_txn (live ()) model txn;
+              push_history ())
+            script.W.w_txns
         with
         | () -> false
         | exception Fault_disk.Injected { op; fault = f } ->
@@ -271,10 +294,7 @@ let run_episode cfg plan =
         | Some gap -> Fault_disk.plan_crash_at fd (Fault_disk.op_count fd + gap)
         | None -> ());
         let rec reopen () =
-          match
-            Services.setup ~dir ~disk:(Fault_disk.disk fd)
-              ~pool_capacity:cfg.pool_capacity ()
-          with
+          match setup_services () with
           | s -> services := Some s
           | exception Fault_disk.Injected _ ->
             (* crashed again, mid-recovery; recovery must be idempotent *)
@@ -289,7 +309,26 @@ let run_episode cfg plan =
         Fault_disk.clear_plan fd
       end;
       let failures =
-        Chaos_oracle.check (live ()) ~committed:model.M.committed
+        if crashed && cfg.group_commit > 1 then begin
+          (* any committed snapshot the unflushed window could have lost is
+             an acceptable durable state; the survivors must match one of
+             them exactly (a prefix of commit order, never holes). Report
+             the newest snapshot's diff when none matches. *)
+          let rec firstn n = function
+            | x :: tl when n > 0 -> x :: firstn (n - 1) tl
+            | _ -> []
+          in
+          let rec try_snapshots = function
+            | [] -> Chaos_oracle.check (live ()) ~committed:model.M.committed
+            | snap :: rest -> begin
+              match Chaos_oracle.check (live ()) ~committed:snap with
+              | [] -> []
+              | _ -> try_snapshots rest
+            end
+          in
+          try_snapshots (firstn cfg.group_commit !history)
+        end
+        else Chaos_oracle.check (live ()) ~committed:model.M.committed
       in
       let failures = failures @ probe (live ()) in
       Services.close (live ());
