@@ -21,7 +21,9 @@ let read_doc path =
   close_in ic;
   match J.parse s with
   | Ok doc -> doc
-  | Error e -> failwith (Printf.sprintf "%s: bad JSON: %s" path e)
+  | Error e ->
+    prerr_endline (Printf.sprintf "%s: bad JSON: %s" path e);
+    exit 2
 
 let experiments doc =
   match J.member "experiments" doc with Some (J.List l) -> l | _ -> []

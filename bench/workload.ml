@@ -8,7 +8,7 @@ module Services = Dmx_core.Services
 
 let ok what = function
   | Ok v -> v
-  | Error e -> failwith (Fmt.str "%s: %s" what (Error.to_string e))
+  | Error e -> Error.raise_err (Error.Internal (Fmt.str "%s: %s" what (Error.to_string e)))
 
 (* Deterministic pseudo-random stream (no external entropy in benches). *)
 let rng = ref 123456789

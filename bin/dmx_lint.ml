@@ -1,18 +1,25 @@
 (* dmx-lint: static enforcement of the extension-architecture invariants.
 
    Usage: dmx_lint --root DIR [--baseline FILE] [--update-baseline]
+                   [--report FILE]
+
+   --report writes the full concurrency-readiness analysis (R7 global-state
+   inventory, R8 lock-order graph, R9 WAL entry summaries) to FILE — the CI
+   build artifact.
 
    Exit codes: 0 clean, 1 violations, 2 usage error. *)
 
 let usage () =
   prerr_endline
-    "usage: dmx_lint --root DIR [--baseline FILE] [--update-baseline]";
+    "usage: dmx_lint --root DIR [--baseline FILE] [--update-baseline] \
+     [--report FILE]";
   exit 2
 
 let () =
   let root = ref "." in
   let baseline = ref None in
   let update = ref false in
+  let report_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--root" :: dir :: rest ->
@@ -23,6 +30,9 @@ let () =
       parse rest
     | "--update-baseline" :: rest ->
       update := true;
+      parse rest
+    | "--report" :: file :: rest ->
+      report_file := Some file;
       parse rest
     | ("--help" | "-h") :: _ | _ -> usage ()
   in
@@ -36,5 +46,15 @@ let () =
   let report =
     Lint_driver.run ?baseline:!baseline ~update_baseline:!update config
   in
+  (match !report_file with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Fmt.pf (Format.formatter_of_out_channel oc) "%a@?" Lint_driver.pp_analysis
+          report);
+    Fmt.pr "dmx-lint: analysis report written to %s@." file);
   Fmt.pr "%a" Lint_driver.pp_report report;
   exit (if Lint_driver.ok report then 0 else 1)

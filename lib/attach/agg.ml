@@ -6,12 +6,12 @@ module Catalog = Dmx_catalog.Catalog
 module Log_record = Dmx_wal.Log_record
 module Btree = Dmx_btree.Btree
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Agg: attachment not registered"
+  | None -> Error.raise_err (Error.Internal "Agg: attachment not registered")
 
 type inst = { group_fields : int array; sum_field : int; root : int }
 

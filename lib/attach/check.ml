@@ -5,12 +5,12 @@ module Expr = Dmx_expr.Expr
 module Eval = Dmx_expr.Eval
 module Parse = Dmx_expr.Parse
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Check: attachment not registered"
+  | None -> Error.raise_err (Error.Internal "Check: attachment not registered")
 
 type inst = { pred : Expr.t; deferred : bool }
 

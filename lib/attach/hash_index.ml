@@ -6,12 +6,12 @@ module Attrlist = Dmx_catalog.Attrlist
 module Catalog = Dmx_catalog.Catalog
 module Log_record = Dmx_wal.Log_record
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Hash_index: attachment not registered"
+  | None -> Error.raise_err (Error.Internal "Hash_index: attachment not registered")
 
 type inst = { fields : int array; unique : bool; buckets : int array }
 

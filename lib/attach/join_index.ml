@@ -7,12 +7,12 @@ module Log_record = Dmx_wal.Log_record
 module Btree = Dmx_btree.Btree
 module Expr = Dmx_expr.Expr
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Join_index: attachment not registered"
+  | None -> Error.raise_err (Error.Internal "Join_index: attachment not registered")
 
 (* [mine_root] is keyed (my key, other key); [theirs_root] the reverse.
    The two instances of one join index share the same physical trees with

@@ -6,12 +6,12 @@ module Catalog = Dmx_catalog.Catalog
 module Log_record = Dmx_wal.Log_record
 module Expr = Dmx_expr.Expr
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Refint: attachment not registered"
+  | None -> Error.raise_err (Error.Internal "Refint: attachment not registered")
 
 type role = Child | Parent
 type policy = Restrict | Cascade

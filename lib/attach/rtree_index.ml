@@ -7,12 +7,12 @@ module Log_record = Dmx_wal.Log_record
 module Rtree = Dmx_rtree.Rtree
 module Rect = Dmx_rtree.Rect
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Rtree_index: attachment not registered"
+  | None -> Error.raise_err (Error.Internal "Rtree_index: attachment not registered")
 
 type inst = { rect_fields : int array; root : int }
 

@@ -6,12 +6,12 @@ module Attrlist = Dmx_catalog.Attrlist
 module Catalog = Dmx_catalog.Catalog
 module Log_record = Dmx_wal.Log_record
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Stats: attachment not registered"
+  | None -> Error.raise_err (Error.Internal "Stats: attachment not registered")
 
 type field_stats = {
   field : int;

@@ -3,12 +3,12 @@ open Dmx_core
 module Descriptor = Dmx_catalog.Descriptor
 module Attrlist = Dmx_catalog.Attrlist
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Trigger: attachment not registered"
+  | None -> Error.raise_err (Error.Internal "Trigger: attachment not registered")
 
 type event = On_insert | On_update | On_delete
 
@@ -22,7 +22,7 @@ type fire = {
 
 type func = Ctx.t -> fire -> (unit, Error.t) result
 
-let functions : (string, func) Hashtbl.t = Hashtbl.create 16
+let functions : (string, func) Hashtbl.t = Hashtbl.create 16 [@@dmx.global "config-immutable-after-setup"]
 
 let register_function name f =
   let key = String.lowercase_ascii name in

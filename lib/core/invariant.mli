@@ -43,3 +43,33 @@ val check_frozen_for_dispatch : op:string -> unit
 (** Raise when a relation modification is dispatched through the procedure
     vectors while the registry is still open for registration — extensions
     must be bound "at the factory", before the database opens. *)
+
+(** {2 Lockdep: runtime lock-order checking}
+
+    The dynamic complement of the static lock-order pass (R8): per-txn lock
+    grants are checked for hierarchy coverage, and relation-level
+    acquisition-order pairs accumulate in a process-global order graph; the
+    first grant that completes a conflicting-mode inversion raises. Record
+    locks participate only in the hierarchy check — key-level collisions are
+    data-dependent and belong to the waits-for deadlock detector. Wired into
+    every mount by [Services.setup] via
+    {!Dmx_lock.Lock_table.set_grant_observer}. *)
+
+val lockdep_reset : unit -> unit
+(** Clear all lockdep state (held sets, order graph, nascent marks).
+    Called by [Services.setup] so each mount starts with a fresh graph. *)
+
+val lockdep_grant :
+  txid:int -> Dmx_lock.Lock_table.resource -> Dmx_lock.Lock_mode.t -> unit
+(** Record one observed grant; raises on a hierarchy violation or a
+    conflicting-mode order inversion. No-op (and allocation-free) when the
+    sanitizer is disabled. *)
+
+val lockdep_release : txid:int -> unit
+(** Forget the transaction's held set and nascent marks (commit/abort). *)
+
+val lockdep_mark_nascent : txid:int -> rel_id:int -> unit
+(** Exempt a relation created by the still-open transaction from the order
+    graph: no concurrent transaction can reference it before commit, so its
+    acquisition order cannot invert with anyone. [Ddl.create_relation] marks
+    the fresh relation id. *)

@@ -3,14 +3,14 @@ open Dmx_catalog
 let max_storage_methods = 64
 
 let smethods : (module Intf.STORAGE_METHOD) option array =
-  Array.make max_storage_methods None
+  Array.make max_storage_methods None [@@dmx.global "config-immutable-after-setup"]
 
 let attaches : (module Intf.ATTACHMENT) option array =
-  Array.make Descriptor.max_attachment_types None
+  Array.make Descriptor.max_attachment_types None [@@dmx.global "config-immutable-after-setup"]
 
-let sm_count = ref 0
-let at_count = ref 0
-let frozen = ref false
+let sm_count = ref 0 [@@dmx.global "config-immutable-after-setup"]
+let at_count = ref 0 [@@dmx.global "config-immutable-after-setup"]
+let frozen = ref false [@@dmx.global "config-immutable-after-setup"]
 
 let unregistered vec id =
   failwith
@@ -35,12 +35,12 @@ let stub_at_on_delete id _ _ ~slot:_ _ _ = unregistered "at_on_delete" id
 
 (* Per-operation procedure vectors; entries installed at registration. *)
 module Vec = struct
-  let sm_insert = Array.init max_storage_methods stub_sm_insert
-  let sm_update = Array.init max_storage_methods stub_sm_update
-  let sm_delete = Array.init max_storage_methods stub_sm_delete
-  let at_on_insert = Array.init Descriptor.max_attachment_types stub_at_on_insert
-  let at_on_update = Array.init Descriptor.max_attachment_types stub_at_on_update
-  let at_on_delete = Array.init Descriptor.max_attachment_types stub_at_on_delete
+  let sm_insert = Array.init max_storage_methods stub_sm_insert [@@dmx.global "config-immutable-after-setup"]
+  let sm_update = Array.init max_storage_methods stub_sm_update [@@dmx.global "config-immutable-after-setup"]
+  let sm_delete = Array.init max_storage_methods stub_sm_delete [@@dmx.global "config-immutable-after-setup"]
+  let at_on_insert = Array.init Descriptor.max_attachment_types stub_at_on_insert [@@dmx.global "config-immutable-after-setup"]
+  let at_on_update = Array.init Descriptor.max_attachment_types stub_at_on_update [@@dmx.global "config-immutable-after-setup"]
+  let at_on_delete = Array.init Descriptor.max_attachment_types stub_at_on_delete [@@dmx.global "config-immutable-after-setup"]
 
   (* Optional batch entries. The default falls back to the per-record slot of
      the same vector index, so extensions that never register a batch routine
@@ -67,10 +67,10 @@ module Vec = struct
     in
     loop 0
 
-  let sm_insert_batch = Array.init max_storage_methods default_sm_insert_batch
+  let sm_insert_batch = Array.init max_storage_methods default_sm_insert_batch [@@dmx.global "config-immutable-after-setup"]
 
   let at_on_insert_batch =
-    Array.init Descriptor.max_attachment_types default_at_on_insert_batch
+    Array.init Descriptor.max_attachment_types default_at_on_insert_batch [@@dmx.global "config-immutable-after-setup"]
 end
 
 let check_not_frozen what =

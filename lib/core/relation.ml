@@ -4,8 +4,8 @@ module Txn = Dmx_txn.Txn
 module Txn_mgr = Dmx_txn.Txn_mgr
 module Lock_table = Dmx_lock.Lock_table
 
-let sm_calls = ref 0
-let at_calls = ref 0
+let sm_calls = ref 0 [@@dmx.global "UNSAFE"]
+let at_calls = ref 0 [@@dmx.global "UNSAFE"]
 let dispatch_stats () = (!sm_calls, !at_calls)
 
 (* The dispatch counters are always on (they cost one [incr] and predate the

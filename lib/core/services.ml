@@ -69,6 +69,16 @@ and setup_with ~dir ~disk ~wal ~catalog ~pool_capacity =
       | exception Invalid_argument _ -> None)
     | _ -> None);
   let locks = Dmx_lock.Lock_table.create () in
+  (* Lockdep mirrors the LSN observer: installed only when the sanitizer is
+     on at mount time, so the disabled grant path stays allocation-free. A
+     fresh mount starts a fresh order graph. *)
+  if Invariant.enabled () then begin
+    Invariant.lockdep_reset ();
+    Dmx_lock.Lock_table.set_grant_observer locks (fun ~txid resource mode ->
+        Invariant.lockdep_grant ~txid resource mode);
+    Dmx_lock.Lock_table.set_release_observer locks (fun txid ->
+        Invariant.lockdep_release ~txid)
+  end;
   let txn_mgr = Dmx_txn.Txn_mgr.create ~wal ~locks () in
   let t = { disk; bp; wal; locks; txn_mgr; catalog; last_recovery = None } in
   (* Force step of the commit protocol: all dirty pages plus the catalog

@@ -4,7 +4,7 @@ open Dmx_wal
    skipped instead of dispatched — a deliberately planted undo bug used to
    prove the torture oracle catches real recovery defects. Never set outside
    mutation runs (bin/dmx_chaos.exe --mutate). *)
-let chaos_skip : (Log_record.t -> bool) option ref = ref None
+let chaos_skip : (Log_record.t -> bool) option ref = ref None [@@dmx.global "UNSAFE"]
 let set_chaos_skip f = chaos_skip := f
 
 let dispatch ~txn_mgr ~bp ~catalog txn (r : Log_record.t) =

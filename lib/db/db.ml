@@ -12,7 +12,7 @@ type t = {
   mutable user : string;
 }
 
-let defaults_registered = ref false
+let defaults_registered = ref false [@@dmx.global "config-immutable-after-setup"]
 
 let register_defaults () =
   if not !defaults_registered then begin

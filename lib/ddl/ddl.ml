@@ -33,6 +33,10 @@ let create_relation ctx ~name ~schema ~storage_method ?(attrs = []) () =
         Registry.storage_method smethod_id
       in
       let rel_id = Catalog.next_rel_id ctx.Ctx.catalog in
+      (* The fresh relation is invisible to concurrent transactions until
+         commit — exempt its X lock from lockdep's order graph so a
+         multi-relation DDL transaction doesn't record phantom orderings. *)
+      Invariant.lockdep_mark_nascent ~txid:ctx.Ctx.txn.Dmx_txn.Txn.id ~rel_id;
       let* () = lock_x ctx rel_id in
       let* smethod_desc = M.create ctx ~rel_id schema attrs in
       match

@@ -2,7 +2,7 @@ open Dmx_value
 
 type impl = Value.t list -> Value.t
 
-let table : (string, impl * bool) Hashtbl.t = Hashtbl.create 32
+let table : (string, impl * bool) Hashtbl.t = Hashtbl.create 32 [@@dmx.global "config-immutable-after-setup"]
 
 let canon name = String.lowercase_ascii name
 

@@ -16,12 +16,29 @@ type entry = {
 type t = {
   table : (resource, entry) Hashtbl.t;
   mutable external_edges : (unit -> (txid * txid) list) list;
+  mutable on_grant : (txid:txid -> resource -> Lock_mode.t -> unit) option;
+  mutable on_release : (txid -> unit) option;
 }
 
 let m_grants = Dmx_obs.Metrics.counter "lock.grants"
 let m_conflicts = Dmx_obs.Metrics.counter "lock.conflicts"
 
-let create () = { table = Hashtbl.create 64; external_edges = [] }
+let create () =
+  { table = Hashtbl.create 64;
+    external_edges = [];
+    on_grant = None;
+    on_release = None }
+
+let set_grant_observer t f = t.on_grant <- Some f
+let set_release_observer t f = t.on_release <- Some f
+
+(* Kept as explicit matches (not a [notify] helper taking an event value) so
+   the disabled path allocates nothing. *)
+let notify_grant t ~txid resource mode =
+  match t.on_grant with Some f -> f ~txid resource mode | None -> ()
+
+let notify_release t txid =
+  match t.on_release with Some f -> f txid | None -> ()
 
 let entry t resource =
   match Hashtbl.find_opt t.table resource with
@@ -93,6 +110,7 @@ let acquire t ~txid ~mode resource =
   | Granted as o ->
     Dmx_obs.Profile.end_frame fr;
     Dmx_obs.Metrics.incr m_grants;
+    notify_grant t ~txid resource mode;
     o
   | Would_block holders as o ->
     Dmx_obs.Profile.end_frame fr ~outcome:`Error;
@@ -124,7 +142,9 @@ let enqueue t ~txid ~mode resource =
         Would_block bs
   in
   (match outcome with
-  | Granted -> Dmx_obs.Profile.end_frame fr
+  | Granted ->
+    Dmx_obs.Profile.end_frame fr;
+    notify_grant t ~txid resource mode
   | Would_block _ -> Dmx_obs.Profile.end_frame fr ~outcome:`Error);
   observe_outcome ~txid ~mode resource outcome;
   outcome
@@ -143,6 +163,7 @@ let wake t resource e =
       let want = needed_mode e ~txid ~mode in
       if blockers e ~txid ~mode:want = [] then begin
         grant e ~txid ~mode:want;
+        notify_grant t ~txid resource want;
         e.waiting <- rest;
         loop ()
       end
@@ -161,6 +182,7 @@ let release_all t txid =
         touched := (resource, e) :: !touched
       end)
     t.table;
+  notify_release t txid;
   List.iter (fun (resource, e) -> wake t resource e) !touched
 
 let cancel_waits t txid =

@@ -52,3 +52,15 @@ val add_external_edges_hook : t -> (unit -> (txid * txid) list) -> unit
 val all_edges : t -> (txid * txid) list
 val locked_resources : t -> txid -> resource list
 val pp_resource : Format.formatter -> resource -> unit
+
+val set_grant_observer :
+  t -> (txid:txid -> resource -> Lock_mode.t -> unit) -> unit
+(** Single-slot observer called on every grant — at [acquire]/[enqueue]
+    when immediate, and from the FIFO wake path when a queued request is
+    granted later. Installed by [Services.setup] to feed the lockdep
+    sanitizer; when no observer is installed the grant path allocates
+    nothing extra. *)
+
+val set_release_observer : t -> (txid -> unit) -> unit
+(** Single-slot observer called when {!release_all} drops a transaction's
+    locks (commit/abort), before waiters are woken. *)

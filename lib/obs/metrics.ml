@@ -14,13 +14,13 @@ let env_enables var =
   | Some _ | None -> false
 
 (* DMX_TRACE implies metrics: spans without their counters would be blind. *)
-let on = ref (env_enables "DMX_METRICS" || env_enables "DMX_TRACE")
+let on = ref (env_enables "DMX_METRICS" || env_enables "DMX_TRACE") [@@dmx.global "config-immutable-after-setup"]
 let enabled () = !on
 let set_enabled b = on := b
 
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let probes : (string, unit -> (string * int) list) Hashtbl.t = Hashtbl.create 8
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64 [@@dmx.global "config-immutable-after-setup"]
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16 [@@dmx.global "config-immutable-after-setup"]
+let probes : (string, unit -> (string * int) list) Hashtbl.t = Hashtbl.create 8 [@@dmx.global "config-immutable-after-setup"]
 
 let counter name =
   match Hashtbl.find_opt counters name with
@@ -36,7 +36,7 @@ let value c = c.c_value
 
 let default_latency_buckets_us =
   [| 1.; 5.; 10.; 50.; 100.; 500.; 1_000.; 5_000.; 10_000.; 50_000.;
-     100_000.; 500_000.; 1_000_000. |]
+     100_000.; 500_000.; 1_000_000. |] [@@dmx.global "config-immutable-after-setup"]
 
 let histogram ?(buckets = default_latency_buckets_us) name =
   match Hashtbl.find_opt histograms name with

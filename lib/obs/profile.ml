@@ -29,12 +29,12 @@ let env_enables var =
   | Some ("1" | "true" | "yes" | "on") -> true
   | Some _ | None -> false
 
-let on = ref (env_enables "DMX_PROFILE")
+let on = ref (env_enables "DMX_PROFILE") [@@dmx.global "config-immutable-after-setup"]
 
 (* Combined dispatch gate: the instrumented (slow) paths in [Relation] are
    entered when either tracing or profiling wants them, at the cost of a
    single load on the fast path. Refreshed on every toggle of either. *)
-let hot = ref (!on || Trace.enabled ())
+let hot = ref (!on || Trace.enabled ()) [@@dmx.global "config-immutable-after-setup"]
 let refresh () = hot := !on || Trace.enabled ()
 let () = Trace.add_toggle_hook (fun _ -> refresh ())
 let enabled () = !on
@@ -47,7 +47,7 @@ let instrumented () = !hot
 
 (* ---- frame stack and attribution table ---- *)
 
-let null_frame = { fr_txid = 0; fr_kind = Lock; fr_start = 0.; fr_child = 0. }
+let null_frame = { fr_txid = 0; fr_kind = Lock; fr_start = 0.; fr_child = 0. } [@@dmx.global "config-immutable-after-setup"]
 
 type entry = {
   mutable e_calls : int;
@@ -57,8 +57,8 @@ type entry = {
   mutable e_errors : int;
 }
 
-let table : (int * kind, entry) Hashtbl.t = Hashtbl.create 64
-let stack : frame list ref = ref []
+let table : (int * kind, entry) Hashtbl.t = Hashtbl.create 64 [@@dmx.global "UNSAFE"]
+let stack : frame list ref = ref [] [@@dmx.global "UNSAFE"]
 
 let begin_frame ~txid kind =
   if not !on then null_frame
@@ -123,7 +123,7 @@ let with_frame ~txid kind f =
 
 (* ---- naming ---- *)
 
-let namer : (kind -> string option) ref = ref (fun _ -> None)
+let namer : (kind -> string option) ref = ref (fun _ -> None) [@@dmx.global "config-immutable-after-setup"]
 let set_key_namer f = namer := f
 
 let display_name k =

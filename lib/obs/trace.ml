@@ -12,15 +12,15 @@ let env_enables var =
   | Some ("1" | "true" | "yes" | "on") -> true
   | Some _ | None -> false
 
-let on = ref (env_enables "DMX_TRACE")
+let on = ref (env_enables "DMX_TRACE") [@@dmx.global "config-immutable-after-setup"]
 let enabled () = !on
 
 (* Other gates (Profile's combined dispatch gate) refresh off this toggle. *)
-let toggle_hooks : (bool -> unit) list ref = ref []
+let toggle_hooks : (bool -> unit) list ref = ref [] [@@dmx.global "config-immutable-after-setup"]
 let add_toggle_hook f = toggle_hooks := f :: !toggle_hooks
 
 (* forward reference so set_enabled can flush; filled below *)
-let flush_hook : (unit -> unit) ref = ref (fun () -> ())
+let flush_hook : (unit -> unit) ref = ref (fun () -> ()) [@@dmx.global "config-immutable-after-setup"]
 
 let set_enabled b =
   on := b;
@@ -49,7 +49,7 @@ let cap_from_env () =
     | Some mb when mb > 0. -> Some (int_of_float (mb *. 1024. *. 1024.))
     | Some _ | None -> None)
 
-let file_sinks : file_sink list ref = ref []
+let file_sinks : file_sink list ref = ref [] [@@dmx.global "config-immutable-after-setup"]
 
 let flush_sink () =
   List.iter (fun fs -> try flush fs.fs_oc with Sys_error _ -> ()) !file_sinks
@@ -93,14 +93,14 @@ let default_sink =
   lazy
     (match Sys.getenv_opt "DMX_TRACE_FILE" with
     | Some path -> make_file_sink path
-    | None -> prerr_endline)
+    | None -> prerr_endline) [@@dmx.global "config-immutable-after-setup"]
 
-let sink_override : (string -> unit) option ref = ref None
+let sink_override : (string -> unit) option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 let set_sink f = sink_override := Some f
 let open_file_sink path = sink_override := Some (make_file_sink path)
 let use_default_sink () = sink_override := None
 
-let emitted_count = ref 0
+let emitted_count = ref 0 [@@dmx.global "UNSAFE"]
 
 let emit line =
   incr emitted_count;
@@ -112,12 +112,12 @@ let emitted () = !emitted_count
 
 (* ---- span stack ---- *)
 
-let next_id = ref 0
-let stack : span list ref = ref []
+let next_id = ref 0 [@@dmx.global "UNSAFE"]
+let stack : span list ref = ref [] [@@dmx.global "UNSAFE"]
 let depth () = List.length !stack
 
 let null_span =
-  { id = 0; parent = 0; name = ""; txid = 0; start = 0.; sp_attrs = [] }
+  { id = 0; parent = 0; name = ""; txid = 0; start = 0.; sp_attrs = [] } [@@dmx.global "config-immutable-after-setup"]
 
 let reset_for_testing () =
   stack := [];

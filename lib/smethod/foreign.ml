@@ -4,12 +4,12 @@ module Descriptor = Dmx_catalog.Descriptor
 module Attrlist = Dmx_catalog.Attrlist
 module Log_record = Dmx_wal.Log_record
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Foreign: storage method not registered"
+  | None -> Error.raise_err (Error.Internal "Foreign: storage method not registered")
 
 let message_cost = 2.0
 

@@ -4,12 +4,12 @@ module Descriptor = Dmx_catalog.Descriptor
 module Attrlist = Dmx_catalog.Attrlist
 module Log_record = Dmx_wal.Log_record
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Memory: storage method not registered"
+  | None -> Error.raise_err (Error.Internal "Memory: storage method not registered")
 
 (* Per-relation in-process store. The sequence number is the record key
    (represented as a RID with page 0). *)
@@ -17,7 +17,7 @@ module Imap = Map.Make (Int)
 
 type store = { mutable records : Record.t Imap.t; mutable next_seq : int }
 
-let stores : (int, store) Hashtbl.t = Hashtbl.create 16
+let stores : (int, store) Hashtbl.t = Hashtbl.create 16 [@@dmx.global "UNSAFE"]
 
 let store_of rel_id =
   match Hashtbl.find_opt stores rel_id with

@@ -10,7 +10,7 @@ type t = {
   mutable messages : int;
 }
 
-let directory : (string, t) Hashtbl.t = Hashtbl.create 4
+let directory : (string, t) Hashtbl.t = Hashtbl.create 4 [@@dmx.global "UNSAFE"]
 
 let create ~name =
   match Hashtbl.find_opt directory name with

@@ -3,18 +3,18 @@ open Dmx_core
 module Descriptor = Dmx_catalog.Descriptor
 module Attrlist = Dmx_catalog.Attrlist
 
-let reg_id : int option ref = ref None
+let reg_id : int option ref = ref None [@@dmx.global "config-immutable-after-setup"]
 
 let id () =
   match !reg_id with
   | Some id -> id
-  | None -> invalid_arg "Temp: storage method not registered"
+  | None -> Error.raise_err (Error.Internal "Temp: storage method not registered")
 
 module Imap = Map.Make (Int)
 
 type store = { mutable records : Record.t Imap.t; mutable next_seq : int }
 
-let stores : (int, store) Hashtbl.t = Hashtbl.create 16
+let stores : (int, store) Hashtbl.t = Hashtbl.create 16 [@@dmx.global "UNSAFE"]
 
 let store_of rel_id =
   match Hashtbl.find_opt stores rel_id with

@@ -7,7 +7,7 @@ type 'a key = {
   proj : binding -> 'a option;
 }
 
-let next_uid = ref 0
+let next_uid = ref 0 [@@dmx.global "UNSAFE"]
 
 let new_key (type a) name : a key =
   let module M = struct

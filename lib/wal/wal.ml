@@ -245,7 +245,7 @@ let record_count t = t.count
 
 let close t =
   if not t.closed then begin
-    (try flush t with _ -> ());
+    (try flush t with Unix.Unix_error _ | Sys_error _ -> ());
     (match t.backend with Mem -> () | File f -> Unix.close f.fd);
     t.closed <- true
   end

@@ -1,0 +1,100 @@
+(** Approximate whole-program model over the analysis roots, shared by the
+    interprocedural passes R8 (lock order) and R9 (WAL-before-page).
+
+    Calls are resolved per-[Longident]: [Mod.f] resolves to binding [f] of
+    [mod.ml] when such a file is in scope, a bare [f] to the enclosing
+    module. Registry procedure-vector dispatch, first-class functions and
+    functors are not resolved — DESIGN.md §12 lists the resulting
+    false-negative classes; the runtime lockdep covers them dynamically. *)
+
+type event =
+  | Acquire of { level : int; mode : string; line : int }
+      (** 0 = db, 1 = relation, 2 = page/record; mode ["?"] when the lock
+          mode is a runtime parameter at this site *)
+  | Log of int
+  | Mutate of { what : string; line : int }
+  | Call of { callee : string; mode_arg : string option; line : int }
+
+type func = {
+  fq_name : string;
+  file : string;
+  line : int;
+  events : event list;  (** source order *)
+}
+
+type t
+
+val level_name : int -> string
+
+val load :
+  root:string ->
+  dirs:string list ->
+  parse_impl:
+    (file:string ->
+    full_path:string ->
+    (Parsetree.structure, Lint_diag.t) result) ->
+  ml_files_under:(root:string -> string -> string list) ->
+  t
+(** Parse every [.ml] under [dirs] and build the function table. Files that
+    fail to parse are skipped here (the per-file passes report them). *)
+
+val find : t -> string -> func option
+val functions : t -> func list
+
+(** {2 R8: static lock-order analysis} *)
+
+type lock_site = {
+  ls_fun : string;
+  ls_file : string;
+  ls_line : int;
+  ls_level : int;
+  ls_mode : string;
+}
+
+type lock_violation = {
+  lv_site : lock_site;
+  lv_held : int * string;
+  lv_kind : [ `Hierarchy | `Reacquire ];
+  lv_path : string;  (** witness call path, entry-first *)
+}
+
+type lock_result = {
+  lr_sites : lock_site list;
+  lr_edges : ((int * int) * string) list;
+  lr_violations : lock_violation list;
+  lr_cycles : (int list * string) list;
+}
+
+val lock_analysis : t -> lock_result
+(** Propagate lock-held sets from every binding taken as an entry point,
+    memoized on (function, held set, mode substitution). Same-level
+    conflicting re-acquires are violations but do not become graph edges
+    (they would read as self-loop cycles); cycles are only over distinct
+    hierarchy levels and fail the build unconditionally. *)
+
+(** {2 R9: interprocedural WAL-before-page} *)
+
+type wal_summary = {
+  ws_unlogged : (string * int * string) option;
+  ws_logs : bool;
+}
+
+type wal_violation = {
+  wv_entry : string;
+  wv_file : string;
+  wv_line : int;
+  wv_mut_file : string;
+  wv_mut_line : int;
+  wv_path : string;
+}
+
+type wal_result = {
+  wr_summaries : (string * wal_summary) list;
+  wr_violations : wal_violation list;
+}
+
+val wal_analysis : t -> entry_files:string list -> wal_result
+(** For every top-level binding of [entry_files] (minus [*undo*] /
+    [*unlogged*] names), prove each path to a page mutator passes a logging
+    call first. Violations are only reported when the mutation is reached
+    through a call edge — in-body mutations are R4's (syntactic) job. *)

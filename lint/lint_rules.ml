@@ -7,11 +7,19 @@ let rule_wal_before_page = "wal-before-page"
 let rule_mli_coverage = "mli-coverage"
 let rule_span_pairing = "span-pairing"
 let rule_parse_error = "parse-error"
+let rule_global_state = "global-state"
+let rule_global_state_unsafe = "global-state-unsafe"
+let rule_lock_order = "lock-order"
+let rule_lock_cycle = "lock-cycle"
+let rule_wal_interproc = "wal-interproc"
 
 let baselinable rule =
   rule = rule_error_discipline
   || rule = rule_exception_swallowing
   || rule = rule_wal_before_page
+  || rule = rule_global_state_unsafe
+  || rule = rule_lock_order
+  || rule = rule_wal_interproc
 
 (* ---- file access ---- *)
 
@@ -81,7 +89,7 @@ let banned_path = function
   | [ "Obj"; "magic" ] | [ "Stdlib"; "Obj"; "magic" ] -> Some "Obj.magic"
   | _ -> None
 
-let error_discipline ~file structure =
+let error_discipline ?(allow_exit = false) ~file structure =
   let out = ref [] in
   let add line msg =
     out := Lint_diag.make ~rule:rule_error_discipline ~file ~line msg :: !out
@@ -91,6 +99,7 @@ let error_discipline ~file structure =
     (match e.pexp_desc with
     | Pexp_ident { txt; _ } -> begin
       match banned_path (Longident.flatten txt) with
+      | Some "exit" when allow_exit -> ()
       | Some name ->
         add (line_of_loc e.pexp_loc)
           (Fmt.str
@@ -348,6 +357,171 @@ let span_pairing ~file structure =
                     Trace.with_span / Ctx.with_span"
                    name))
          | _ -> None)
+
+(* ---- R7: global mutable state inventory ---- *)
+
+type global_entry = {
+  g_file : string;
+  g_line : int;
+  g_name : string;
+  g_kind : string;
+  g_class : string option;  (* None = unclassified *)
+}
+
+let global_classes = [ "ctx-owned"; "config-immutable-after-setup"; "UNSAFE" ]
+
+let mutable_container = function
+  | "Hashtbl" | "Buffer" | "Array" | "Bytes" | "Queue" | "Stack" | "Atomic"
+  | "Weak" -> true
+  | _ -> false
+
+(* record-field names declared [mutable] anywhere in this file — the
+   per-file approximation of "record literal with mutable fields" *)
+let mutable_field_names structure =
+  let out = ref [] in
+  let rec go items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_type (_, decls) ->
+          List.iter
+            (fun d ->
+              match d.ptype_kind with
+              | Ptype_record labels ->
+                List.iter
+                  (fun l ->
+                    if l.pld_mutable = Asttypes.Mutable then
+                      out := l.pld_name.txt :: !out)
+                  labels
+              | _ -> ())
+            decls
+        | Pstr_module { pmb_expr; _ } -> go_mod pmb_expr
+        | Pstr_recmodule mbs -> List.iter (fun mb -> go_mod mb.pmb_expr) mbs
+        | _ -> ())
+      items
+  and go_mod me =
+    match me.pmod_desc with
+    | Pmod_structure s -> go s
+    | Pmod_constraint (me, _) | Pmod_functor (_, me) -> go_mod me
+    | _ -> ()
+  in
+  go structure;
+  !out
+
+let rec mutable_kind ~mutable_fields (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) -> mutable_kind ~mutable_fields e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> begin
+    match Longident.flatten txt with
+    | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "ref cell"
+    | [ m; ("create" | "make" | "init" | "make_matrix" | "copy") ]
+    | [ "Stdlib"; m; ("create" | "make" | "init" | "make_matrix" | "copy") ]
+      when mutable_container m ->
+      Some (m ^ " state")
+    | _ -> None
+  end
+  | Pexp_array (_ :: _) -> Some "array literal"
+  | Pexp_lazy _ -> Some "lazy (memoizing) cell"
+  | Pexp_record (fields, _)
+    when List.exists
+           (fun (({ txt; _ } : Longident.t Asttypes.loc), _) ->
+             match List.rev (Longident.flatten txt) with
+             | f :: _ -> List.mem f mutable_fields
+             | [] -> false)
+           fields -> Some "record with mutable fields"
+  | _ -> None
+
+let classification_of_attributes attrs =
+  List.find_map
+    (fun (a : attribute) ->
+      if a.attr_name.txt <> "dmx.global" then None
+      else
+        match a.attr_payload with
+        | PStr
+            [ { pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _
+              }
+            ] -> Some (Some s)
+        | _ -> Some None (* present but malformed *))
+    attrs
+
+let global_state ~file structure =
+  let mutable_fields = mutable_field_names structure in
+  let entries = ref [] in
+  let diags = ref [] in
+  let bindings items =
+    List.iter
+      (fun vb ->
+        match (vb.pvb_pat.ppat_desc, mutable_kind ~mutable_fields vb.pvb_expr) with
+        | Ppat_var { txt = name; _ }, Some kind ->
+          let line = line_of_loc vb.pvb_loc in
+          let cls = classification_of_attributes vb.pvb_attributes in
+          let g_class = match cls with Some (Some s) -> Some s | _ -> None in
+          entries :=
+            { g_file = file; g_line = line; g_name = name; g_kind = kind;
+              g_class }
+            :: !entries;
+          (match cls with
+          | None ->
+            diags :=
+              Lint_diag.make ~rule:rule_global_state ~file ~line
+                (Fmt.str
+                   "module-level mutable state `%s' (%s) has no [@@dmx.global \
+                    \"...\"] classification — classify as %s so the \
+                    dmx-server refactor can ratchet hidden globals"
+                   name kind
+                   (String.concat " | " global_classes))
+              :: !diags
+          | Some None ->
+            diags :=
+              Lint_diag.make ~rule:rule_global_state ~file ~line
+                (Fmt.str
+                   "malformed [@@dmx.global] on `%s' — payload must be a \
+                    string literal, one of %s"
+                   name
+                   (String.concat " | " global_classes))
+              :: !diags
+          | Some (Some c) when not (List.mem c global_classes) ->
+            diags :=
+              Lint_diag.make ~rule:rule_global_state ~file ~line
+                (Fmt.str
+                   "unknown [@@dmx.global \"%s\"] class on `%s' — must be one \
+                    of %s"
+                   c name
+                   (String.concat " | " global_classes))
+              :: !diags
+          | Some (Some "UNSAFE") ->
+            diags :=
+              Lint_diag.make ~rule:rule_global_state_unsafe ~file ~line
+                (Fmt.str
+                   "`%s' (%s) is classified UNSAFE — shared mutable state \
+                    that must move into Ctx before dmx-server lands"
+                   name kind)
+              :: !diags
+          | Some (Some _) -> ())
+        | _ -> ())
+      items
+  in
+  let rec go items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) -> bindings vbs
+        | Pstr_module { pmb_expr; _ } -> go_mod pmb_expr
+        | Pstr_recmodule mbs -> List.iter (fun mb -> go_mod mb.pmb_expr) mbs
+        | _ -> ())
+      items
+  and go_mod me =
+    match me.pmod_desc with
+    | Pmod_structure s -> go s
+    | Pmod_constraint (me, _) | Pmod_functor (_, me) -> go_mod me
+    | _ -> ()
+  in
+  go structure;
+  (List.rev !entries, List.rev !diags)
 
 (* ---- R5: mli coverage ---- *)
 

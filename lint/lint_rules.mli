@@ -17,6 +17,11 @@ val rule_wal_before_page : string
 val rule_mli_coverage : string
 val rule_span_pairing : string
 val rule_parse_error : string
+val rule_global_state : string
+val rule_global_state_unsafe : string
+val rule_lock_order : string
+val rule_lock_cycle : string
+val rule_wal_interproc : string
 
 val baselinable : string -> bool
 
@@ -25,10 +30,12 @@ val parse_impl :
 (** Parse one [.ml]; a syntax error becomes a [parse-error] diagnostic. *)
 
 val error_discipline :
-  file:string -> Parsetree.structure -> Lint_diag.t list
+  ?allow_exit:bool -> file:string -> Parsetree.structure -> Lint_diag.t list
 (** R2: no [failwith] / [invalid_arg] / [exit] / [Obj.magic] /
     [assert false] — extension and hot-path code must report failures as
-    [(_, Error.t) result] so the substrate can veto and roll back. *)
+    [(_, Error.t) result] so the substrate can veto and roll back.
+    [allow_exit] relaxes the [exit] ban for CLI driver code ([bin/],
+    [bench/]) where a process exit status is the interface. *)
 
 val exception_swallowing :
   file:string -> Parsetree.structure -> Lint_diag.t list
@@ -55,6 +62,25 @@ val vector_completeness :
     [factory]'s source must mention [<Module>.register]. [ext_dirs] pairs a
     root-relative directory with a human label ("storage method" /
     "attachment"). *)
+
+type global_entry = {
+  g_file : string;
+  g_line : int;
+  g_name : string;
+  g_kind : string;
+  g_class : string option;  (** [None] = unclassified *)
+}
+
+val global_state :
+  file:string -> Parsetree.structure -> global_entry list * Lint_diag.t list
+(** R7: inventory of module-level mutable state — top-level [ref]s,
+    [Hashtbl]/[Buffer]/[Array]/... containers, non-empty array literals,
+    lazy cells, and record literals with [mutable] fields. Every such
+    binding must carry [[@@dmx.global "ctx-owned" |
+    "config-immutable-after-setup" | "UNSAFE"]]; missing or invalid
+    classifications are strict failures ([global-state]), while [UNSAFE]
+    entries are baselinable ([global-state-unsafe]) so the dmx-server
+    refactor can burn the list to zero. *)
 
 val mli_coverage : root:string -> dirs:string list -> Lint_diag.t list
 (** R5: every [.ml] under the given root-relative directories has a sibling

@@ -254,6 +254,142 @@ let test_baseline_enforcement () =
       let report = run ~baseline root in
       Alcotest.(check bool) "missing baseline fails" false (Lint_driver.ok report))
 
+(* R7: module-level mutable state must carry a [@@dmx.global] class. *)
+let test_global_state () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/txn/globals.ml")
+        "let unmarked = ref 0\n\
+         let counted = ref 0 [@@dmx.global \"UNSAFE\"]\n\
+         let registry : (string, int) Hashtbl.t = Hashtbl.create 8 \
+         [@@dmx.global \"config-immutable-after-setup\"]\n\
+         let bogus = ref 0 [@@dmx.global \"sometimes\"]\n\
+         let local_ok () = let r = ref 0 in incr r; !r\n";
+      write_file (root / "lib/txn/globals.mli")
+        "val unmarked : int ref\n\
+         val counted : int ref\n\
+         val registry : (string, int) Hashtbl.t\n\
+         val bogus : int ref\n\
+         val local_ok : unit -> int\n";
+      let report = run root in
+      (* strict: unclassified and invalid classes *)
+      check_diag "unclassified global" report ~rule:"global-state"
+        ~file:"lib/txn/globals.ml" ~line:1;
+      check_diag "invalid class" report ~rule:"global-state"
+        ~file:"lib/txn/globals.ml" ~line:4;
+      (* baselinable: the UNSAFE entry (fixture runs without a baseline) *)
+      check_diag "UNSAFE entry" report ~rule:"global-state-unsafe"
+        ~file:"lib/txn/globals.ml" ~line:2;
+      (* the well-classified registry and the function-local ref are clean *)
+      Alcotest.(check int)
+        "exactly two strict global-state diagnostics" 2
+        (List.length
+           (List.filter
+              (fun d -> d.Lint_diag.rule = "global-state")
+              report.Lint_driver.violations));
+      (* the inventory lists every module-level mutable binding *)
+      Alcotest.(check int)
+        "inventory has all four entries" 4
+        (List.length report.Lint_driver.globals))
+
+(* R8: lock acquisitions out of hierarchy order, and conflicting-mode
+   re-acquires, across helper functions. *)
+let test_lock_order () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/txn/locky.ml")
+        "let lock_rel ctx rid mode = Ctx.lock ctx ~mode (Lock_table.Relation \
+         rid)\n\
+         let lock_rec ctx rid key mode = Ctx.lock ctx ~mode \
+         (Lock_table.Record (rid, key))\n\
+         let good ctx rid key =\n\
+        \  ignore (lock_rel ctx rid Lock_mode.IX);\n\
+        \  ignore (lock_rec ctx rid key Lock_mode.X)\n\
+         let bad ctx rid key =\n\
+        \  ignore (lock_rec ctx rid key Lock_mode.X);\n\
+        \  ignore (lock_rel ctx rid Lock_mode.IX)\n\
+         let double ctx rid key =\n\
+        \  ignore (lock_rec ctx rid key Lock_mode.X);\n\
+        \  ignore (lock_rec ctx rid key Lock_mode.X)\n";
+      write_file (root / "lib/txn/locky.mli")
+        "val lock_rel : 'a -> int -> 'b -> 'c\n\
+         val lock_rec : 'a -> int -> 'b -> 'c -> 'd\n\
+         val good : 'a -> int -> 'b -> unit\n\
+         val bad : 'a -> int -> 'b -> unit\n\
+         val double : 'a -> int -> 'b -> unit\n";
+      let report = run root in
+      (* [bad] acquires the relation lock while holding a record lock; the
+         diagnostic anchors at the acquisition site inside the helper *)
+      check_diag "hierarchy inversion" report ~rule:"lock-order"
+        ~file:"lib/txn/locky.ml" ~line:1;
+      (* [double] re-acquires record-level X while holding X *)
+      check_diag "conflicting re-acquire" report ~rule:"lock-order"
+        ~file:"lib/txn/locky.ml" ~line:2;
+      Alcotest.(check int)
+        "exactly two lock-order diagnostics ([good] is clean)" 2
+        (List.length
+           (List.filter
+              (fun d -> d.Lint_diag.rule = "lock-order")
+              report.Lint_driver.violations));
+      (* the derived order graph records relation -> record and stays
+         cycle-free: the deviation must not double-report as a cycle *)
+      Alcotest.(check bool)
+        "relation -> record edge derived" true
+        (List.exists
+           (fun ((a, b), _) -> a = 1 && b = 2)
+           report.Lint_driver.lock.Lint_callgraph.lr_edges);
+      Alcotest.(check int)
+        "no cycles" 0
+        (List.length report.Lint_driver.lock.Lint_callgraph.lr_cycles))
+
+(* R9: WAL logging hidden behind a helper that the syntactic R4 cannot see
+   through — the exempt-named helper mutates, the caller must log first. *)
+let test_wal_interproc () =
+  with_fixture_tree (fun root ->
+      write_file (root / "lib/smethod/deep.ml")
+        "let unlogged_poke data payload = Slotted.insert data payload\n\n\
+         let covert ctx data payload =\n\
+        \  ignore ctx;\n\
+        \  unlogged_poke data payload\n\n\
+         let overt ctx data payload =\n\
+        \  ignore (Ctx.log ctx payload);\n\
+        \  unlogged_poke data payload\n";
+      write_file (root / "lib/smethod/deep.mli")
+        "val unlogged_poke : 'a -> 'b -> 'c\n\
+         val covert : 'a -> 'b -> 'c -> 'd\n\
+         val overt : 'a -> 'b -> 'c -> 'd\n";
+      let report = run root in
+      (* the syntactic R4 sees no page mutator in [covert]'s body and the
+         helper is R4-exempt by name: only the interprocedural pass fires *)
+      Alcotest.(check int)
+        "R4 stays silent" 0
+        (List.length
+           (List.filter
+              (fun d -> d.Lint_diag.rule = "wal-before-page")
+              report.Lint_driver.violations));
+      check_diag "unlogged path through helper" report ~rule:"wal-interproc"
+        ~file:"lib/smethod/deep.ml" ~line:3;
+      (* [overt] logs before the helper mutates: clean *)
+      Alcotest.(check int)
+        "exactly one wal-interproc diagnostic" 1
+        (List.length
+           (List.filter
+              (fun d -> d.Lint_diag.rule = "wal-interproc")
+              report.Lint_driver.violations)))
+
+(* R2 over CLI dirs: [exit] is the interface there, [failwith] is not. *)
+let test_cli_discipline () =
+  with_fixture_tree (fun root ->
+      write_file (root / "bin/tool.ml")
+        "let usage () = exit 2\nlet boom () = failwith \"no\"\n";
+      let report = run root in
+      check_diag "failwith in bin" report ~rule:"error-discipline"
+        ~file:"bin/tool.ml" ~line:2;
+      Alcotest.(check int)
+        "exit in bin is allowed" 1
+        (List.length
+           (List.filter
+              (fun d -> d.Lint_diag.rule = "error-discipline")
+              report.Lint_driver.violations)))
+
 (* The merged tree itself must lint clean against the committed baseline —
    the same invocation `dune build @lint` runs. Test cwd is
    _build/default/test, so the copied source tree sits one level up. *)
@@ -285,5 +421,13 @@ let suite =
     Alcotest.test_case "R6: unpaired Trace.enter" `Quick test_span_pairing;
     Alcotest.test_case "baseline pins violation counts" `Quick
       test_baseline_enforcement;
+    Alcotest.test_case "R7: global-state inventory and classes" `Quick
+      test_global_state;
+    Alcotest.test_case "R8: lock-order hierarchy and re-acquire" `Quick
+      test_lock_order;
+    Alcotest.test_case "R9: WAL logging hidden behind a helper" `Quick
+      test_wal_interproc;
+    Alcotest.test_case "R2 in CLI dirs: exit allowed, failwith not" `Quick
+      test_cli_discipline;
     Alcotest.test_case "real tree lints clean" `Quick test_real_tree_clean;
   ]

@@ -135,6 +135,114 @@ let test_unfrozen_dispatch_silent_when_off () =
       Services.commit sv ctx;
       Services.close sv)
 
+(* ---- lockdep (DESIGN.md §12): runtime lock-order checking ---- *)
+
+module Lock_table = Dmx_lock.Lock_table
+module Lock_mode = Dmx_lock.Lock_mode
+
+let rel n = Lock_table.Relation n
+let rcd n k = Lock_table.Record (n, k)
+
+(* Two transactions acquiring the same relations in the same order, with the
+   record hierarchy respected, never trip. *)
+let test_lockdep_ordered_clean () =
+  with_sanitizer true (fun () ->
+      Invariant.lockdep_reset ();
+      Invariant.lockdep_grant ~txid:1 (rel 1) Lock_mode.IX;
+      Invariant.lockdep_grant ~txid:1 (rcd 1 "a") Lock_mode.X;
+      Invariant.lockdep_grant ~txid:1 (rel 2) Lock_mode.IX;
+      Invariant.lockdep_release ~txid:1;
+      Invariant.lockdep_grant ~txid:2 (rel 1) Lock_mode.IX;
+      Invariant.lockdep_grant ~txid:2 (rel 2) Lock_mode.IX;
+      Invariant.lockdep_release ~txid:2)
+
+(* A record grant with no covering relation lock violates the hierarchy. *)
+let test_lockdep_hierarchy_trips () =
+  with_sanitizer true (fun () ->
+      Invariant.lockdep_reset ();
+      let msg =
+        expect_violation "uncovered record lock" (fun () ->
+            Invariant.lockdep_grant ~txid:7 (rcd 3 "k") Lock_mode.X)
+      in
+      check_contains "hierarchy report" msg "without holding the relation";
+      Invariant.lockdep_release ~txid:7)
+
+(* Opposite acquisition orders in conflicting modes: the second schedule
+   completes an inversion and raises at the closing grant. *)
+let test_lockdep_inversion_trips () =
+  with_sanitizer true (fun () ->
+      Invariant.lockdep_reset ();
+      Invariant.lockdep_grant ~txid:1 (rel 1) Lock_mode.X;
+      Invariant.lockdep_grant ~txid:1 (rel 2) Lock_mode.X;
+      Invariant.lockdep_release ~txid:1;
+      Invariant.lockdep_grant ~txid:2 (rel 2) Lock_mode.X;
+      let msg =
+        expect_violation "inverted conflicting order" (fun () ->
+            Invariant.lockdep_grant ~txid:2 (rel 1) Lock_mode.X)
+      in
+      check_contains "inversion report" msg "opposite order";
+      Invariant.lockdep_release ~txid:2)
+
+(* Opposite orders in compatible modes (shared readers) cannot deadlock and
+   must not trip. *)
+let test_lockdep_compatible_inversion_clean () =
+  with_sanitizer true (fun () ->
+      Invariant.lockdep_reset ();
+      Invariant.lockdep_grant ~txid:1 (rel 1) Lock_mode.IS;
+      Invariant.lockdep_grant ~txid:1 (rel 2) Lock_mode.IS;
+      Invariant.lockdep_release ~txid:1;
+      Invariant.lockdep_grant ~txid:2 (rel 2) Lock_mode.IS;
+      Invariant.lockdep_grant ~txid:2 (rel 1) Lock_mode.IS;
+      Invariant.lockdep_release ~txid:2)
+
+(* A relation created by the still-open transaction is invisible to everyone
+   else: its grants stay out of the order graph even in an inverted order. *)
+let test_lockdep_nascent_exempt () =
+  with_sanitizer true (fun () ->
+      Invariant.lockdep_reset ();
+      Invariant.lockdep_grant ~txid:1 (rel 1) Lock_mode.X;
+      Invariant.lockdep_grant ~txid:1 (rel 2) Lock_mode.X;
+      Invariant.lockdep_release ~txid:1;
+      Invariant.lockdep_grant ~txid:2 (rel 2) Lock_mode.X;
+      Invariant.lockdep_mark_nascent ~txid:2 ~rel_id:1;
+      (* without the nascent mark this grant would raise (see above) *)
+      Invariant.lockdep_grant ~txid:2 (rel 1) Lock_mode.X;
+      Invariant.lockdep_release ~txid:2)
+
+(* Observed through the real lock table: a mount made while the sanitizer is
+   on installs the grant/release observers, and an ordinary workload (DDL,
+   inserts, commit) stays silent. *)
+let test_lockdep_end_to_end_clean () =
+  with_sanitizer true (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx = Services.begin_txn sv in
+      let desc =
+        Test_util.check_ok "create emp"
+          (Dmx_ddl.Ddl.create_relation ctx ~name:"lockdep_emp"
+             ~schema:Test_util.emp_schema ~storage_method:"heap" ())
+      in
+      ignore
+        (Test_util.check_ok "insert"
+           (Relation.insert ctx desc (Test_util.emp 1 "a" "eng" 10)));
+      Services.commit sv ctx;
+      Services.close sv)
+
+(* Disabled sanitizer: the grant path is one branch, no allocation. *)
+let test_lockdep_disabled_no_alloc () =
+  with_sanitizer false (fun () ->
+      Invariant.lockdep_reset ();
+      let r = rel 1 in
+      let m = Lock_mode.IX in
+      let w0 = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        Invariant.lockdep_grant ~txid:1 r m;
+        Invariant.lockdep_release ~txid:1
+      done;
+      let words = Gc.minor_words () -. w0 in
+      Alcotest.(check bool)
+        (Fmt.str "disabled grant path allocates nothing (%.0f words)" words)
+        true (words < 256.))
+
 let suite =
   [
     Alcotest.test_case "pin leak trips at commit" `Quick test_pin_leak_trips;
@@ -151,4 +259,18 @@ let suite =
       test_unfrozen_dispatch_trips;
     Alcotest.test_case "dispatch before freeze silent without DMX_SANITIZE"
       `Quick test_unfrozen_dispatch_silent_when_off;
+    Alcotest.test_case "lockdep: ordered acquisitions stay silent" `Quick
+      test_lockdep_ordered_clean;
+    Alcotest.test_case "lockdep: uncovered record lock trips" `Quick
+      test_lockdep_hierarchy_trips;
+    Alcotest.test_case "lockdep: conflicting-mode inversion trips" `Quick
+      test_lockdep_inversion_trips;
+    Alcotest.test_case "lockdep: compatible-mode inversion stays silent" `Quick
+      test_lockdep_compatible_inversion_clean;
+    Alcotest.test_case "lockdep: nascent relation exempt from order graph"
+      `Quick test_lockdep_nascent_exempt;
+    Alcotest.test_case "lockdep: end-to-end workload stays silent" `Quick
+      test_lockdep_end_to_end_clean;
+    Alcotest.test_case "lockdep: disabled mode allocates nothing" `Quick
+      test_lockdep_disabled_no_alloc;
   ]
