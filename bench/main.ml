@@ -1421,6 +1421,11 @@ let () =
       (fun name ->
         match List.assoc_opt name available with
         | Some f ->
+          (* Reset per experiment so each reports a clean per-phase delta
+             (counters carried over from earlier experiments would otherwise
+             only show up via the before-snapshot subtraction). Deltas are
+             invariant under the reset, so gate baselines stay valid. *)
+          Dmx_obs.Metrics.reset ();
           let before = Dmx_obs.Metrics.snapshot () in
           let (), secs = time f in
           let deltas =

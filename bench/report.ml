@@ -52,13 +52,24 @@ let i v = string_of_int v
    [Dmx_obs.Metrics.snapshot]s, as name/delta pairs. Printed and returned
    so the driver can serialize them. *)
 let counter_deltas ~before ~after =
+  (* Union of both snapshots: counters registered mid-experiment show their
+     full value, and counters that vanished (a [Metrics.reset] mid-phase, a
+     probe replaced by a fresh setup) report a negative delta instead of
+     silently disappearing from the table. *)
   let base = Hashtbl.of_seq (List.to_seq before) in
+  let seen = Hashtbl.of_seq (List.to_seq after) in
+  let vanished =
+    List.filter_map
+      (fun (name, _) ->
+        if Hashtbl.mem seen name then None else Some (name, 0))
+      before
+  in
   let moved =
     List.filter_map
       (fun (name, v) ->
         let d = v - Option.value ~default:0 (Hashtbl.find_opt base name) in
         if d = 0 then None else Some (name, d))
-      after
+      (after @ vanished)
   in
   if moved <> [] then begin
     Fmt.pr "counters (delta over experiment):@.";

@@ -22,6 +22,7 @@ let n_txns = ref 5
 let ops_per_txn = ref 6
 let pool = ref 8
 let mutate = ref false
+let introspect = ref false
 let json_path = ref None
 let verbose = ref false
 
@@ -62,6 +63,10 @@ let spec =
     ( "--mutate",
       Arg.Set mutate,
       " deliberately break btree-index undo; exit 0 iff the oracle objects" );
+    ( "--introspect",
+      Arg.Set introspect,
+      " after each recovery, audit the engine through its dmx_* system \
+       views (no leaked txns or lock grants)" );
     ("--json", Arg.String (fun p -> json_path := Some p), "PATH write summary JSON");
     ("-v", Arg.Set verbose, " per-point progress");
   ]
@@ -72,7 +77,8 @@ let config seed =
   { (H.default_config ~seed) with
     H.n_txns = !n_txns;
     ops_per_txn = !ops_per_txn;
-    pool_capacity = !pool }
+    pool_capacity = !pool;
+    introspect = !introspect }
 
 let plan_of_point point =
   match !mode with

@@ -1,21 +1,24 @@
 (* dmx_prof — offline analyzer for DMX_TRACE_FILE JSON-Lines traces.
 
    Usage:
-     dmx_prof.exe [--top N] [TRACE_FILE]
+     dmx_prof.exe [--top N] [--json] [TRACE_FILE]
 
    When TRACE_FILE is omitted, $DMX_TRACE_FILE is consulted, so the same
    environment variable that produced the trace can be reused to read it
    back. Reports: critical path of the slowest transaction, top-N slowest
    spans, per-relation and per-attachment latency quantiles, lock-contention
-   pairs, and deadlock victims. *)
+   pairs, and deadlock victims. --json emits the same report as one JSON
+   object on stdout (CI diffs profiles across runs); text stays the
+   default. *)
 
 let usage () =
-  Fmt.epr "usage: dmx_prof [--top N] [TRACE_FILE]@.";
+  Fmt.epr "usage: dmx_prof [--top N] [--json] [TRACE_FILE]@.";
   Fmt.epr "       TRACE_FILE defaults to $DMX_TRACE_FILE@.";
   exit 2
 
 let () =
   let top = ref 10 in
+  let json = ref false in
   let path = ref None in
   let rec parse = function
     | [] -> ()
@@ -23,6 +26,9 @@ let () =
       (match int_of_string_opt n with
       | Some n when n > 0 -> top := n
       | _ -> usage ());
+      parse rest
+    | "--json" :: rest ->
+      json := true;
       parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | arg :: rest ->
@@ -48,4 +54,7 @@ let () =
     Fmt.epr "dmx_prof: %s: no trace records@." path;
     exit 1
   end;
-  Fmt.pr "%a@." (Dmx_obs.Trace_reader.pp_report ~top:!top) records
+  if !json then
+    Fmt.pr "%s@."
+      (Dmx_obs.Obs_json.to_string (Dmx_obs.Trace_reader.to_json ~top:!top records))
+  else Fmt.pr "%a@." (Dmx_obs.Trace_reader.pp_report ~top:!top) records

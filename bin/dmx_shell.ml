@@ -16,10 +16,14 @@
      drop index pk on emp using btree_index
      drop table emp
      show tables | describe emp | show extensions
+     show views          (mounted dmx_* system views and their providers)
      show stats          (metrics registry dump: counters + histograms)
+     stats reset         (zero counters/histograms for per-phase deltas)
      show profile        (latency attribution by component, per transaction)
      profile on | off | reset   (also DMX_PROFILE=1)
      trace on | trace off  (JSON Lines dispatch tracing; also DMX_TRACE=1)
+     events on | off     (engine event ring, shown by dmx_events; DMX_EVENTS=1)
+     watch select * from dmx_wal 5   (re-run a query; DMX_WATCH_MS interval)
      quit
 
    Run with: dune exec bin/dmx_shell.exe            (in-memory)
@@ -429,6 +433,66 @@ let exec_line st line =
           Fmt.pr "DELETE %d@." (List.length hits))
     | "show", [ Word t ] when kw t = "stats" ->
       Fmt.pr "%a@." Dmx_obs.Metrics.pp_dump ()
+    | "stats", [ Word t ] when kw t = "reset" ->
+      Dmx_obs.Metrics.reset ();
+      Fmt.pr "STATS RESET@."
+    | "show", [ Word t ] when kw t = "views" ->
+      (* Every mounted sysview relation with its provider and live row
+         count (the count runs the provider — a snapshot each). *)
+      let rels =
+        Dmx_catalog.Catalog.relations st.db.Db.services.Dmx_core.Services.catalog
+        |> List.filter (fun (d : Descriptor.t) ->
+               Dmx_core.Registry.storage_method_name d.smethod_id = "sysview")
+      in
+      with_ctx st (fun ctx ->
+          List.iter
+            (fun (d : Descriptor.t) ->
+              let (module M : Dmx_core.Intf.STORAGE_METHOD) =
+                Dmx_core.Registry.storage_method d.smethod_id
+              in
+              Fmt.pr "%-16s provider=%-12s rows=%d@." d.rel_name
+                d.smethod_desc (M.record_count ctx d))
+            rels);
+      Fmt.pr "(%d view%s)@." (List.length rels)
+        (if List.length rels = 1 then "" else "s")
+    | "watch", _ ->
+      (* watch <select ...> <n>: run the query n times, sleeping
+         DMX_WATCH_MS (default 1000) between snapshots. *)
+      let stmt, n =
+        match List.rev toks with
+        | Word last :: (_ :: _ as rev_stmt) -> begin
+          match int_of_string_opt last with
+          | Some n when n > 0 ->
+            let stmt = String.sub line 6 (String.length line - 6) in
+            let stmt = String.trim stmt in
+            (* chop the trailing count off the raw statement text *)
+            (String.trim (String.sub stmt 0 (String.length stmt - String.length last)),
+             (ignore rev_stmt; n))
+          | _ -> err "expected: watch <select ...> <count>"
+        end
+        | _ -> err "expected: watch <select ...> <count>"
+      in
+      let interval_ms =
+        match Sys.getenv_opt "DMX_WATCH_MS" with
+        | Some s -> ( match int_of_string_opt s with Some v when v >= 0 -> v | _ -> 1000)
+        | None -> 1000
+      in
+      let q, project = parse_select stmt (tokenize stmt) in
+      for i = 1 to n do
+        Fmt.pr "-- watch %d/%d@." i n;
+        with_ctx st (fun ctx ->
+            let rows = ok (Db.query st.db ctx q ()) in
+            print_rows (Option.map Fun.id project) rows);
+        if i < n then Unix.sleepf (float_of_int interval_ms /. 1000.)
+      done
+    | "events", [ Word t ] when kw t = "on" ->
+      Dmx_obs.Event_ring.set_enabled true;
+      Fmt.pr "EVENTS ON (ring of %d, slow >= %.0fus)@."
+        (Dmx_obs.Event_ring.capacity ())
+        (Dmx_obs.Event_ring.slow_us ())
+    | "events", [ Word t ] when kw t = "off" ->
+      Dmx_obs.Event_ring.set_enabled false;
+      Fmt.pr "EVENTS OFF@."
     | "show", [ Word t ] when kw t = "profile" ->
       Fmt.pr "%a" Dmx_obs.Profile.pp_report ()
     | "profile", [ Word t ] when kw t = "on" ->

@@ -23,6 +23,7 @@ let register_defaults () =
     ignore (Dmx_smethod.Temp.register ());
     ignore (Dmx_smethod.Readonly.register ());
     ignore (Dmx_smethod.Foreign.register ());
+    ignore (Dmx_smethod.Sysview.register ());
     ignore (Dmx_attach.Btree_index.register ());
     ignore (Dmx_attach.Hash_index.register ());
     ignore (Dmx_attach.Rtree_index.register ());
@@ -34,6 +35,43 @@ let register_defaults () =
     ignore (Dmx_attach.Agg.register ())
   end
 
+module Sysview = Dmx_smethod.Sysview
+
+(* Create the [dmx_*] relation over every registered provider that does not
+   already exist in the catalog (reopening a durable database finds them
+   persisted). One transaction for the whole family; harmless when all views
+   are already mounted. *)
+let mount_system_views ctx =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc provider ->
+      let* mounted = acc in
+      let name = "dmx_" ^ provider in
+      match Dmx_catalog.Catalog.find ctx.Ctx.catalog name with
+      | Some _ -> Ok mounted
+      | None ->
+        let schema =
+          match Sysview.provider_schema provider with
+          | Some s -> s
+          | None ->
+            Error.raise_err
+              (Error.Internal ("sysview: no provider " ^ provider))
+        in
+        let* desc =
+          Ddl.create_relation ctx ~name ~schema ~storage_method:"sysview"
+            ~attrs:[ ("provider", provider) ] ()
+        in
+        Ok (desc :: mounted))
+    (Ok []) (Sysview.provider_names ())
+
+let plan_cache_schema =
+  lazy
+    (Dmx_value.Schema.make_exn
+       [ Dmx_value.Schema.column ~nullable:false "key" Dmx_value.Value.Tstring;
+         Dmx_value.Schema.column ~nullable:false "valid" Dmx_value.Value.Tbool;
+         Dmx_value.Schema.column ~nullable:false "plan" Dmx_value.Value.Tstring
+       ]) [@@dmx.global "config-immutable-after-setup"]
+
 let open_database ?dir ?disk ?(user = "admin") ?pool_capacity () =
   register_defaults ();
   let services = Services.setup ?dir ?disk ?pool_capacity () in
@@ -43,7 +81,32 @@ let open_database ?dir ?disk ?(user = "admin") ?pool_capacity () =
     | Some dir -> Authz.load ~path:(Filename.concat dir "authz.dmx")
   in
   Authz.add_admin authz "admin";
-  { services; cache = Plan_cache.create (); authz; user }
+  let cache = Plan_cache.create () in
+  (* The one provider owned by the facade rather than the engine: the bound
+     plans live in this database handle's cache. *)
+  Sysview.register_provider ~name:"plan_cache"
+    ~schema:(Lazy.force plan_cache_schema)
+    (fun ctx ->
+      List.map
+        (fun (key, plan) ->
+          [| Dmx_value.Value.String key;
+             Dmx_value.Value.Bool (Dmx_query.Plan.valid ctx plan);
+             Dmx_value.Value.String (Dmx_query.Plan.describe plan) |])
+        (Plan_cache.entries cache));
+  let t = { services; cache; authz; user } in
+  (match
+     Services.with_txn services (fun ctx -> mount_system_views ctx)
+   with
+  | Ok mounted ->
+    List.iter
+      (fun desc ->
+        Authz.grant_all authz ~user ~rel_id:desc.Descriptor.rel_id)
+      mounted
+  | Error e ->
+    Error.raise_err
+      (Error.Internal
+         (Fmt.str "mounting system views failed: %a" Error.pp e)));
+  t
 
 let close t =
   Authz.save t.authz;

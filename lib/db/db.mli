@@ -18,8 +18,16 @@ type t = {
 
 val register_defaults : unit -> unit
 (** Idempotent. Registration order (and therefore ids): heap, btree, memory,
-    temp, readonly, foreign; btree_index, hash_index, rtree_index, join_index,
-    check, refint, trigger, stats, agg. *)
+    temp, readonly, foreign, sysview; btree_index, hash_index, rtree_index,
+    join_index, check, refint, trigger, stats, agg. *)
+
+val mount_system_views :
+  Ctx.t -> (Dmx_catalog.Descriptor.t list, Error.t) result
+(** Create the [dmx_*] system relation over every registered sysview
+    provider not already present in the catalog; returns the newly created
+    descriptors (empty on a reopened database that persisted them).
+    {!open_database} calls this in its own transaction; harnesses built
+    directly on [Services] (the chaos torture rig) call it themselves. *)
 
 val open_database :
   ?dir:string -> ?disk:Dmx_page.Disk.t -> ?user:string ->

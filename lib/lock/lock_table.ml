@@ -226,6 +226,11 @@ let all_edges t =
     (fun acc f -> f () @ acc)
     (waits_for_edges t) t.external_edges
 
+let dump t =
+  Hashtbl.fold
+    (fun resource e acc -> (resource, e.granted, e.waiting) :: acc)
+    t.table []
+
 let locked_resources t txid =
   Hashtbl.fold
     (fun resource e acc ->

@@ -51,6 +51,13 @@ val add_external_edges_hook : t -> (unit -> (txid * txid) list) -> unit
 
 val all_edges : t -> (txid * txid) list
 val locked_resources : t -> txid -> resource list
+
+val dump :
+  t -> (resource * (txid * Lock_mode.t) list * (txid * Lock_mode.t) list) list
+(** Point-in-time copy of the whole table: for each resource, the granted
+    holders and the FIFO wait queue (oldest first). Feeds the [dmx_locks]
+    system view; no ordering guarantee across resources. *)
+
 val pp_resource : Format.formatter -> resource -> unit
 
 val set_grant_observer :

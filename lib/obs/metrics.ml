@@ -109,6 +109,8 @@ let sorted_histograms () =
   Hashtbl.fold (fun _ h acc -> h :: acc) histograms []
   |> List.sort (fun a b -> String.compare a.h_name b.h_name)
 
+let all_histograms () = List.map (fun h -> (h.h_name, h)) (sorted_histograms ())
+
 let pp_dump ppf () =
   Fmt.pf ppf "counters:@.";
   List.iter (fun (name, v) -> Fmt.pf ppf "  %-36s %d@." name v) (snapshot ());

@@ -55,6 +55,10 @@ val quantile : histogram -> float -> float option
     (Prometheus [histogram_quantile] style). Observations in the overflow
     bucket clamp to the last bound. [None] when the histogram is empty. *)
 
+val all_histograms : unit -> (string * histogram) list
+(** Every registered histogram with its name, sorted by name — the
+    [dmx_metrics] system view derives its quantile rows from this. *)
+
 val register_probe : string -> (unit -> (string * int) list) -> unit
 (** Registering under an existing probe name replaces it (a fresh
     [Services.setup] re-points the probe at the new database's state). *)

@@ -12,7 +12,12 @@ let env_enables var =
   | Some ("1" | "true" | "yes" | "on") -> true
   | Some _ | None -> false
 
-let on = ref (env_enables "DMX_TRACE") [@@dmx.global "config-immutable-after-setup"]
+(* [json_on] gates the JSON-lines sink alone. [on] — the gate every
+   instrumented call site reads through [enabled] — is the union of the sink
+   and the event ring, so arming either one lights up the same PR2 emission
+   points; the disabled path stays the single load-and-branch it always was. *)
+let json_on = ref (env_enables "DMX_TRACE") [@@dmx.global "config-immutable-after-setup"]
+let on = ref (!json_on || Event_ring.enabled ()) [@@dmx.global "config-immutable-after-setup"]
 let enabled () = !on
 
 (* Other gates (Profile's combined dispatch gate) refresh off this toggle. *)
@@ -22,11 +27,18 @@ let add_toggle_hook f = toggle_hooks := f :: !toggle_hooks
 (* forward reference so set_enabled can flush; filled below *)
 let flush_hook : (unit -> unit) ref = ref (fun () -> ()) [@@dmx.global "config-immutable-after-setup"]
 
+let refresh_combined () =
+  on := !json_on || Event_ring.enabled ();
+  List.iter (fun f -> f !on) !toggle_hooks
+
+(* An Event_ring toggle changes the combined gate just like [set_enabled]. *)
+let () = Event_ring.set_on_toggle refresh_combined
+
 let set_enabled b =
-  on := b;
+  json_on := b;
   if b then Metrics.set_enabled true;
   if not b then !flush_hook ();
-  List.iter (fun f -> f b) !toggle_hooks
+  refresh_combined ()
 
 (* ---- sink ---- *)
 
@@ -179,12 +191,14 @@ let exit_span ?(outcome = "ok") ?(attrs = []) sp =
     in
     stack := pop !stack;
     let now = Unix.gettimeofday () in
-    emit
-      (render ~ev:"span" ~id:sp.id ~parent:sp.parent ~txid:sp.txid
-         ~name:sp.name
-         ~us:(Some ((now -. sp.start) *. 1e6))
-         ~outcome:(Some outcome)
-         ~attrs:(sp.sp_attrs @ attrs) ~ts:sp.start)
+    let us = (now -. sp.start) *. 1e6 in
+    if !json_on then
+      emit
+        (render ~ev:"span" ~id:sp.id ~parent:sp.parent ~txid:sp.txid
+           ~name:sp.name ~us:(Some us) ~outcome:(Some outcome)
+           ~attrs:(sp.sp_attrs @ attrs) ~ts:sp.start);
+    Event_ring.record ~kind:Event_ring.Span ~name:sp.name ~txid:sp.txid ~us
+      ~outcome
   end
 
 let event ?(txid = -1) ?(attrs = []) name =
@@ -194,9 +208,11 @@ let event ?(txid = -1) ?(attrs = []) name =
       match !stack with [] -> (0, 0) | s :: _ -> (s.id, s.txid)
     in
     let txid = if txid >= 0 then txid else inherited in
-    emit
-      (render ~ev:"event" ~id:!next_id ~parent ~txid ~name ~us:None
-         ~outcome:None ~attrs ~ts:(Unix.gettimeofday ()))
+    if !json_on then
+      emit
+        (render ~ev:"event" ~id:!next_id ~parent ~txid ~name ~us:None
+           ~outcome:None ~attrs ~ts:(Unix.gettimeofday ()));
+    Event_ring.record ~kind:Event_ring.Event ~name ~txid ~us:0. ~outcome:""
   end
 
 let with_span ?txid ?attrs name f =

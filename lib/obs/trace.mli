@@ -26,10 +26,15 @@
 type span
 
 val enabled : unit -> bool
+(** True when either consumer is armed: the JSON sink ({!set_enabled} /
+    [DMX_TRACE]) or the in-memory {!Event_ring}. Instrumented call sites
+    guard on this one combined gate, so arming the ring lights up the same
+    emission points without a second branch on the hot path. *)
 
 val set_enabled : bool -> unit
-(** Turning tracing on also enables the metrics registry; turning it off
-    flushes any buffered file sink. *)
+(** Arms the JSON-lines sink. Turning it on also enables the metrics
+    registry; turning it off flushes any buffered file sink. The
+    {!Event_ring} keeps recording (if armed) either way. *)
 
 val add_toggle_hook : (bool -> unit) -> unit
 (** Called with the new state on every {!set_enabled}. [Profile] uses this

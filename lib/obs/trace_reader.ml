@@ -388,3 +388,70 @@ let pp_report ?(top = 10) ppf records =
         Fmt.pf ppf "  txn %d  (cycle: %s)@." v.v_txn
           (String.concat " -> " (List.map string_of_int v.v_cycle)))
       vs
+
+(* ---- machine-readable report (dmx_prof --json) ---- *)
+
+let to_json ?(top = 10) records =
+  let sps = spans records and evs = events records in
+  let txns =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun r -> if r.r_txn <> 0 then Hashtbl.replace seen r.r_txn ())
+      records;
+    Hashtbl.length seen
+  in
+  let span_obj r =
+    Obs_json.Obj
+      [ ("name", Obs_json.Str r.r_name);
+        ("txn", Obs_json.Int r.r_txn);
+        ("us", Obs_json.Float r.r_us);
+        ( "outcome",
+          match r.r_outcome with
+          | Some o -> Obs_json.Str o
+          | None -> Obs_json.Null ) ]
+  in
+  let group_obj g =
+    Obs_json.Obj
+      [ ("key", Obs_json.Str g.g_key);
+        ("count", Obs_json.Int g.g_count);
+        ("vetoes", Obs_json.Int g.g_vetoes);
+        ("p50_us", Obs_json.Float g.g_p50);
+        ("p95_us", Obs_json.Float g.g_p95);
+        ("p99_us", Obs_json.Float g.g_p99) ]
+  in
+  Obs_json.Obj
+    [ ( "summary",
+        Obs_json.Obj
+          [ ("spans", Obs_json.Int (List.length sps));
+            ("events", Obs_json.Int (List.length evs));
+            ("transactions", Obs_json.Int txns);
+            ("truncated", Obs_json.Bool (truncated records)) ] );
+      ( "critical_path",
+        Obs_json.List (List.map span_obj (critical_path records)) );
+      ( "top_spans",
+        Obs_json.List (List.map span_obj (top_spans ~n:top records)) );
+      ( "per_relation",
+        Obs_json.List (List.map group_obj (per_relation records)) );
+      ( "per_attachment",
+        Obs_json.List (List.map group_obj (per_attachment records)) );
+      ( "lock_contention",
+        Obs_json.List
+          (List.map
+             (fun c ->
+               Obs_json.Obj
+                 [ ("waiter", Obs_json.Int c.c_waiter);
+                   ("holder", Obs_json.Int c.c_holder);
+                   ("resource", Obs_json.Str c.c_resource);
+                   ("mode", Obs_json.Str c.c_mode);
+                   ("count", Obs_json.Int c.c_count) ])
+             (lock_contention records)) );
+      ( "deadlock_victims",
+        Obs_json.List
+          (List.map
+             (fun v ->
+               Obs_json.Obj
+                 [ ("txn", Obs_json.Int v.v_txn);
+                   ( "cycle",
+                     Obs_json.List
+                       (List.map (fun t -> Obs_json.Int t) v.v_cycle) ) ])
+             (deadlock_victims records)) ) ]

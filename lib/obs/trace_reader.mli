@@ -81,3 +81,8 @@ val pp_report : ?top:int -> Format.formatter -> record list -> unit
 (** The full text report: summary line, critical path, top-N spans,
     per-relation and per-attachment quantile tables, lock contention,
     deadlock victims. *)
+
+val to_json : ?top:int -> record list -> Obs_json.t
+(** The same report as one JSON object ([dmx_prof --json]): keys [summary],
+    [critical_path], [top_spans], [per_relation], [per_attachment],
+    [lock_contention], [deadlock_victims] — stable for CI diffing. *)

@@ -251,6 +251,15 @@ let cached_page_ids t =
     [] t.arr
   |> List.sort compare
 
+let frames t =
+  Array.fold_left
+    (fun acc slot ->
+      match slot with
+      | Some f -> (f.page_id, f.pin_count, f.dirty, f.ref_bit, f.page_lsn) :: acc
+      | None -> acc)
+    [] t.arr
+  |> List.sort compare
+
 let pinned_pages t =
   Array.fold_left
     (fun acc slot ->

@@ -70,6 +70,10 @@ val cached_pages : t -> int
 val cached_page_ids : t -> int list
 (** Page ids currently resident, ascending (eviction tests). *)
 
+val frames : t -> (int * int * bool * bool * int64) list
+(** [(page_id, pin_count, dirty, ref_bit, page_lsn)] for every resident
+    frame, ascending by page id — the [dmx_bufpool] system-view snapshot. *)
+
 val pinned_pages : t -> (int * int) list
 (** [(page_id, pin_count)] of every currently pinned frame, ascending by page
     id. Pins are operation-scoped, so the list must be empty at transaction

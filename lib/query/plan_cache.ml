@@ -66,6 +66,8 @@ let analyze t ctx q ?params () =
   Executor.analyze ctx plan ?params ()
 
 let peek t q = Hashtbl.find_opt t.table (Query.key q)
+
+let entries t = Hashtbl.fold (fun key plan acc -> (key, plan) :: acc) t.table []
 let invalidate_all t = Hashtbl.reset t.table
 
 let stats t =

@@ -38,6 +38,11 @@ val analyze :
     per-operator instrumentation ([Executor.analyze]). *)
 
 val peek : t -> Query.t -> Plan.t option
+
+val entries : t -> (string * Plan.t) list
+(** Every cached (query key, bound plan), unordered — the [dmx_plan_cache]
+    system-view snapshot. *)
+
 val invalidate_all : t -> unit
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -1,0 +1,44 @@
+(** The [sysview] storage method: engine state as first-class relations.
+
+    A sysview relation stores nothing. Its descriptor names a registered
+    {e provider}; every scan (or fetch) asks the provider for a point-in-time
+    snapshot of some engine subsystem — the lock table, the WAL, the buffer
+    pool, active transactions, the metrics registry, the event ring — as
+    plain records, and iterates that. Because the rows come back through the
+    ordinary procedure-vector dispatch, the full query surface
+    ([select]/[where]/joins, access-selector costing, plan caching) works on
+    them unmodified: the paper's extensibility claim applied to the engine's
+    own introspection.
+
+    Provider contract: [p_rows] is called once per scan open (and per fetch)
+    and must return a fully materialized snapshot — records may not alias
+    live mutable state. The engine is single-threaded per process, so
+    running under "the owning subsystem's lock" means snapshotting
+    synchronously inside the call, before yielding back to the executor.
+    Rows are positionally keyed ([Rid {page = 0; slot = i}]); keys are
+    stable within one snapshot only.
+
+    The method is read-only ([insert]/[update]/[delete] return
+    [Error.Read_only]) and logs nothing, so [undo] is a no-op. *)
+
+open Dmx_value
+open Dmx_core
+
+val register : unit -> int
+(** Register the storage method (idempotent) and the built-in providers for
+    the engine subsystems reachable from a {!Ctx.t}: [metrics], [relations],
+    [locks], [lock_waits], [txns], [bufpool], [wal], [profile], [events].
+    Facade-level providers ([plan_cache]) are registered by [Db]. *)
+
+val register_provider :
+  name:string -> schema:Schema.t -> (Ctx.t -> Record.t list) -> unit
+(** Re-registering a name replaces the provider (matching
+    [Metrics.register_probe]): a fresh database re-points providers at its
+    own state. *)
+
+val provider_names : unit -> string list
+(** Registered provider names, sorted. *)
+
+val provider_schema : string -> Schema.t option
+(** Schema of a registered provider's rows ([None] if unregistered). The
+    relation mounted over a provider must use exactly this schema. *)

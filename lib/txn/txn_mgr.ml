@@ -46,6 +46,7 @@ let set_group_commit t n =
   t.group_pending <- 0
 
 let group_commit t = t.group_commit
+let group_pending t = t.group_pending
 
 let begin_txn t =
   let id = t.next_txid in

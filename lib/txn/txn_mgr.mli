@@ -55,6 +55,11 @@ val set_group_commit : t -> int -> unit
 
 val group_commit : t -> int
 
+val group_pending : t -> int
+(** Commits written (not yet fsynced) since the last group sync — the
+    group-commit "debt": how many committed transactions would be lost if
+    power failed right now. Always 0 when [group_commit] is 1. *)
+
 val commit : t -> Txn.t -> unit
 (** Raises whatever a [Before_prepare] action raises — in that case the
     transaction has been rolled back and aborted before the exception

@@ -221,6 +221,12 @@ let sync t = flush t
 let unsynced_bytes t =
   match t.backend with Mem -> 0 | File f -> f.size - f.synced
 
+let pending_records t =
+  match t.backend with Mem -> 0 | File f -> f.buffered
+
+let pending_bytes t =
+  match t.backend with Mem -> 0 | File f -> Buffer.length f.buf
+
 let read t lsn =
   check_open t;
   let i = Int64.to_int lsn - 1 in

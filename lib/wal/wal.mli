@@ -39,6 +39,14 @@ val flush : ?upto:Log_record.lsn -> ?sync:bool -> t -> unit
 val sync : t -> unit
 (** Fsync any written-but-unsynced bytes (the group-commit boundary). *)
 
+val pending_records : t -> int
+(** Appended records still sitting in the flush buffer (not yet written to
+    the file); 0 for memory-backed logs. *)
+
+val pending_bytes : t -> int
+(** Framed bytes in the flush buffer awaiting the next {!flush}; 0 for
+    memory-backed logs. *)
+
 val unsynced_bytes : t -> int
 (** Bytes written to the file but not yet known durable; 0 for memory-backed
     logs and whenever the last flush synced. *)

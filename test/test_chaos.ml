@@ -123,6 +123,16 @@ let test_crash_sweep_group_commit () =
        { (config 45) with H.group_commit = 3 }
        H.Mode_crash ~recovery_crash:false)
 
+let test_introspected_crash_sweep () =
+  (* same crash sweep, but after every recovery the harness also mounts the
+     dmx_* system views and asks the engine about itself: dmx_txns must show
+     exactly the checker's transaction active and dmx_locks no foreign
+     grants *)
+  check_report
+    (H.sweep
+       { (config 42) with H.introspect = true }
+       H.Mode_crash ~recovery_crash:false)
+
 let test_mutation_caught () =
   (* Break btree-index undo on purpose: some fault point must now leave a
      ghost index entry that the oracle reports. A silent pass would mean the
@@ -155,6 +165,8 @@ let suite =
       test_recovery_crash_sweep;
     Alcotest.test_case "crash sweep with group commit on" `Quick
       test_crash_sweep_group_commit;
+    Alcotest.test_case "introspected crash sweep" `Quick
+      test_introspected_crash_sweep;
     Alcotest.test_case "mutation run: oracle catches broken undo" `Quick
       test_mutation_caught;
   ]

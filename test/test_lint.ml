@@ -89,6 +89,50 @@ let test_unregistered_storage_method () =
       check_diag "unregistered smethod" report ~rule:"vector-completeness"
         ~file:"lib/smethod/bogus.mli" ~line:2)
 
+(* R1 on a sysview-shaped module: provider-registration entry points beside
+   [val register] must not satisfy (or confuse) vector-completeness — only
+   [<Mod>.register] in the factory does. *)
+let test_sysview_stub_slots () =
+  with_fixture_tree (fun root ->
+      let mli =
+        "val register : unit -> int\n\
+         val register_provider : name:string -> (unit -> int list) -> unit\n\
+         val provider_names : unit -> string list\n"
+      in
+      let ml =
+        "let register () = 6\n\
+         let register_provider ~name:_ _rows = ()\n\
+         let provider_names () = []\n"
+      in
+      write_file (root / "lib/smethod/goodview.ml") ml;
+      write_file (root / "lib/smethod/goodview.mli") mli;
+      (* not in the factory yet: R1 fires on the [val register] line *)
+      let report = run root in
+      Alcotest.(check bool) "unmounted sysview flagged" false
+        (Lint_driver.ok report);
+      check_diag "unregistered sysview" report ~rule:"vector-completeness"
+        ~file:"lib/smethod/goodview.mli" ~line:1;
+      (* a factory that only calls the provider hook still misses R1 *)
+      write_file (root / "lib/db/db.ml")
+        "let register_defaults () =\n\
+        \  ignore (Dmx_smethod.Goodheap.register ());\n\
+        \  ignore (Dmx_attach.Goodindex.register ());\n\
+        \  Dmx_smethod.Goodview.register_provider ~name:\"wal\" (fun () -> [])\n";
+      let report = run root in
+      check_diag "provider hook is not registration" report
+        ~rule:"vector-completeness" ~file:"lib/smethod/goodview.mli" ~line:1;
+      (* the real registration call satisfies it *)
+      write_file (root / "lib/db/db.ml")
+        "let register_defaults () =\n\
+        \  ignore (Dmx_smethod.Goodheap.register ());\n\
+        \  ignore (Dmx_attach.Goodindex.register ());\n\
+        \  ignore (Dmx_smethod.Goodview.register ())\n";
+      let report = run root in
+      Alcotest.(check bool)
+        (Fmt.str "mounted sysview passes (got: %a)" Lint_driver.pp_report
+           report)
+        true (Lint_driver.ok report))
+
 (* R2: a fresh failwith in an attachment. *)
 let test_fresh_failwith_in_attach () =
   with_fixture_tree (fun root ->
@@ -410,6 +454,7 @@ let suite =
     Alcotest.test_case "clean fixture tree passes" `Quick test_clean_tree;
     Alcotest.test_case "R1: unregistered storage method" `Quick
       test_unregistered_storage_method;
+    Alcotest.test_case "R1: sysview stub slots" `Quick test_sysview_stub_slots;
     Alcotest.test_case "R2: fresh failwith in attach" `Quick
       test_fresh_failwith_in_attach;
     Alcotest.test_case "R2: full banned set" `Quick test_banned_constructs;

@@ -23,6 +23,7 @@ let () =
       ("sanitizer", Test_sanitizer.suite);
       ("obs", Test_obs.suite);
       ("prof", Test_prof.suite);
+      ("sysview", Test_sysview.suite);
       ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
     ]

@@ -351,6 +351,70 @@ let test_trace_cap_truncates () =
   Sys.remove path;
   Db.close db
 
+(* ---- reader resilience: truncated / mid-record-cut captures ---- *)
+
+(* A crashed process leaves a trace whose last line was cut mid-record.
+   The reader must surface one error for that line and still return every
+   complete record before it. *)
+let test_reader_cut_mid_record () =
+  let path = Filename.temp_file "dmx_cut" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        {|{"ts":1.0,"ev":"span","id":1,"parent":0,"txn":7,"name":"relation.insert","us":50.0,"outcome":"ok"}|};
+      output_char oc '\n';
+      output_string oc
+        {|{"ts":2.0,"ev":"event","id":2,"parent":1,"txn":7,"name":"lock.grant"}|};
+      output_char oc '\n';
+      (* the cut: a record missing its closing brace and trailing fields *)
+      output_string oc {|{"ts":3.0,"ev":"span","id":3,"parent":0,"txn":8,"na|};
+      close_out oc;
+      let records, errors = Trace_reader.load_file path in
+      Alcotest.(check int) "complete records survive" 2 (List.length records);
+      Alcotest.(check int) "one error for the cut line" 1 (List.length errors);
+      (match records with
+      | r :: _ ->
+        Alcotest.(check string) "first record intact" "relation.insert"
+          r.Trace_reader.r_name;
+        Alcotest.(check int) "txn attribution intact" 7 r.Trace_reader.r_txn
+      | [] -> Alcotest.fail "no records"))
+
+(* Garbage in the middle of a file (interleaved writers, torn sectors) is
+   reported per-line without poisoning neighbours; blank lines are skipped
+   silently. *)
+let test_reader_interleaved_garbage () =
+  let path = Filename.temp_file "dmx_garbage" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let good id name =
+        output_string oc
+          (Fmt.str
+             {|{"ts":%d.0,"ev":"span","id":%d,"parent":0,"txn":1,"name":"%s","us":10.0,"outcome":"ok"}|}
+             id id name);
+        output_char oc '\n'
+      in
+      good 1 "relation.fetch";
+      output_string oc "not json at all\n";
+      output_string oc "\n";
+      good 2 "relation.scan";
+      output_string oc {|{"ts":9.0,"ev":"span"|};
+      output_char oc '\n';
+      good 3 "relation.delete";
+      close_out oc;
+      let records, errors = Trace_reader.load_file path in
+      Alcotest.(check int) "three good records" 3 (List.length records);
+      Alcotest.(check int) "two bad lines reported" 2 (List.length errors);
+      Alcotest.(check (list string)) "file order preserved"
+        [ "relation.fetch"; "relation.scan"; "relation.delete" ]
+        (List.map (fun r -> r.Trace_reader.r_name) records);
+      (* the analyzer still runs over the salvaged records *)
+      let tops = Trace_reader.top_spans ~n:5 records in
+      Alcotest.(check int) "analyzer over salvage" 3 (List.length tops))
+
 (* ---- offline analyzer golden test ---- *)
 
 let read_file path =
@@ -409,6 +473,10 @@ let suite =
     Alcotest.test_case "trace file round-trip" `Quick test_trace_round_trip;
     Alcotest.test_case "DMX_TRACE_MAX_MB truncation" `Quick
       test_trace_cap_truncates;
+    Alcotest.test_case "reader: cut mid-record" `Quick
+      test_reader_cut_mid_record;
+    Alcotest.test_case "reader: interleaved garbage" `Quick
+      test_reader_interleaved_garbage;
     Alcotest.test_case "offline analyzer golden report" `Quick
       test_analyzer_golden;
   ]

@@ -39,6 +39,7 @@ let registered =
      let _temp = Dmx_smethod.Temp.register () in
      let _readonly = Dmx_smethod.Readonly.register () in
      let _foreign = Dmx_smethod.Foreign.register () in
+     let _sysview = Dmx_smethod.Sysview.register () in
      let _bi = Dmx_attach.Btree_index.register () in
      let _hi = Dmx_attach.Hash_index.register () in
      let _ri = Dmx_attach.Rtree_index.register () in

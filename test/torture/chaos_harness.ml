@@ -27,11 +27,14 @@ type config = {
   group_commit : int;
       (* commit-record fsyncs shared across this many commits; 1 = off (the
          default), keeping the fault schedules of the seed suite unchanged *)
+  introspect : bool;
+      (* after the oracle, ask the recovered engine about itself through the
+         dmx_* system views: no leaked txns, no foreign lock grants *)
 }
 
 let default_config ~seed =
   { seed; n_txns = 5; ops_per_txn = 6; pool_capacity = 8;
-    recovery_crash_gap = None; group_commit = 1 }
+    recovery_crash_gap = None; group_commit = 1; introspect = false }
 
 type fault_plan =
   | No_fault
@@ -214,6 +217,67 @@ let probe services =
   Services.commit services ctx;
   res
 
+(* ---- introspection check: the recovered engine audits itself ---- *)
+
+(* Mount the dmx_* system views and query dmx_txns/dmx_locks through the
+   standard select path (planner + executor): after recovery the engine's
+   own accounting must show exactly one active transaction — the checker's —
+   and no lock grants held by anyone else. Runs after the workload's op
+   counts are captured and with the fault plan disarmed, so the extra
+   catalog I/O cannot perturb fault schedules. *)
+let introspect_check services =
+  let mount_err =
+    let ctx = Services.begin_txn services in
+    match Dmx_db.Db.mount_system_views ctx with
+    | Ok _ ->
+      Services.commit services ctx;
+      None
+    | Error e ->
+      Services.abort services ctx;
+      Some (Fmt.str "introspect: mounting system views failed: %s"
+              (Error.to_string e))
+  in
+  match mount_err with
+  | Some msg -> [ msg ]
+  | None ->
+    let ctx = Services.begin_txn services in
+    let my_id = ctx.Ctx.txn.Dmx_txn.Txn.id in
+    let query q =
+      match Dmx_query.Planner.translate ctx q with
+      | Error _ as e -> e
+      | Ok plan -> Dmx_query.Executor.run ctx plan ()
+    in
+    let failures = ref [] in
+    let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+    let int_of v =
+      match v with Dmx_value.Value.Int i -> Int64.to_int i | _ -> -1
+    in
+    (match
+       query (Dmx_query.Query.select ~where:"state = 'active'" "dmx_txns")
+     with
+    | Error e -> fail "introspect: dmx_txns: %s" (Error.to_string e)
+    | Ok rows -> (
+      match List.map (fun r -> int_of r.(0)) rows with
+      | [ id ] when id = my_id -> ()
+      | ids ->
+        fail "introspect: dmx_txns shows leaked active txns [%s] (checker %d)"
+          (String.concat "," (List.map string_of_int ids))
+          my_id));
+    (match query (Dmx_query.Query.select "dmx_locks") with
+    | Error e -> fail "introspect: dmx_locks: %s" (Error.to_string e)
+    | Ok rows ->
+      List.iter
+        (fun r ->
+          let holder = int_of r.(0) in
+          if holder <> my_id then
+            fail "introspect: dmx_locks shows txn %d still holding %s (%s)"
+              holder
+              (match r.(1) with Dmx_value.Value.String s -> s | _ -> "?")
+              (match r.(4) with Dmx_value.Value.String s -> s | _ -> "?"))
+        rows);
+    Services.commit services ctx;
+    List.rev !failures
+
 (* ---- one episode ---- *)
 
 let apply_plan fd = function
@@ -331,6 +395,10 @@ let run_episode cfg plan =
         else Chaos_oracle.check (live ()) ~committed:model.M.committed
       in
       let failures = failures @ probe (live ()) in
+      let failures =
+        if cfg.introspect then failures @ introspect_check (live ())
+        else failures
+      in
       Services.close (live ());
       {
         ep_ops = workload_ops;

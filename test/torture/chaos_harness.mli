@@ -22,6 +22,12 @@ type config = {
           a window > 1 a crash may lose a suffix of committed transactions,
           so the post-crash oracle accepts any recent committed snapshot —
           still never a non-prefix subset *)
+  introspect : bool;
+      (** after the oracle, mount the [dmx_*] system views and query
+          [dmx_txns]/[dmx_locks] through the standard select path, asserting
+          the recovered engine's own accounting shows no leaked transactions
+          or lock grants. Mounted after the workload's op counts are
+          captured, so fault schedules stay deterministic *)
 }
 
 val default_config : seed:int -> config
