@@ -1,24 +1,27 @@
 (* dmx_prof — offline analyzer for DMX_TRACE_FILE JSON-Lines traces.
 
    Usage:
-     dmx_prof.exe [--top N] [--json] [TRACE_FILE]
+     dmx_prof.exe [--top N] [--json] [--statements] [TRACE_FILE]
 
    When TRACE_FILE is omitted, $DMX_TRACE_FILE is consulted, so the same
    environment variable that produced the trace can be reused to read it
    back. Reports: critical path of the slowest transaction, top-N slowest
-   spans, per-relation and per-attachment latency quantiles, lock-contention
-   pairs, and deadlock victims. --json emits the same report as one JSON
-   object on stdout (CI diffs profiles across runs); text stays the
-   default. *)
+   spans, per-relation and per-attachment latency quantiles, per-statement
+   fingerprint statistics, lock-contention pairs, and deadlock victims.
+   --json emits the same report as one JSON object on stdout (CI diffs
+   profiles across runs); text stays the default. --statements restricts
+   the output to the statement section alone — with --json that is a bare
+   list, convenient as a CI artifact. *)
 
 let usage () =
-  Fmt.epr "usage: dmx_prof [--top N] [--json] [TRACE_FILE]@.";
+  Fmt.epr "usage: dmx_prof [--top N] [--json] [--statements] [TRACE_FILE]@.";
   Fmt.epr "       TRACE_FILE defaults to $DMX_TRACE_FILE@.";
   exit 2
 
 let () =
   let top = ref 10 in
   let json = ref false in
+  let statements_only = ref false in
   let path = ref None in
   let rec parse = function
     | [] -> ()
@@ -29,6 +32,9 @@ let () =
       parse rest
     | "--json" :: rest ->
       json := true;
+      parse rest
+    | "--statements" :: rest ->
+      statements_only := true;
       parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | arg :: rest ->
@@ -54,7 +60,38 @@ let () =
     Fmt.epr "dmx_prof: %s: no trace records@." path;
     exit 1
   end;
-  if !json then
+  if !statements_only then begin
+    let open Dmx_obs in
+    let open Trace_reader in
+    let ss = statements records in
+    if !json then
+      Fmt.pr "%s@."
+        (Obs_json.to_string
+           (Obs_json.List
+              (List.map
+                 (fun s ->
+                   Obs_json.Obj
+                     [ ("fingerprint", Obs_json.Str s.s_fp);
+                       ("statement", Obs_json.Str s.s_text);
+                       ("calls", Obs_json.Int s.s_calls);
+                       ("errors", Obs_json.Int s.s_errors);
+                       ("rows", Obs_json.Int s.s_rows);
+                       ("p50_us", Obs_json.Float s.s_p50);
+                       ("p95_us", Obs_json.Float s.s_p95);
+                       ( "plans",
+                         Obs_json.List
+                           (List.map (fun p -> Obs_json.Str p) s.s_plans) ) ])
+                 ss)))
+    else
+      List.iter
+        (fun s ->
+          Fmt.pr
+            "%s  calls=%d errs=%d rows=%d p50=%.1fus p95=%.1fus plans=%d  %s@."
+            s.s_fp s.s_calls s.s_errors s.s_rows s.s_p50 s.s_p95
+            (List.length s.s_plans) s.s_text)
+        ss
+  end
+  else if !json then
     Fmt.pr "%s@."
       (Dmx_obs.Obs_json.to_string (Dmx_obs.Trace_reader.to_json ~top:!top records))
   else Fmt.pr "%a@." (Dmx_obs.Trace_reader.pp_report ~top:!top) records

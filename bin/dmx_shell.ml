@@ -23,6 +23,8 @@
      profile on | off | reset   (also DMX_PROFILE=1)
      trace on | trace off  (JSON Lines dispatch tracing; also DMX_TRACE=1)
      events on | off     (engine event ring, shown by dmx_events; DMX_EVENTS=1)
+     statements on | off | reset   (query store; also DMX_QUERYSTORE=1)
+     show statements [top N by calls|time|io]   (per-fingerprint statistics)
      watch select * from dmx_wal 5   (re-run a query; DMX_WATCH_MS interval)
      quit
 
@@ -254,6 +256,46 @@ let print_rows schema_names rows =
   Fmt.pr "(%d row%s)@." (List.length rows)
     (if List.length rows = 1 then "" else "s")
 
+(* ---- query store display ---- *)
+
+let show_statements ?top ~by () =
+  let weight (e : Dmx_obs.Query_store.entry) =
+    match by with
+    | `Calls -> float_of_int e.e_calls
+    | `Time -> Dmx_obs.Metrics.histogram_sum e.e_latency
+    | `Io -> float_of_int (e.e_pool_hits + e.e_pool_misses + e.e_page_reads)
+  in
+  let entries =
+    List.sort
+      (fun a b -> compare (weight b) (weight a))
+      (Dmx_obs.Query_store.entries ())
+  in
+  let entries =
+    match top with
+    | None -> entries
+    | Some n -> List.filteri (fun i _ -> i < n) entries
+  in
+  Fmt.pr "%-16s %6s %4s %6s %10s %8s %6s %5s  %s@." "fingerprint" "calls"
+    "errs" "rows" "total_us" "p95_us" "io" "plans" "statement";
+  List.iter
+    (fun (e : Dmx_obs.Query_store.entry) ->
+      let p95 =
+        match Dmx_obs.Metrics.quantile e.e_latency 0.95 with
+        | Some v -> v
+        | None -> 0.
+      in
+      Fmt.pr "%016Lx %6d %4d %6d %10.1f %8.1f %6d %5d  %s@." e.e_fp e.e_calls
+        e.e_errors e.e_rows
+        (Dmx_obs.Metrics.histogram_sum e.e_latency)
+        p95
+        (e.e_pool_hits + e.e_pool_misses + e.e_page_reads)
+        (List.length e.e_plans) e.e_text)
+    entries;
+  Fmt.pr "(%d of %d fingerprint%s; %d evicted)@." (List.length entries)
+    (Dmx_obs.Query_store.size ())
+    (if Dmx_obs.Query_store.size () = 1 then "" else "s")
+    (Dmx_obs.Query_store.evicted ())
+
 (* ---- statement execution ---- *)
 
 let exec_line st line =
@@ -360,17 +402,24 @@ let exec_line st line =
       in
       let records = tuples [] rest in
       with_ctx st (fun ctx ->
-          match records with
-          | [ record ] ->
-            let key = ok (Db.insert st.db ctx ~relation:rel record) in
-            Fmt.pr "INSERT %a@." Record_key.pp key
-          | records ->
-            let keys =
-              ok
-                (Db.insert_many st.db ctx ~relation:rel
-                   (Array.of_list records))
-            in
-            Fmt.pr "INSERT %d rows@." (Array.length keys))
+          (* DML never builds a Query.t, so the query store sees it through
+             the shell's own bracket over the raw statement text. *)
+          ignore
+            (Dmx_query.Stmt_obs.observed ctx ~text:line ~rows:Fun.id
+               (fun ~set_plan:_ ->
+                 match records with
+                 | [ record ] ->
+                   let key = ok (Db.insert st.db ctx ~relation:rel record) in
+                   Fmt.pr "INSERT %a@." Record_key.pp key;
+                   Ok 1
+                 | records ->
+                   let keys =
+                     ok
+                       (Db.insert_many st.db ctx ~relation:rel
+                          (Array.of_list records))
+                   in
+                   Fmt.pr "INSERT %d rows@." (Array.length keys);
+                   Ok (Array.length keys))))
     | "select", _ ->
       let q, project = parse_select line toks in
       with_ctx st (fun ctx ->
@@ -407,30 +456,39 @@ let exec_line st line =
         | _ -> err "bad value in set"
       in
       with_ctx st (fun ctx ->
-          let desc = ok (Db.relation st.db ctx rel) in
-          let fidx =
-            match Schema.field_index desc.Descriptor.schema col with
-            | Some i -> i
-            | None -> err "unknown column %S" col
-          in
-          let hits = keys_matching st ctx rel where in
-          let n = ref 0 in
-          List.iter
-            (fun (key, record) ->
-              let record = Array.copy record in
-              record.(fidx) <- new_value;
-              ignore (ok (Db.update st.db ctx ~relation:rel key record));
-              incr n)
-            hits;
-          Fmt.pr "UPDATE %d@." !n)
+          ignore
+            (Dmx_query.Stmt_obs.observed ctx ~text:line ~rows:Fun.id
+               (fun ~set_plan:_ ->
+                 let desc = ok (Db.relation st.db ctx rel) in
+                 let fidx =
+                   match Schema.field_index desc.Descriptor.schema col with
+                   | Some i -> i
+                   | None -> err "unknown column %S" col
+                 in
+                 let hits = keys_matching st ctx rel where in
+                 let n = ref 0 in
+                 List.iter
+                   (fun (key, record) ->
+                     let record = Array.copy record in
+                     record.(fidx) <- new_value;
+                     ignore (ok (Db.update st.db ctx ~relation:rel key record));
+                     incr n)
+                   hits;
+                 Fmt.pr "UPDATE %d@." !n;
+                 Ok !n)))
     | "delete", Word f :: Word rel :: _ when kw f = "from" ->
       let where = raw_after_where line in
       with_ctx st (fun ctx ->
-          let hits = keys_matching st ctx rel where in
-          List.iter
-            (fun (key, _) -> ignore (ok (Db.delete st.db ctx ~relation:rel key)))
-            hits;
-          Fmt.pr "DELETE %d@." (List.length hits))
+          ignore
+            (Dmx_query.Stmt_obs.observed ctx ~text:line ~rows:Fun.id
+               (fun ~set_plan:_ ->
+                 let hits = keys_matching st ctx rel where in
+                 List.iter
+                   (fun (key, _) ->
+                     ignore (ok (Db.delete st.db ctx ~relation:rel key)))
+                   hits;
+                 Fmt.pr "DELETE %d@." (List.length hits);
+                 Ok (List.length hits))))
     | "show", [ Word t ] when kw t = "stats" ->
       Fmt.pr "%a@." Dmx_obs.Metrics.pp_dump ()
     | "stats", [ Word t ] when kw t = "reset" ->
@@ -485,6 +543,36 @@ let exec_line st line =
             print_rows (Option.map Fun.id project) rows);
         if i < n then Unix.sleepf (float_of_int interval_ms /. 1000.)
       done
+    | "statements", [ Word t ] when kw t = "on" ->
+      Dmx_obs.Query_store.set_enabled true;
+      Fmt.pr "STATEMENTS ON (capacity %d)@."
+        (Dmx_obs.Query_store.current_capacity ())
+    | "statements", [ Word t ] when kw t = "off" ->
+      Dmx_obs.Query_store.set_enabled false;
+      Fmt.pr "STATEMENTS OFF@."
+    | "statements", [ Word t ] when kw t = "reset" ->
+      Dmx_obs.Query_store.reset ();
+      Fmt.pr "STATEMENTS RESET@."
+    | "show", Word t :: rest when kw t = "statements" -> begin
+      match rest with
+      | [] -> show_statements ~by:`Calls ()
+      | [ Word top; Word n; Word by; Word key ]
+        when kw top = "top" && kw by = "by" ->
+        let n =
+          match int_of_string_opt n with
+          | Some n when n > 0 -> n
+          | _ -> err "expected a positive count after top"
+        in
+        let by =
+          match kw key with
+          | "calls" -> `Calls
+          | "time" -> `Time
+          | "io" -> `Io
+          | k -> err "unknown sort key %S (calls|time|io)" k
+        in
+        show_statements ~top:n ~by ()
+      | _ -> err "expected: show statements [top N by calls|time|io]"
+    end
     | "events", [ Word t ] when kw t = "on" ->
       Dmx_obs.Event_ring.set_enabled true;
       Fmt.pr "EVENTS ON (ring of %d, slow >= %.0fus)@."

@@ -14,6 +14,9 @@ let () =
   Dmx_obs.Metrics.register_probe "dispatch" (fun () ->
       [ ("dispatch.sm_calls", !sm_calls); ("dispatch.at_calls", !at_calls) ])
 
+(* Attachment vetoes, so the query store can charge them per statement. *)
+let m_vetoes = Dmx_obs.Metrics.counter "dispatch.vetoes"
+
 (* Internal savepoints get nesting-safe names from a per-transaction
    counter, so cascading modifications (an attached procedure modifying
    another relation) roll back exactly their own partial effects. *)
@@ -164,6 +167,9 @@ let run_attached ctx desc ~op ~info f =
         in
         match r with
         | Ok () -> loop rest
+        | Error (Error.Veto _) as e ->
+          Dmx_obs.Metrics.incr m_vetoes;
+          e
         | Error _ as e -> e
       end
     end

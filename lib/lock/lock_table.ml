@@ -23,6 +23,11 @@ type t = {
 let m_grants = Dmx_obs.Metrics.counter "lock.grants"
 let m_conflicts = Dmx_obs.Metrics.counter "lock.conflicts"
 
+(* Conflicts count every incompatible probe; waits count only requests that
+   actually joined a wait queue — the number the query store charges to a
+   statement as real blocking. *)
+let m_waits = Dmx_obs.Metrics.counter "lock.waits"
+
 let create () =
   { table = Hashtbl.create 64;
     external_edges = [];
@@ -145,7 +150,9 @@ let enqueue t ~txid ~mode resource =
   | Granted ->
     Dmx_obs.Profile.end_frame fr;
     notify_grant t ~txid resource mode
-  | Would_block _ -> Dmx_obs.Profile.end_frame fr ~outcome:`Error);
+  | Would_block _ ->
+    Dmx_obs.Profile.end_frame fr ~outcome:`Error;
+    Dmx_obs.Metrics.incr m_waits);
   observe_outcome ~txid ~mode resource outcome;
   outcome
 

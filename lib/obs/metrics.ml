@@ -13,8 +13,12 @@ let env_enables var =
   | Some ("1" | "true" | "yes" | "on") -> true
   | Some _ | None -> false
 
-(* DMX_TRACE implies metrics: spans without their counters would be blind. *)
-let on = ref (env_enables "DMX_METRICS" || env_enables "DMX_TRACE") [@@dmx.global "config-immutable-after-setup"]
+(* DMX_TRACE and DMX_QUERYSTORE imply metrics: spans and statement stats
+   without their counters would be blind. *)
+let on =
+  ref
+    (env_enables "DMX_METRICS" || env_enables "DMX_TRACE"
+    || env_enables "DMX_QUERYSTORE") [@@dmx.global "config-immutable-after-setup"]
 let enabled () = !on
 let set_enabled b = on := b
 
@@ -38,19 +42,20 @@ let default_latency_buckets_us =
   [| 1.; 5.; 10.; 50.; 100.; 500.; 1_000.; 5_000.; 10_000.; 50_000.;
      100_000.; 500_000.; 1_000_000. |] [@@dmx.global "config-immutable-after-setup"]
 
+let unregistered_histogram ?(buckets = default_latency_buckets_us) name =
+  {
+    h_name = name;
+    h_bounds = Array.copy buckets;
+    h_counts = Array.make (Array.length buckets + 1) 0;
+    h_sum = 0.;
+    h_total = 0;
+  }
+
 let histogram ?(buckets = default_latency_buckets_us) name =
   match Hashtbl.find_opt histograms name with
   | Some h -> h
   | None ->
-    let h =
-      {
-        h_name = name;
-        h_bounds = Array.copy buckets;
-        h_counts = Array.make (Array.length buckets + 1) 0;
-        h_sum = 0.;
-        h_total = 0;
-      }
-    in
+    let h = unregistered_histogram ~buckets name in
     Hashtbl.replace histograms name h;
     h
 

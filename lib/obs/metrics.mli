@@ -6,8 +6,9 @@
     branch when the registry is disabled, following the [Invariant]
     discipline: the hooks stay in production builds at near-zero cost.
 
-    Enabled by [DMX_METRICS=1] or [DMX_TRACE=1] in the environment (tracing
-    without its counters would be blind), or programmatically with
+    Enabled by [DMX_METRICS=1], [DMX_TRACE=1] or [DMX_QUERYSTORE=1] in the
+    environment (tracing and statement statistics without their counters
+    would be blind), or programmatically with
     {!set_enabled} — the shell and the bench harness do the latter.
 
     Besides native instruments, external always-on accounting (e.g.
@@ -36,6 +37,12 @@ val histogram : ?buckets:float array -> string -> histogram
     unit (by convention microseconds, suffix the name [_us]); an implicit
     overflow bucket follows the last bound. Defaults to
     {!default_latency_buckets_us}. *)
+
+val unregistered_histogram : ?buckets:float array -> string -> histogram
+(** A free-standing histogram outside the global registry: not listed by
+    {!all_histograms}, not zeroed by {!reset}, not in [to_json]. The query
+    store allocates one per statement fingerprint — per-entry latency
+    distributions must not pollute (or leak into) [dmx_metrics]. *)
 
 val observe : histogram -> float -> unit
 (** Record one observation into the first bucket whose bound satisfies

@@ -1,0 +1,222 @@
+(* The statement store: bounded per-fingerprint cumulative statistics.
+
+   Fingerprints are computed upstream (lib/query's [Fingerprint] — this
+   library cannot see the parser) and arrive here as opaque int64 keys.
+   Each entry accumulates calls/errors/rows, a private latency histogram,
+   buffer-pool and WAL deltas, lock pressure and attachment vetoes, plus a
+   short history of plan hashes so a plan flip is detectable the moment it
+   happens.
+
+   Disabled (the default) the observation path is one load + one branch and
+   allocates nothing — same discipline as [Metrics]/[Profile]; the caller is
+   expected to gate the construction of the [exec] record on [enabled ()].
+
+   Eviction is LRU by a monotonic touch tick; at capacity the victim is
+   found by an O(capacity) min-scan. Capacity is a few hundred entries, the
+   scan runs once per *new* fingerprint (not per execution), so the cost is
+   negligible against parsing + planning a brand-new statement shape. *)
+
+let env_enables var =
+  match Sys.getenv_opt var with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+let default_capacity = 128
+let max_plan_history = 4
+
+let env_capacity () =
+  match Sys.getenv_opt "DMX_QUERYSTORE_MAX" with
+  | Some s -> (match int_of_string_opt s with Some n when n > 0 -> n | _ -> default_capacity)
+  | None -> default_capacity
+
+let on = ref (env_enables "DMX_QUERYSTORE") [@@dmx.global "config-immutable-after-setup"]
+let capacity = ref (env_capacity ()) [@@dmx.global "config-immutable-after-setup"]
+
+let enabled () = !on
+
+(* Statement stats without counters would be blind — and the store's own
+   histograms go through [Metrics.observe], which is gated on the metrics
+   flag (the Trace precedent: set_enabled true pulls metrics up too). *)
+let set_enabled b =
+  on := b;
+  if b then Metrics.set_enabled true
+
+let set_capacity n = if n > 0 then capacity := n
+let current_capacity () = !capacity
+
+type plan_use = {
+  pu_hash : int64;
+  pu_first_seen : float;  (* Unix time *)
+  mutable pu_last_seen : float;
+}
+
+type entry = {
+  e_fp : int64;
+  e_text : string;  (* normalized statement text *)
+  mutable e_sample : string;  (* last literal text observed *)
+  mutable e_calls : int;
+  mutable e_errors : int;
+  mutable e_rows : int;
+  e_latency : Metrics.histogram;
+  mutable e_pool_hits : int;
+  mutable e_pool_misses : int;
+  mutable e_page_reads : int;
+  mutable e_wal_bytes : int;
+  mutable e_lock_conflicts : int;
+  mutable e_lock_waits : int;
+  mutable e_vetoes : int;
+  e_first_seen : float;
+  mutable e_last_seen : float;
+  mutable e_plans : plan_use list;  (* newest first, capped *)
+  mutable e_touch : int;  (* LRU tick *)
+}
+
+(* What one execution observed; the caller allocates this only when the
+   store is enabled, so the disabled path stays allocation-free. *)
+type exec = {
+  x_fp : int64;
+  x_text : string;
+  x_sample : string;
+  x_us : float;
+  x_rows : int;
+  x_error : bool;
+  x_pool_hits : int;
+  x_pool_misses : int;
+  x_page_reads : int;
+  x_wal_bytes : int;
+  x_lock_conflicts : int;
+  x_lock_waits : int;
+  x_vetoes : int;
+  x_plan : int64 option;
+}
+
+type plan_note =
+  | Plan_off  (* store disabled: nothing recorded *)
+  | Plan_none  (* no plan hash supplied (e.g. shell DML) *)
+  | Plan_first  (* first plan ever seen for this fingerprint *)
+  | Plan_same
+  | Plan_changed of int64  (* previous hash, so the event can name both *)
+
+let table : (int64, entry) Hashtbl.t = Hashtbl.create 64 [@@dmx.global "ctx-owned"]
+let tick = ref 0 [@@dmx.global "ctx-owned"]
+let evicted_total = ref 0 [@@dmx.global "ctx-owned"]
+let recorded_total = ref 0 [@@dmx.global "ctx-owned"]
+
+let size () = Hashtbl.length table
+let evicted () = !evicted_total
+let recorded () = !recorded_total
+
+let reset () =
+  Hashtbl.reset table;
+  tick := 0;
+  evicted_total := 0;
+  recorded_total := 0
+
+let evict_lru () =
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | Some best when best.e_touch <= e.e_touch -> acc
+        | _ -> Some e)
+      table None
+  in
+  match victim with
+  | Some e ->
+    Hashtbl.remove table e.e_fp;
+    incr evicted_total
+  | None -> ()
+
+let fresh_entry x now =
+  if Hashtbl.length table >= !capacity then evict_lru ();
+  let e =
+    {
+      e_fp = x.x_fp;
+      e_text = x.x_text;
+      e_sample = x.x_sample;
+      e_calls = 0;
+      e_errors = 0;
+      e_rows = 0;
+      e_latency = Metrics.unregistered_histogram "stmt.latency_us";
+      e_pool_hits = 0;
+      e_pool_misses = 0;
+      e_page_reads = 0;
+      e_wal_bytes = 0;
+      e_lock_conflicts = 0;
+      e_lock_waits = 0;
+      e_vetoes = 0;
+      e_first_seen = now;
+      e_last_seen = now;
+      e_plans = [];
+      e_touch = 0;
+    }
+  in
+  Hashtbl.replace table x.x_fp e;
+  e
+
+let note_plan e hash now =
+  match e.e_plans with
+  | ({ pu_hash; _ } as cur) :: _ when pu_hash = hash ->
+    cur.pu_last_seen <- now;
+    Plan_same
+  | prev ->
+    (* a hash we are not currently on: either brand new or a flip back to
+       an older plan — both are worth surfacing as a change *)
+    let use =
+      match List.find_opt (fun u -> u.pu_hash = hash) prev with
+      | Some u ->
+        u.pu_last_seen <- now;
+        u
+      | None -> { pu_hash = hash; pu_first_seen = now; pu_last_seen = now }
+    in
+    let rest = List.filter (fun u -> u.pu_hash <> hash) prev in
+    let rest = List.filteri (fun i _ -> i < max_plan_history - 1) rest in
+    e.e_plans <- use :: rest;
+    (match prev with
+    | [] -> Plan_first
+    | { pu_hash = old; _ } :: _ -> Plan_changed old)
+
+let record x =
+  if not !on then Plan_off
+  else begin
+    let now = Unix.gettimeofday () in
+    let e =
+      match Hashtbl.find_opt table x.x_fp with
+      | Some e -> e
+      | None -> fresh_entry x now
+    in
+    incr tick;
+    e.e_touch <- !tick;
+    incr recorded_total;
+    e.e_calls <- e.e_calls + 1;
+    if x.x_error then e.e_errors <- e.e_errors + 1;
+    e.e_rows <- e.e_rows + x.x_rows;
+    Metrics.observe e.e_latency x.x_us;
+    e.e_pool_hits <- e.e_pool_hits + x.x_pool_hits;
+    e.e_pool_misses <- e.e_pool_misses + x.x_pool_misses;
+    e.e_page_reads <- e.e_page_reads + x.x_page_reads;
+    e.e_wal_bytes <- e.e_wal_bytes + x.x_wal_bytes;
+    e.e_lock_conflicts <- e.e_lock_conflicts + x.x_lock_conflicts;
+    e.e_lock_waits <- e.e_lock_waits + x.x_lock_waits;
+    e.e_vetoes <- e.e_vetoes + x.x_vetoes;
+    e.e_sample <- x.x_sample;
+    e.e_last_seen <- now;
+    match x.x_plan with
+    | None -> Plan_none
+    | Some h -> note_plan e h now
+  end
+
+let entries () =
+  Hashtbl.fold (fun _ e acc -> e :: acc) table []
+  |> List.sort (fun a b -> compare a.e_fp b.e_fp)
+
+(* Probe payload for dmx_metrics / bench counter deltas: aggregate store
+   health, never per-entry values (those live in dmx_statements). *)
+let probe () =
+  [
+    ("stmt.fingerprints", size ());
+    ("stmt.recorded", !recorded_total);
+    ("stmt.evicted", !evicted_total);
+  ]
+
+let () = Metrics.register_probe "query_store" probe

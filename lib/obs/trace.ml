@@ -88,6 +88,18 @@ let file_sink_write fs line =
       fs.fs_written <- fs.fs_written + len
   end
 
+let truncated () = List.exists (fun fs -> fs.fs_truncated) !file_sinks
+
+(* Loss signals were invisible: the ring forgets silently and the file sink
+   truncates silently. Fold both into the metrics exposition so
+   [show stats] / [dmx_metrics] can tell when telemetry itself is lossy. *)
+let () =
+  Metrics.register_probe "telemetry_loss" (fun () ->
+      [
+        ("events.dropped", Event_ring.dropped ());
+        ("trace.truncated", if truncated () then 1 else 0);
+      ])
+
 let make_file_sink path =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   let fs =

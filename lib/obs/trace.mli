@@ -54,6 +54,12 @@ val open_file_sink : string -> unit
 val flush_sink : unit -> unit
 (** Flush every open file sink. *)
 
+val truncated : unit -> bool
+(** True once any open file sink has hit its [DMX_TRACE_MAX_MB] budget and
+    started dropping lines. Exposed (with [Event_ring.dropped]) through the
+    ["telemetry_loss"] metrics probe so operators can tell when telemetry
+    itself is lossy. *)
+
 val use_default_sink : unit -> unit
 (** Back to [DMX_TRACE_FILE] (append) or stderr. *)
 

@@ -198,6 +198,78 @@ let per_relation records =
 let per_attachment records =
   group_stats_of ~key_of:(attr_str "attachment") ~prefix:"attach." records
 
+(* ---- statements (offline view of the query store) ---- *)
+
+let attr_int key r =
+  Option.bind (List.assoc_opt key r.r_attrs) Obs_json.to_int_opt
+
+type stmt_stats = {
+  s_fp : string;
+  s_text : string;
+  s_calls : int;
+  s_errors : int;
+  s_rows : int;
+  s_p50 : float;
+  s_p95 : float;
+  s_plans : string list;  (* distinct plan hashes, in order of appearance *)
+}
+
+(* Reconstruct per-fingerprint statistics from [stmt.exec] spans, keeping
+   offline analysis at parity with the live [dmx_statements] view. *)
+let statements records =
+  let groups :
+      (string, string ref * float list ref * int ref * int ref * string list ref)
+      Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      if r.r_name = "stmt.exec" then
+        match attr_str "fp" r with
+        | None -> ()
+        | Some fp ->
+          let text, samples, errors, rows, plans =
+            match Hashtbl.find_opt groups fp with
+            | Some g -> g
+            | None ->
+              let g = (ref "", ref [], ref 0, ref 0, ref []) in
+              Hashtbl.replace groups fp g;
+              order := fp :: !order;
+              g
+          in
+          (match attr_str "text" r with
+          | Some t when t <> "" -> text := t
+          | _ -> ());
+          samples := r.r_us :: !samples;
+          if r.r_outcome <> Some "ok" then incr errors;
+          (match attr_int "rows" r with
+          | Some n -> rows := !rows + n
+          | None -> ());
+          (match attr_str "plan" r with
+          | Some p when p <> "" && not (List.mem p !plans) ->
+            plans := !plans @ [ p ]
+          | _ -> ()))
+    (spans records);
+  List.rev !order
+  |> List.map (fun fp ->
+         let text, samples, errors, rows, plans = Hashtbl.find groups fp in
+         let q p = match quantile !samples p with Some v -> v | None -> 0. in
+         {
+           s_fp = fp;
+           s_text = !text;
+           s_calls = List.length !samples;
+           s_errors = !errors;
+           s_rows = !rows;
+           s_p50 = q 0.50;
+           s_p95 = q 0.95;
+           s_plans = !plans;
+         })
+  |> List.sort (fun a b ->
+         match compare b.s_calls a.s_calls with
+         | 0 -> compare a.s_fp b.s_fp
+         | c -> c)
+
 (* ---- lock contention ---- *)
 
 type contention = {
@@ -370,6 +442,36 @@ let pp_report ?(top = 10) ppf records =
              Printf.sprintf "%.1f" g.g_p99;
            ])
          gs));
+  (match statements records with
+  | [] -> ()
+  | ss ->
+    Fmt.pf ppf "@.statements (from stmt.exec spans):@.";
+    Report_txt.pp_table
+      ~columns:
+        [
+          ("fingerprint", Report_txt.L);
+          ("calls", Report_txt.R);
+          ("errs", Report_txt.R);
+          ("rows", Report_txt.R);
+          ("p50", Report_txt.R);
+          ("p95", Report_txt.R);
+          ("plans", Report_txt.R);
+          ("statement", Report_txt.L);
+        ]
+      ppf
+      (List.map
+         (fun s ->
+           [
+             s.s_fp;
+             string_of_int s.s_calls;
+             string_of_int s.s_errors;
+             string_of_int s.s_rows;
+             Printf.sprintf "%.1f" s.s_p50;
+             Printf.sprintf "%.1f" s.s_p95;
+             string_of_int (List.length s.s_plans);
+             s.s_text;
+           ])
+         ss));
   (match lock_contention records with
   | [] -> ()
   | cs ->
@@ -419,6 +521,18 @@ let to_json ?(top = 10) records =
         ("p95_us", Obs_json.Float g.g_p95);
         ("p99_us", Obs_json.Float g.g_p99) ]
   in
+  let stmt_obj s =
+    Obs_json.Obj
+      [ ("fingerprint", Obs_json.Str s.s_fp);
+        ("statement", Obs_json.Str s.s_text);
+        ("calls", Obs_json.Int s.s_calls);
+        ("errors", Obs_json.Int s.s_errors);
+        ("rows", Obs_json.Int s.s_rows);
+        ("p50_us", Obs_json.Float s.s_p50);
+        ("p95_us", Obs_json.Float s.s_p95);
+        ( "plans",
+          Obs_json.List (List.map (fun p -> Obs_json.Str p) s.s_plans) ) ]
+  in
   Obs_json.Obj
     [ ( "summary",
         Obs_json.Obj
@@ -434,6 +548,8 @@ let to_json ?(top = 10) records =
         Obs_json.List (List.map group_obj (per_relation records)) );
       ( "per_attachment",
         Obs_json.List (List.map group_obj (per_attachment records)) );
+      ( "statements",
+        Obs_json.List (List.map stmt_obj (statements records)) );
       ( "lock_contention",
         Obs_json.List
           (List.map

@@ -58,6 +58,23 @@ val per_relation : record list -> group_stats list
 val per_attachment : record list -> group_stats list
 (** [attach.*] spans grouped by their [attachment] attribute. *)
 
+type stmt_stats = {
+  s_fp : string;
+  s_text : string;  (** normalized statement text (empty if not traced) *)
+  s_calls : int;
+  s_errors : int;
+  s_rows : int;
+  s_p50 : float;
+  s_p95 : float;
+  s_plans : string list;
+      (** distinct plan hashes, in order of first appearance *)
+}
+
+val statements : record list -> stmt_stats list
+(** Per-fingerprint statistics reconstructed from [stmt.exec] spans — the
+    offline counterpart of the live [dmx_statements] view, sorted by call
+    count. *)
+
 type contention = {
   c_waiter : int;
   c_holder : int;
@@ -79,10 +96,11 @@ val truncated : record list -> bool
 
 val pp_report : ?top:int -> Format.formatter -> record list -> unit
 (** The full text report: summary line, critical path, top-N spans,
-    per-relation and per-attachment quantile tables, lock contention,
-    deadlock victims. *)
+    per-relation and per-attachment quantile tables, statements, lock
+    contention, deadlock victims. *)
 
 val to_json : ?top:int -> record list -> Obs_json.t
 (** The same report as one JSON object ([dmx_prof --json]): keys [summary],
     [critical_path], [top_spans], [per_relation], [per_attachment],
-    [lock_contention], [deadlock_victims] — stable for CI diffing. *)
+    [statements], [lock_contention], [deadlock_victims] — stable for CI
+    diffing. *)

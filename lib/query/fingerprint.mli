@@ -1,0 +1,21 @@
+(** Statement fingerprints: lexical normalization (literals to [?],
+    canonical case and whitespace) plus a stable 64-bit FNV-1a hash, so all
+    executions of one statement shape share an id in the query store.
+
+    Normalization is purely lexical — it re-lexes the statement text with
+    the shell's token classes rather than walking an AST — so the same
+    fingerprint applies to every verb, including the DML forms that never
+    build a [Query.t]. *)
+
+val normalize : string -> string
+(** Canonical form: string/numeric literals and parameter markers become
+    [?], words lowercase, tokens joined by single spaces. *)
+
+val hash : string -> int64
+(** FNV-1a over the raw string — also used for plan-text hashes. *)
+
+val of_text : string -> int64
+(** [hash (normalize text)] — the statement fingerprint. *)
+
+val hex : int64 -> string
+(** 16-digit lowercase hex rendering for views, events and traces. *)

@@ -6,6 +6,9 @@ type stats = {
 
 type t = {
   table : (string, Plan.t) Hashtbl.t;
+  (* hash of each cached plan's describe line, for the query store's
+     plan-change detection; written at bind time so hits stay hash-free *)
+  plan_hashes : (string, int64) Hashtbl.t;
   mutable translations : int;
   mutable hits : int;
   mutable invalidations : int;
@@ -13,7 +16,13 @@ type t = {
 
 let create () =
   let t =
-    { table = Hashtbl.create 32; translations = 0; hits = 0; invalidations = 0 }
+    {
+      table = Hashtbl.create 32;
+      plan_hashes = Hashtbl.create 32;
+      translations = 0;
+      hits = 0;
+      invalidations = 0;
+    }
   in
   (* Replace-on-reregister: the latest cache created owns the exposition
      name, matching how [Services.setup] re-registers the "io" probe. *)
@@ -33,6 +42,7 @@ let bind t ctx q key =
   in
   t.translations <- t.translations + 1;
   Hashtbl.replace t.table key plan;
+  Hashtbl.replace t.plan_hashes key (Fingerprint.hash (Plan.describe plan));
   Ok plan
 
 let plan_for t ctx q =
@@ -53,22 +63,46 @@ let plan_for t ctx q =
       bind t ctx q key
     end
 
+(* Bracket one query-path execution with the statement observer: the
+   fingerprint comes from [Query.key] (already literal-bearing text), the
+   plan hash from the side table [bind] maintains. [row_count] projects the
+   success value so [execute] and [analyze] share the bracket; the inactive
+   path never computes the key a second time. *)
+let with_stmt_obs t ctx q ~row_count run =
+  if not (Stmt_obs.active ()) then run ~set_plan:ignore
+  else begin
+    let key = Query.key q in
+    Stmt_obs.observed ctx ~text:key ~rows:row_count (fun ~set_plan ->
+        run ~set_plan:(fun () ->
+            match Hashtbl.find_opt t.plan_hashes key with
+            | Some h -> set_plan h
+            | None -> ()))
+  end
+
 let execute t ctx q ?params () =
-  let* plan = plan_for t ctx q in
-  Executor.run ctx plan ?params ()
+  with_stmt_obs t ctx q ~row_count:List.length (fun ~set_plan ->
+      let* plan = plan_for t ctx q in
+      set_plan ();
+      Executor.run ctx plan ?params ())
 
 let explain t ctx q =
   let* plan = plan_for t ctx q in
   Ok (Plan.describe plan)
 
 let analyze t ctx q ?params () =
-  let* plan = plan_for t ctx q in
-  Executor.analyze ctx plan ?params ()
+  with_stmt_obs t ctx q
+    ~row_count:(fun (rows, _) -> List.length rows)
+    (fun ~set_plan ->
+      let* plan = plan_for t ctx q in
+      set_plan ();
+      Executor.analyze ctx plan ?params ())
 
 let peek t q = Hashtbl.find_opt t.table (Query.key q)
 
 let entries t = Hashtbl.fold (fun key plan acc -> (key, plan) :: acc) t.table []
-let invalidate_all t = Hashtbl.reset t.table
+let invalidate_all t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.plan_hashes
 
 let stats t =
   { translations = t.translations; hits = t.hits; invalidations = t.invalidations }

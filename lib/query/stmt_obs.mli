@@ -1,0 +1,26 @@
+(** Statement-level observation glue.
+
+    {!observed} brackets one statement execution: fingerprints the literal
+    text ({!Fingerprint}), opens a [stmt.exec] trace span, snapshots the
+    engine's own accounting ([Io_stats], lock conflicts/waits, WAL bytes,
+    attachment vetoes) before the body runs, diffs it after, and folds the
+    totals into {!Dmx_obs.Query_store}. It emits the [plan.changed] event
+    when the store detects a fingerprint's plan hash flipping, and the
+    [stmt.slow] event (literal text, plan hash, bound stats) when the
+    execution crosses [Event_ring.slow_us]. Inactive — store disabled and
+    tracing off — the wrapper is two loads and a branch, and allocates
+    nothing. *)
+
+val active : unit -> bool
+(** Anything to observe: the query store is enabled or tracing is armed. *)
+
+val observed :
+  Dmx_core.Ctx.t ->
+  text:string ->
+  rows:('a -> int) ->
+  (set_plan:(int64 -> unit) -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** Bracket a statement body. [rows] projects the row count out of a
+    success; the body may call [set_plan] once the translated plan's hash
+    is known ([Plan_cache] does, the shell's DML arms ignore it).
+    Exceptions record as errors and re-raise. *)

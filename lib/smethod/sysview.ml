@@ -190,6 +190,42 @@ let events_rows _ctx =
          Value.int e.e_txid; flt e.e_us; str e.e_outcome; bool e.e_slow |])
     (Dmx_obs.Event_ring.snapshot ())
 
+let fp_hex h = str (Printf.sprintf "%016Lx" h)
+
+let statements_rows _ctx =
+  List.map
+    (fun (e : Dmx_obs.Query_store.entry) ->
+      let q p =
+        match Dmx_obs.Metrics.quantile e.e_latency p with
+        | Some v -> v
+        | None -> 0.
+      in
+      let current_plan =
+        match e.e_plans with
+        | { pu_hash; _ } :: _ -> Printf.sprintf "%016Lx" pu_hash
+        | [] -> ""
+      in
+      [| fp_hex e.e_fp; str e.e_text; Value.int e.e_calls;
+         Value.int e.e_errors; Value.int e.e_rows;
+         flt (Dmx_obs.Metrics.histogram_sum e.e_latency);
+         flt (q 0.5); flt (q 0.95); flt (q 0.99);
+         Value.int e.e_pool_hits; Value.int e.e_pool_misses;
+         Value.int e.e_page_reads; Value.int e.e_wal_bytes;
+         Value.int e.e_lock_conflicts; Value.int e.e_lock_waits;
+         Value.int e.e_vetoes; Value.int (List.length e.e_plans);
+         str current_plan |])
+    (Dmx_obs.Query_store.entries ())
+
+let statement_plans_rows _ctx =
+  List.concat_map
+    (fun (e : Dmx_obs.Query_store.entry) ->
+      List.mapi
+        (fun i (u : Dmx_obs.Query_store.plan_use) ->
+          [| fp_hex e.e_fp; fp_hex u.pu_hash; flt u.pu_first_seen;
+             flt u.pu_last_seen; bool (i = 0) |])
+        e.e_plans)
+    (Dmx_obs.Query_store.entries ())
+
 let register_builtin_providers () =
   register_provider ~name:"metrics"
     ~schema:
@@ -243,7 +279,25 @@ let register_builtin_providers () =
               ("kind", Value.Tstring); ("name", Value.Tstring);
               ("txid", Value.Tint); ("us", Value.Tfloat);
               ("outcome", Value.Tstring); ("slow", Value.Tbool) ])
-    events_rows
+    events_rows;
+  register_provider ~name:"statements"
+    ~schema:
+      (cols [ ("fingerprint", Value.Tstring); ("statement", Value.Tstring);
+              ("calls", Value.Tint); ("errors", Value.Tint);
+              ("rows", Value.Tint); ("total_us", Value.Tfloat);
+              ("p50_us", Value.Tfloat); ("p95_us", Value.Tfloat);
+              ("p99_us", Value.Tfloat); ("pool_hits", Value.Tint);
+              ("pool_misses", Value.Tint); ("page_reads", Value.Tint);
+              ("wal_bytes", Value.Tint); ("lock_conflicts", Value.Tint);
+              ("lock_waits", Value.Tint); ("vetoes", Value.Tint);
+              ("plans", Value.Tint); ("plan", Value.Tstring) ])
+    statements_rows;
+  register_provider ~name:"statement_plans"
+    ~schema:
+      (cols [ ("fingerprint", Value.Tstring); ("plan_hash", Value.Tstring);
+              ("first_seen", Value.Tfloat); ("last_seen", Value.Tfloat);
+              ("current", Value.Tbool) ])
+    statement_plans_rows
 
 (* ---- the storage method ---- *)
 

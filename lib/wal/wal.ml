@@ -5,6 +5,10 @@ let m_flushes = Dmx_obs.Metrics.counter "wal.flushes"
 let m_flushed_records = Dmx_obs.Metrics.counter "wal.flushed_records"
 let m_write_syscalls = Dmx_obs.Metrics.counter "wal.write_syscalls"
 let m_fsyncs = Dmx_obs.Metrics.counter "wal.fsyncs"
+
+(* Physical framed bytes buffered for the log. The in-memory backend frames
+   nothing, so it contributes 0 — the hot test path pays no encode cost. *)
+let m_appended_bytes = Dmx_obs.Metrics.counter "wal.appended_bytes"
 let h_flush_us = Dmx_obs.Metrics.histogram "wal.flush_us"
 
 type backend =
@@ -145,7 +149,9 @@ let append t txid kind =
   (match t.backend with
   | Mem -> t.flushed <- r.Log_record.lsn
   | File f ->
+    let before = Buffer.length f.buf in
     frame_into f.buf txid kind;
+    Dmx_obs.Metrics.add m_appended_bytes (Buffer.length f.buf - before);
     f.buffered <- f.buffered + 1);
   t.append_observer r.Log_record.lsn;
   Dmx_obs.Profile.end_frame fr;

@@ -133,6 +133,62 @@ let test_sysview_stub_slots () =
            report)
         true (Lint_driver.ok report))
 
+(* R1 on a statement-store-shaped module: accumulation entry points
+   ([record]/[entries]/[reset]) and a classified module-level table beside
+   [val register] — only the factory's [<Mod>.register] call satisfies R1,
+   and the classified global stays out of the strict R7 diagnostics. *)
+let test_statement_store_slots () =
+  with_fixture_tree (fun root ->
+      let mli =
+        "val register : unit -> int\n\
+         val record : int -> unit\n\
+         val entries : unit -> int list\n\
+         val reset : unit -> unit\n"
+      in
+      let ml =
+        "let table : (int, int) Hashtbl.t = Hashtbl.create 8 [@@dmx.global \
+         \"ctx-owned\"]\n\
+         let register () = 9\n\
+         let record fp = Hashtbl.replace table fp fp\n\
+         let entries () = Hashtbl.fold (fun _ v acc -> v :: acc) table []\n\
+         let reset () = Hashtbl.reset table\n"
+      in
+      write_file (root / "lib/smethod/goodstore.ml") ml;
+      write_file (root / "lib/smethod/goodstore.mli") mli;
+      (* not in the factory: R1 fires on the [val register] line *)
+      let report = run root in
+      Alcotest.(check bool) "unmounted store flagged" false
+        (Lint_driver.ok report);
+      check_diag "unregistered store" report ~rule:"vector-completeness"
+        ~file:"lib/smethod/goodstore.mli" ~line:1;
+      (* a factory that only records into the store still misses R1 *)
+      write_file (root / "lib/db/db.ml")
+        "let register_defaults () =\n\
+        \  ignore (Dmx_smethod.Goodheap.register ());\n\
+        \  ignore (Dmx_attach.Goodindex.register ());\n\
+        \  Dmx_smethod.Goodstore.record 1;\n\
+        \  Dmx_smethod.Goodstore.reset ()\n";
+      let report = run root in
+      check_diag "accumulation calls are not registration" report
+        ~rule:"vector-completeness" ~file:"lib/smethod/goodstore.mli" ~line:1;
+      (* the classified table never shows up as a strict R7 diagnostic *)
+      Alcotest.(check int)
+        "classified global is clean" 0
+        (List.length
+           (List.filter
+              (fun d -> d.Lint_diag.rule = "global-state")
+              report.Lint_driver.violations));
+      (* the real registration call satisfies R1 *)
+      write_file (root / "lib/db/db.ml")
+        "let register_defaults () =\n\
+        \  ignore (Dmx_smethod.Goodheap.register ());\n\
+        \  ignore (Dmx_attach.Goodindex.register ());\n\
+        \  ignore (Dmx_smethod.Goodstore.register ())\n";
+      let report = run root in
+      Alcotest.(check bool)
+        (Fmt.str "mounted store passes (got: %a)" Lint_driver.pp_report report)
+        true (Lint_driver.ok report))
+
 (* R2: a fresh failwith in an attachment. *)
 let test_fresh_failwith_in_attach () =
   with_fixture_tree (fun root ->
@@ -455,6 +511,8 @@ let suite =
     Alcotest.test_case "R1: unregistered storage method" `Quick
       test_unregistered_storage_method;
     Alcotest.test_case "R1: sysview stub slots" `Quick test_sysview_stub_slots;
+    Alcotest.test_case "R1: statement store slots" `Quick
+      test_statement_store_slots;
     Alcotest.test_case "R2: fresh failwith in attach" `Quick
       test_fresh_failwith_in_attach;
     Alcotest.test_case "R2: full banned set" `Quick test_banned_constructs;

@@ -24,6 +24,7 @@ let () =
       ("obs", Test_obs.suite);
       ("prof", Test_prof.suite);
       ("sysview", Test_sysview.suite);
+      ("querystore", Test_querystore.suite);
       ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
     ]

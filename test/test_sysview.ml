@@ -27,7 +27,7 @@ let with_ring f =
 let all_views =
   [ "dmx_metrics"; "dmx_relations"; "dmx_locks"; "dmx_lock_waits";
     "dmx_txns"; "dmx_bufpool"; "dmx_wal"; "dmx_plan_cache"; "dmx_profile";
-    "dmx_events" ]
+    "dmx_events"; "dmx_statements"; "dmx_statement_plans" ]
 
 let get_string = function
   | Value.String s -> s
@@ -60,13 +60,13 @@ let test_predicates_and_projection () =
   ignore
     (check_ok "txn"
        (Db.with_txn db (fun ctx ->
-            (* all ten views are themselves relations of method sysview *)
+            (* every view is itself a relation of method sysview *)
             let q =
               Query.select ~where:"smethod = 'sysview'" ~project:[ "name" ]
                 "dmx_relations"
             in
             let rows = check_ok "views" (Db.query db ctx q ()) in
-            Alcotest.(check int) "ten system views" (List.length all_views)
+            Alcotest.(check int) "all system views" (List.length all_views)
               (List.length rows);
             List.iter
               (fun r -> Alcotest.(check int) "projected to name" 1 (Array.length r))
