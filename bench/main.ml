@@ -1432,6 +1432,94 @@ let pr5_e9 () =
     calls runs iters;
   Db.close db
 
+(* PR5 E10 — bounded restart via fuzzy checkpoints: the auto policy
+   checkpoints every 500 records, writeback flushes the snapshotted dirty
+   pages, and truncation drops the log behind the cut — so the records a
+   restart must rescan track the distance to the last checkpoint, not the
+   length of history. Without checkpoints the same workload's restart scan
+   grows linearly with the log. *)
+let pr5_e10 () =
+  Report.heading "E10 — bounded restart via fuzzy checkpoints (dmx-checkpoint)"
+    ~claim:
+      "records replayed at restart stay flat (±20%) as the workload grows \
+       4x with checkpoints on, and grow linearly (>= 3x) with them off";
+  let txn_size = 50 in
+  let run ~rows ~ckpt =
+    let dir =
+      temp_dir (Fmt.str "pr5e10%s%d" (if ckpt then "c" else "p") rows)
+    in
+    Db.register_defaults ();
+    let db = Db.open_database ~dir () in
+    if ckpt then
+      Dmx_core.Services.set_checkpoint_policy ~every_records:500
+        db.Db.services;
+    ignore
+      (ok "create"
+         (Db.with_txn db (fun ctx ->
+              Db.create_relation db ctx ~name:"t" ~schema:emp_schema ())));
+    for t = 0 to (rows / txn_size) - 1 do
+      let ctx = Db.begin_txn db in
+      for i = 1 to txn_size do
+        ignore
+          (ok "ins"
+             (Db.insert db ctx ~relation:"t"
+                (emp_record ((t * txn_size) + i) ~depts:10)))
+      done;
+      Db.commit db ctx
+    done;
+    Db.close db;
+    let scanned = ref 0 and history = ref 0L and retained = ref 0 in
+    let (), secs =
+      time (fun () ->
+          let db = Db.open_database ~dir () in
+          let wal = db.Db.services.Dmx_core.Services.wal in
+          let a = Dmx_wal.Recovery.analyze wal in
+          scanned := a.Dmx_wal.Recovery.scanned;
+          history := Dmx_wal.Wal.last_lsn wal;
+          retained := Dmx_wal.Wal.record_count wal;
+          Db.close db)
+    in
+    rm_dir dir;
+    (!scanned, !history, !retained, secs)
+  in
+  let s2c, h2c, r2c, t2c = run ~rows:2_000 ~ckpt:true in
+  let s8c, h8c, r8c, t8c = run ~rows:8_000 ~ckpt:true in
+  let s2p, h2p, r2p, t2p = run ~rows:2_000 ~ckpt:false in
+  let s8p, h8p, r8p, t8p = run ~rows:8_000 ~ckpt:false in
+  let row label (s, h, r, secs) =
+    [
+      label; Report.i s; Report.i (Int64.to_int h); Report.i r;
+      Report.f2 (secs *. 1e3);
+    ]
+  in
+  Report.table
+    ~columns:
+      [
+        "workload"; "records rescanned"; "log history (lsns)";
+        "records retained"; "reopen (ms)";
+      ]
+    [
+      row "2000 rows, ckpt every 500" (s2c, h2c, r2c, t2c);
+      row "8000 rows, ckpt every 500" (s8c, h8c, r8c, t8c);
+      row "2000 rows, no checkpoints" (s2p, h2p, r2p, t2p);
+      row "8000 rows, no checkpoints" (s8p, h8p, r8p, t8p);
+    ];
+  let flat a b =
+    let a = float_of_int a and b = float_of_int b in
+    a <= b *. 1.2 && b <= a *. 1.2
+  in
+  Report.verdict ~ok:(flat s2c s8c)
+    "with checkpoints the restart scan is flat: %d -> %d records across a \
+     4x longer history (gate: within 20%%)" s2c s8c;
+  Report.verdict
+    ~ok:(s8p >= 3 * s2p)
+    "without checkpoints it grows with the log: %d -> %d records (gate: >= \
+     3x)" s2p s8p;
+  Report.verdict
+    ~ok:(s8c * 4 < s8p && r8c * 4 < r8p)
+    "at 8000 rows checkpoints cut the rescan to %d of %d records and \
+     truncation retains %d of %d (gate: both < 1/4)" s8c s8p r8c r8p
+
 (* ---------------------------------------------------------------------- *)
 
 let experiments =
@@ -1442,7 +1530,10 @@ let experiments =
   ]
 
 let pr5_experiments =
-  [ ("E6", pr5_e6); ("E7", pr5_e7); ("E8", pr5_e8); ("E9", pr5_e9) ]
+  [
+    ("E6", pr5_e6); ("E7", pr5_e7); ("E8", pr5_e8); ("E9", pr5_e9);
+    ("E10", pr5_e10);
+  ]
 
 (* Machine-readable mirror of the run: per-experiment wall-clock, shape-check
    verdicts, and counter deltas, for CI artifacts and offline diffing. The

@@ -21,6 +21,7 @@ let replay = ref None
 let n_txns = ref 5
 let ops_per_txn = ref 6
 let pool = ref 8
+let checkpoint_every = ref 0
 let mutate = ref false
 let introspect = ref false
 let json_path = ref None
@@ -47,7 +48,20 @@ let spec =
     ("--sweep", Arg.Set do_sweep, " crash at every fault point of each seed");
     ( "--mode",
       Arg.String set_mode,
-      "M fault mode: crash (default) | io-error | torn" );
+      "M fault mode: crash (default) | io-error | torn | ckpt-crash | \
+       truncate-crash" );
+    ( "--crash-in-checkpoint",
+      Arg.Unit (fun () -> mode := H.Mode_ckpt_crash),
+      " sweep crashes with fuzzy checkpoints interleaved (alias for --mode \
+       ckpt-crash)" );
+    ( "--crash-in-truncate",
+      Arg.Unit (fun () -> mode := H.Mode_truncate_crash),
+      " crash at every log-truncation phase event (alias for --mode \
+       truncate-crash)" );
+    ( "--checkpoint-every",
+      Arg.Set_int checkpoint_every,
+      "N checkpoint every N workload ops (default 0 = off; checkpoint modes \
+       default to 3)" );
     ( "--recovery-crash",
       Arg.Set recovery_crash,
       " crash each recovery run too (recovery idempotence)" );
@@ -74,18 +88,29 @@ let spec =
 let usage = "dmx_chaos [options]  (see bin/dmx_chaos.ml header for examples)"
 
 let config seed =
+  let every =
+    (* replays of checkpoint-mode points need the same cadence the sweep ran
+       with, or the fault point lands in a different op stream *)
+    if !checkpoint_every > 0 then !checkpoint_every
+    else
+      match !mode with
+      | H.Mode_ckpt_crash | H.Mode_truncate_crash -> 3
+      | _ -> 0
+  in
   { (H.default_config ~seed) with
     H.n_txns = !n_txns;
     ops_per_txn = !ops_per_txn;
     pool_capacity = !pool;
-    introspect = !introspect }
+    introspect = !introspect;
+    checkpoint_every = every }
 
 let plan_of_point point =
   match !mode with
-  | H.Mode_crash -> H.Crash_at point
+  | H.Mode_crash | H.Mode_ckpt_crash -> H.Crash_at point
   | H.Mode_io_error ->
     if point < 0 then H.Sync_error_nth (-point) else H.Write_error_nth point
   | H.Mode_torn -> H.Torn_write_nth point
+  | H.Mode_truncate_crash -> H.Truncate_crash_at point
 
 let run_replay seed point =
   let plan = plan_of_point point in

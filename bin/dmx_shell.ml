@@ -325,6 +325,18 @@ let exec_line st line =
         Db.abort st.db ctx;
         Fmt.pr "ABORT@."
     end
+    | "checkpoint", [] ->
+      let s =
+        Dmx_core.Services.checkpoint st.db.Db.services
+      in
+      Fmt.pr
+        "CHECKPOINT lsn=%Ld dirty_pages=%d written=%d active_txns=%d \
+         truncated=%d records (%d bytes)@."
+        s.Dmx_core.Services.ck_lsn s.Dmx_core.Services.ck_dirty_pages
+        s.Dmx_core.Services.ck_pages_written
+        s.Dmx_core.Services.ck_active_txns
+        s.Dmx_core.Services.ck_truncated_records
+        s.Dmx_core.Services.ck_truncated_bytes
     | "savepoint", [ Word name ] -> begin
       match st.txn with
       | None -> err "savepoints need an explicit transaction (begin)"

@@ -49,6 +49,14 @@ let check_span_balance ~at =
         at n
         (if n = 1 then "" else "s")
 
+let check_undo_above_base ~txid ~lsn ~base =
+  if enabled () && lsn <= base && base > 0L then
+    violation
+      "undo for tx%d references LSN %Ld at or below the truncation point %Ld \
+       — checkpoint truncation must never drop an active transaction's undo \
+       chain"
+      txid lsn base
+
 let check_frozen_for_dispatch ~op =
   if enabled () && not (Registry.is_frozen ()) then
     violation

@@ -39,6 +39,14 @@ val check_span_balance : at:string -> unit
     there means some operation entered a span it never exited, which would
     mis-parent every later span. *)
 
+val check_undo_above_base :
+  txid:int -> lsn:Dmx_wal.Log_record.lsn -> base:Dmx_wal.Log_record.lsn -> unit
+(** Sanitizer check run before dispatching an undo record: no undo may
+    reference an LSN at or below the log's truncation point ([base]); a
+    violation means checkpoint truncation dropped part of a live
+    transaction's undo chain. No-op when the sanitizer is off or the log has
+    never been truncated. *)
+
 val check_frozen_for_dispatch : op:string -> unit
 (** Raise when a relation modification is dispatched through the procedure
     vectors while the registry is still open for registration — extensions

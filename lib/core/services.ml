@@ -1,6 +1,18 @@
 open Dmx_page
 open Dmx_wal
 
+let m_checkpoints = Dmx_obs.Metrics.counter "ckpt.checkpoints"
+let m_ckpt_pages = Dmx_obs.Metrics.counter "ckpt.pages_written"
+
+type checkpoint_stats = {
+  ck_lsn : Log_record.lsn;  (** LSN of the [Ckpt_end] record *)
+  ck_dirty_pages : int;
+  ck_pages_written : int;
+  ck_active_txns : int;
+  ck_truncated_records : int;
+  ck_truncated_bytes : int;
+}
+
 type t = {
   disk : Disk.t;
   bp : Buffer_pool.t;
@@ -9,7 +21,169 @@ type t = {
   txn_mgr : Dmx_txn.Txn_mgr.t;
   catalog : Dmx_catalog.Catalog.t;
   mutable last_recovery : Recovery.analysis option;
+  (* fuzzy-checkpoint policy: 0 disables the corresponding trigger *)
+  mutable ckpt_every_records : int;
+  mutable ckpt_every_bytes : int;
+  mutable ckpt_bytes_mark : int;  (* Wal.appended_bytes at last checkpoint *)
+  mutable ckpt_running : bool;  (* re-entrancy guard *)
+  mutable last_checkpoint : checkpoint_stats option;
 }
+
+(* DMX_CHECKPOINT_EVERY accepts "N" (log records between checkpoints) or
+   "Nb"/"Nkb"/"Nmb" (appended log bytes between checkpoints). Unparsable or
+   non-positive values disable the policy rather than fail the mount. *)
+let checkpoint_policy_of_env () =
+  match Sys.getenv_opt "DMX_CHECKPOINT_EVERY" with
+  | None | Some "" -> None
+  | Some raw ->
+    let s = String.lowercase_ascii (String.trim raw) in
+    let ends_with suffix =
+      let n = String.length s and m = String.length suffix in
+      n > m && String.sub s (n - m) m = suffix
+    in
+    let strip suffix =
+      String.sub s 0 (String.length s - String.length suffix)
+    in
+    let num, mult, is_bytes =
+      if ends_with "kb" then (strip "kb", 1024, true)
+      else if ends_with "mb" then (strip "mb", 1024 * 1024, true)
+      else if ends_with "b" then (strip "b", 1, true)
+      else (s, 1, false)
+    in
+    (match int_of_string_opt num with
+    | Some n when n > 0 ->
+      Some (if is_bytes then `Bytes (n * mult) else `Records n)
+    | Some _ | None -> None)
+
+let set_checkpoint_policy ?(every_records = 0) ?(every_bytes = 0) t =
+  t.ckpt_every_records <- max 0 every_records;
+  t.ckpt_every_bytes <- max 0 every_bytes
+
+let checkpoint_policy t = (t.ckpt_every_records, t.ckpt_every_bytes)
+
+let checkpoint_due t =
+  (t.ckpt_every_records > 0
+  &&
+  let horizon =
+    let c = Wal.last_checkpoint_lsn t.wal in
+    if c > Wal.base_lsn t.wal then c else Wal.base_lsn t.wal
+  in
+  Int64.sub (Wal.last_lsn t.wal) horizon
+  >= Int64.of_int t.ckpt_every_records)
+  || t.ckpt_every_bytes > 0
+     && Wal.appended_bytes t.wal - t.ckpt_bytes_mark >= t.ckpt_every_bytes
+
+(* Fuzzy checkpoint (no quiescing): log [Ckpt_begin]; snapshot the
+   active-transaction table and the dirty-page table; force exactly the
+   snapshot's pages (each write preceded by the WAL hook, so
+   WAL-before-page holds); log [Ckpt_end] carrying both tables and flush.
+   Restart analysis seeds from the [Ckpt_begin]. With [truncate] (default),
+   the log prefix below min(begin LSN, oldest active transaction's first
+   LSN) is then dropped — sound under force-at-commit because every
+   committed effect is already durable, so only active transactions' undo
+   chains need log retention. The catalog needs no snapshot here: committed
+   DDL was saved by the commit-time force hook, and uncommitted DDL belongs
+   to an active transaction whose records are retained. *)
+let checkpoint ?(truncate = true) t =
+  if t.ckpt_running then
+    match t.last_checkpoint with
+    | Some s -> s
+    | None ->
+      {
+        ck_lsn = 0L;
+        ck_dirty_pages = 0;
+        ck_pages_written = 0;
+        ck_active_txns = 0;
+        ck_truncated_records = 0;
+        ck_truncated_bytes = 0;
+      }
+  else begin
+    t.ckpt_running <- true;
+    Fun.protect
+      ~finally:(fun () -> t.ckpt_running <- false)
+      (fun () ->
+        let wal = t.wal in
+        let begin_lsn = Wal.append wal 0 Log_record.Ckpt_begin in
+        let active =
+          Dmx_txn.Txn_mgr.active_txns t.txn_mgr
+          |> List.filter_map (fun (txn : Dmx_txn.Txn.t) ->
+                 match Wal.records_of_txn wal txn.Dmx_txn.Txn.id with
+                 | [] -> None
+                 | newest :: _ as chain ->
+                   let first =
+                     List.fold_left
+                       (fun acc (r : Log_record.t) -> min acc r.lsn)
+                       newest.Log_record.lsn chain
+                   in
+                   let depth =
+                     List.fold_left
+                       (fun d (r : Log_record.t) ->
+                         match r.kind with
+                         | Ext _ -> d + 1
+                         | Clr _ -> d - 1
+                         | _ -> d)
+                       0 chain
+                   in
+                   Some
+                     {
+                       Log_record.ck_txid = txn.Dmx_txn.Txn.id;
+                       ck_first = first;
+                       ck_last = newest.Log_record.lsn;
+                       ck_undo_depth = max 0 depth;
+                     })
+          |> List.sort (fun (a : Log_record.ckpt_txn) b ->
+                 compare a.ck_txid b.ck_txid)
+        in
+        let dpt = Buffer_pool.dirty_pages t.bp in
+        let written =
+          Buffer_pool.checkpoint_writeback t.bp ~pages:(List.map fst dpt)
+        in
+        let ck_lsn =
+          Wal.append wal 0
+            (Log_record.Ckpt_end
+               { start = begin_lsn; dirty_pages = dpt; active })
+        in
+        Wal.flush wal;
+        let trecords, tbytes =
+          if truncate then begin
+            let cut =
+              List.fold_left
+                (fun m (a : Log_record.ckpt_txn) -> min m a.ck_first)
+                begin_lsn active
+            in
+            Wal.truncate_before wal cut
+          end
+          else (0, 0)
+        in
+        t.ckpt_bytes_mark <- Wal.appended_bytes wal;
+        Dmx_obs.Metrics.incr m_checkpoints;
+        Dmx_obs.Metrics.add m_ckpt_pages written;
+        if Dmx_obs.Trace.enabled () then
+          Dmx_obs.Trace.event "ckpt.complete"
+            ~attrs:
+              [ ("lsn", Dmx_obs.Obs_json.Int (Int64.to_int ck_lsn));
+                ("dirty_pages", Dmx_obs.Obs_json.Int (List.length dpt));
+                ("written", Dmx_obs.Obs_json.Int written);
+                ("active", Dmx_obs.Obs_json.Int (List.length active));
+                ("truncated_records", Dmx_obs.Obs_json.Int trecords);
+                ("truncated_bytes", Dmx_obs.Obs_json.Int tbytes) ];
+        let stats =
+          {
+            ck_lsn;
+            ck_dirty_pages = List.length dpt;
+            ck_pages_written = written;
+            ck_active_txns = List.length active;
+            ck_truncated_records = trecords;
+            ck_truncated_bytes = tbytes;
+          }
+        in
+        t.last_checkpoint <- Some stats;
+        stats)
+  end
+
+let apply_env_policy t = function
+  | `Records n -> t.ckpt_every_records <- n
+  | `Bytes n -> t.ckpt_every_bytes <- n
 
 let rec setup ?dir ?disk ?(pool_capacity = 256) () =
   Registry.freeze ();
@@ -80,7 +254,22 @@ and setup_with ~dir ~disk ~wal ~catalog ~pool_capacity =
         Invariant.lockdep_release ~txid)
   end;
   let txn_mgr = Dmx_txn.Txn_mgr.create ~wal ~locks () in
-  let t = { disk; bp; wal; locks; txn_mgr; catalog; last_recovery = None } in
+  let t =
+    {
+      disk;
+      bp;
+      wal;
+      locks;
+      txn_mgr;
+      catalog;
+      last_recovery = None;
+      ckpt_every_records = 0;
+      ckpt_every_bytes = 0;
+      ckpt_bytes_mark = Wal.appended_bytes wal;
+      ckpt_running = false;
+      last_checkpoint = None;
+    }
+  in
   (* Force step of the commit protocol: all dirty pages plus the catalog
      snapshot when DDL ran. *)
   Dmx_txn.Txn_mgr.set_force_hook txn_mgr (fun () ->
@@ -88,6 +277,11 @@ and setup_with ~dir ~disk ~wal ~catalog ~pool_capacity =
       if Dmx_catalog.Catalog.dirty catalog then
         Dmx_catalog.Catalog.save catalog);
   Dmx_txn.Txn_mgr.set_undo_dispatch txn_mgr (Undo.dispatch ~txn_mgr ~bp ~catalog);
+  Dmx_txn.Txn_mgr.set_commit_observer txn_mgr (fun () ->
+      if checkpoint_due t then ignore (checkpoint t));
+  (match checkpoint_policy_of_env () with
+  | Some policy -> apply_env_policy t policy
+  | None -> ());
   t.last_recovery <- Some (Dmx_txn.Txn_mgr.recover txn_mgr);
   t
 

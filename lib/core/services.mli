@@ -2,6 +2,15 @@
     freezes the registry, runs restart recovery and hands out transaction
     contexts. This is the "common services environment" box of Figure 2. *)
 
+type checkpoint_stats = {
+  ck_lsn : Dmx_wal.Log_record.lsn;  (** LSN of the [Ckpt_end] record *)
+  ck_dirty_pages : int;  (** dirty-page-table size at snapshot *)
+  ck_pages_written : int;  (** pages actually forced by the writeback pass *)
+  ck_active_txns : int;  (** active-transaction-table size at snapshot *)
+  ck_truncated_records : int;
+  ck_truncated_bytes : int;
+}
+
 type t = {
   disk : Dmx_page.Disk.t;
   bp : Dmx_page.Buffer_pool.t;
@@ -10,6 +19,11 @@ type t = {
   txn_mgr : Dmx_txn.Txn_mgr.t;
   catalog : Dmx_catalog.Catalog.t;
   mutable last_recovery : Dmx_wal.Recovery.analysis option;
+  mutable ckpt_every_records : int;
+  mutable ckpt_every_bytes : int;
+  mutable ckpt_bytes_mark : int;
+  mutable ckpt_running : bool;
+  mutable last_checkpoint : checkpoint_stats option;
 }
 
 val setup :
@@ -21,7 +35,32 @@ val setup :
     {!Dmx_page.Fault_disk} view here while keeping the log and catalog in
     [dir]). Freezes the registry — all extensions must be registered before
     this call — then wires the WAL-before-page hook, the force-at-commit hook
-    and the undo dispatcher, and runs restart recovery. *)
+    and the undo dispatcher, and runs restart recovery. Restart analysis
+    seeds from the last complete checkpoint when the log holds one. The
+    [DMX_CHECKPOINT_EVERY] environment variable ("N" records or
+    "Nb"/"Nkb"/"Nmb" appended bytes) arms the automatic checkpoint policy at
+    mount. *)
+
+val checkpoint : ?truncate:bool -> t -> checkpoint_stats
+(** Take a fuzzy checkpoint now: log [Ckpt_begin], snapshot the
+    active-transaction and dirty-page tables, force the snapshot's pages in
+    {!Dmx_page.Buffer_pool.flush_all} order (WAL-before-page preserved), log
+    [Ckpt_end] and flush. Runs interleaved with live transactions — no
+    quiescing. With [truncate] (default [true]) the log prefix below
+    min(checkpoint start, oldest active transaction's first LSN) is dropped
+    via {!Dmx_wal.Wal.truncate_before}. *)
+
+val set_checkpoint_policy : ?every_records:int -> ?every_bytes:int -> t -> unit
+(** Arm (or with 0/0, disarm) the automatic policy: after each commit, if at
+    least [every_records] log records or [every_bytes] appended log bytes
+    have accumulated since the last checkpoint, one is taken. Programmatic
+    equivalent of [DMX_CHECKPOINT_EVERY]. *)
+
+val checkpoint_policy : t -> int * int
+(** Current [(every_records, every_bytes)] policy; 0 means disabled. *)
+
+val checkpoint_due : t -> bool
+(** Whether the armed policy would trigger a checkpoint right now. *)
 
 val begin_txn : t -> Ctx.t
 val commit : t -> Ctx.t -> unit

@@ -13,6 +13,10 @@ let dispatch ~txn_mgr ~bp ~catalog txn (r : Log_record.t) =
   | _ -> (
   match r.Log_record.kind with
   | Ext { source; rel_id; data } -> begin
+    if Invariant.enabled () then
+      Invariant.check_undo_above_base ~txid:r.Log_record.txid
+        ~lsn:r.Log_record.lsn
+        ~base:(Wal.base_lsn (Dmx_txn.Txn_mgr.wal txn_mgr));
     let ctx = Ctx.make ~txn ~txn_mgr ~bp ~catalog in
     match source with
     | Smethod id ->
@@ -24,4 +28,5 @@ let dispatch ~txn_mgr ~bp ~catalog txn (r : Log_record.t) =
     | Catalog ->
       Dmx_catalog.Catalog.undo_op catalog (Dmx_catalog.Catalog.decode_op data)
   end
-  | Begin | Commit | Abort | Savepoint _ | Clr _ -> ())
+  | Begin | Commit | Abort | Savepoint _ | Clr _ | Ckpt_begin | Ckpt_end _ ->
+    ())

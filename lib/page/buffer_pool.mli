@@ -60,6 +60,21 @@ val flush_all : t -> unit
 (** Write every dirty frame in ascending page-id order (and fsync file-backed
     stores): the force step of the undo/no-redo commit protocol. *)
 
+val dirty_pages : t -> (int * int64) list
+(** [(page_id, page_lsn)] of every dirty resident frame, ascending by page
+    id — the dirty-page-table snapshot a fuzzy checkpoint logs. *)
+
+val dirty_count : t -> int
+(** Number of dirty resident frames (the [dmx_bufpool] checkpoint gauge). *)
+
+val checkpoint_writeback : t -> pages:int list -> int
+(** Force exactly the named pages (a dirty-page-table snapshot) in the same
+    ascending page-id order as {!flush_all}, then sync; returns how many were
+    written. Pages no longer resident or already clean are skipped — the
+    snapshot is advisory, so the pass is safe to run fuzzily against live
+    modifications. WAL-before-page holds: the flush hook runs before every
+    write. *)
+
 val drop_cache : t -> unit
 (** Forget all unpinned frames without writing them — simulates losing
     volatile memory in a crash (used by recovery tests). Raises [Failure] if

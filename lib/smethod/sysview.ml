@@ -169,7 +169,12 @@ let wal_rows ctx =
        Value.int (Wal.pending_bytes wal);
        Value.int (Wal.unsynced_bytes wal);
        Value.int (Txn_mgr.group_commit ctx.Ctx.txn_mgr);
-       Value.int (Txn_mgr.group_pending ctx.Ctx.txn_mgr) |] ]
+       Value.int (Txn_mgr.group_pending ctx.Ctx.txn_mgr);
+       Value.Int (Wal.last_checkpoint_lsn wal);
+       Value.Int (Wal.base_lsn wal);
+       Value.int (Wal.truncations wal);
+       Value.int (Wal.truncated_bytes wal);
+       Value.int (Buffer_pool.dirty_count ctx.Ctx.bp) |] ]
 
 let profile_rows _ctx =
   List.map
@@ -265,7 +270,10 @@ let register_builtin_providers () =
       (cols [ ("last_lsn", Value.Tint); ("flushed_lsn", Value.Tint);
               ("records", Value.Tint); ("pending_records", Value.Tint);
               ("pending_bytes", Value.Tint); ("unsynced_bytes", Value.Tint);
-              ("group_window", Value.Tint); ("group_debt", Value.Tint) ])
+              ("group_window", Value.Tint); ("group_debt", Value.Tint);
+              ("last_ckpt_lsn", Value.Tint); ("base_lsn", Value.Tint);
+              ("truncations", Value.Tint); ("truncated_bytes", Value.Tint);
+              ("dirty_pages", Value.Tint) ])
     wal_rows;
   register_provider ~name:"profile"
     ~schema:

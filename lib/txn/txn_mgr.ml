@@ -14,6 +14,7 @@ type t = {
   active : (int, Txn.t) Hashtbl.t;
   mutable undo_dispatch : (Txn.t -> Log_record.t -> unit) option;
   mutable force_hook : unit -> unit;
+  mutable commit_observer : unit -> unit;
   mutable undone_count : int;
   mutable group_commit : int;  (* fsync window; <= 1 syncs every commit *)
   mutable group_pending : int;  (* commits written since the last group sync *)
@@ -31,6 +32,7 @@ let create ~wal ~locks () =
     active = Hashtbl.create 8;
     undo_dispatch = None;
     force_hook = ignore;
+    commit_observer = ignore;
     undone_count = 0;
     group_commit = 1;
     group_pending = 0;
@@ -40,6 +42,7 @@ let wal t = t.wal
 let locks t = t.locks
 let set_undo_dispatch t f = t.undo_dispatch <- Some f
 let set_force_hook t f = t.force_hook <- f
+let set_commit_observer t f = t.commit_observer <- f
 
 let set_group_commit t n =
   t.group_commit <- max 1 n;
@@ -133,6 +136,12 @@ let with_txn_span name t txn f =
 let do_abort t txn =
   Txn.check_active txn;
   undo_back_to t txn ~limit:0L;
+  (* Same discipline as [recover]: the Abort record classifies this
+     transaction as finished at restart, so the pages the undo restored
+     must be durable before any later WAL flush can carry the Abort out.
+     Forcing here (hook flushes the Clrs first, WAL-before-page) makes the
+     subsequent buffered Abort safe under every flush schedule. *)
+  t.force_hook ();
   ignore (Wal.append t.wal txn.Txn.id Log_record.Abort);
   let after = Txn.take_deferred txn On_abort in
   finish t txn Aborted;
@@ -179,7 +188,10 @@ let do_commit t txn =
   let after = Txn.take_deferred txn On_commit in
   finish t txn Committed;
   Dmx_obs.Metrics.incr m_commits;
-  List.iter (fun f -> f ()) after
+  List.iter (fun f -> f ()) after;
+  (* fires after the commit is fully durable and deregistered, so a
+     checkpoint policy hooked here sees a settled transaction table *)
+  t.commit_observer ()
 
 let commit t txn = with_txn_span "txn.commit" t txn do_commit
 
@@ -212,11 +224,18 @@ let recover t =
   List.iter
     (fun (txid, records) ->
       let txn = Txn.make txid in
-      List.iter (fun r -> dispatch_undo t txn r) records;
-      ignore (Wal.append t.wal txid Log_record.Abort))
+      List.iter (fun r -> dispatch_undo t txn r) records)
+    analysis.Recovery.undo_work;
+  (* A durable [Abort] must imply durable undo: once the Abort reaches the
+     log, analysis classifies the transaction as finished and nobody will
+     ever undo it again — so the undone pages must hit disk first. The
+     force also flushes the Clrs via the WAL-before-page hook. Only then
+     are the terminal records appended and flushed. *)
+  t.force_hook ();
+  List.iter
+    (fun (txid, _) -> ignore (Wal.append t.wal txid Log_record.Abort))
     analysis.Recovery.undo_work;
   Wal.flush t.wal;
-  t.force_hook ();
   analysis
 
 let stats_undo_count t = t.undone_count

@@ -30,6 +30,12 @@ val set_undo_dispatch : t -> (Txn.t -> Log_record.t -> unit) -> unit
 val set_force_hook : t -> (unit -> unit) -> unit
 (** Installed by the storage layer: flush all dirty pages (the force step). *)
 
+val set_commit_observer : t -> (unit -> unit) -> unit
+(** Installed by the services layer: called after every commit completes
+    (records durable per the group-commit policy, transaction deregistered,
+    deferred actions run). The checkpoint policy hooks here to trigger a
+    fuzzy checkpoint every N records/bytes without quiescing. *)
+
 val begin_txn : t -> Txn.t
 val find_txn : t -> int -> Txn.t option
 val active_txns : t -> Txn.t list

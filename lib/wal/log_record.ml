@@ -11,6 +11,13 @@ type source =
   | Attachment of int
   | Catalog
 
+type ckpt_txn = {
+  ck_txid : txid;
+  ck_first : lsn;
+  ck_last : lsn;
+  ck_undo_depth : int;
+}
+
 type kind =
   | Begin
   | Commit
@@ -18,6 +25,12 @@ type kind =
   | Savepoint of string
   | Ext of { source : source; rel_id : int; data : string }
   | Clr of { undone : lsn }
+  | Ckpt_begin
+  | Ckpt_end of {
+      start : lsn;
+      dirty_pages : (int * lsn) list;
+      active : ckpt_txn list;
+    }
 
 type t = { lsn : lsn; txid : txid; kind : kind }
 
@@ -46,6 +59,22 @@ let encode e txid kind =
   | Clr { undone } ->
     byte e 5;
     int64 e undone
+  | Ckpt_begin -> byte e 6
+  | Ckpt_end { start; dirty_pages; active } ->
+    byte e 7;
+    int64 e start;
+    list e
+      (fun e (page, lsn) ->
+        varint e page;
+        int64 e lsn)
+      dirty_pages;
+    list e
+      (fun e a ->
+        varint e a.ck_txid;
+        int64 e a.ck_first;
+        int64 e a.ck_last;
+        varint e a.ck_undo_depth)
+      active
 
 let decode d =
   let open Codec.Dec in
@@ -68,6 +97,24 @@ let decode d =
       let data = string d in
       Ext { source; rel_id; data }
     | 5 -> Clr { undone = int64 d }
+    | 6 -> Ckpt_begin
+    | 7 ->
+      let start = int64 d in
+      let dirty_pages =
+        list d (fun d ->
+            let page = varint d in
+            let lsn = int64 d in
+            (page, lsn))
+      in
+      let active =
+        list d (fun d ->
+            let ck_txid = varint d in
+            let ck_first = int64 d in
+            let ck_last = int64 d in
+            let ck_undo_depth = varint d in
+            { ck_txid; ck_first; ck_last; ck_undo_depth })
+      in
+      Ckpt_end { start; dirty_pages; active }
     | n -> failwith (Fmt.str "Log_record: bad kind tag %d" n)
   in
   (txid, kind)
@@ -86,5 +133,9 @@ let pp_kind ppf = function
     Fmt.pf ppf "EXT %a rel=%d (%d bytes)" pp_source source rel_id
       (String.length data)
   | Clr { undone } -> Fmt.pf ppf "CLR undone=%Ld" undone
+  | Ckpt_begin -> Fmt.string ppf "CKPT_BEGIN"
+  | Ckpt_end { start; dirty_pages; active } ->
+    Fmt.pf ppf "CKPT_END start=%Ld dpt=%d att=%d" start
+      (List.length dirty_pages) (List.length active)
 
 let pp ppf t = Fmt.pf ppf "%Ld tx%d %a" t.lsn t.txid pp_kind t.kind

@@ -21,6 +21,16 @@ type source =
   | Attachment of int  (** attachment type id *)
   | Catalog  (** common catalog facility *)
 
+(** One active-transaction-table entry captured by a fuzzy checkpoint:
+    enough to seed restart analysis ([ck_first] bounds the truncation point,
+    [ck_last]/[ck_undo_depth] are introspection sanity data). *)
+type ckpt_txn = {
+  ck_txid : txid;
+  ck_first : lsn;  (** first (Begin) LSN of the txn's chain *)
+  ck_last : lsn;  (** newest LSN at snapshot time *)
+  ck_undo_depth : int;  (** outstanding Ext records minus compensations *)
+}
+
 type kind =
   | Begin
   | Commit
@@ -29,6 +39,12 @@ type kind =
   | Ext of { source : source; rel_id : int; data : string }
   | Clr of { undone : lsn }
       (** compensation: the record at [undone] has been undone *)
+  | Ckpt_begin  (** fuzzy checkpoint started; snapshots taken after this *)
+  | Ckpt_end of {
+      start : lsn;  (** LSN of the matching [Ckpt_begin] *)
+      dirty_pages : (int * lsn) list;  (** (page_id, page_lsn) at snapshot *)
+      active : ckpt_txn list;  (** active-transaction table at snapshot *)
+    }  (** checkpoint completed; restart analysis seeds from [start] *)
 
 type t = { lsn : lsn; txid : txid; kind : kind }
 

@@ -2,26 +2,61 @@ type analysis = {
   winners : Log_record.txid list;
   losers : Log_record.txid list;
   undo_work : (Log_record.txid * Log_record.t list) list;
+  restart_lsn : Log_record.lsn;
+  scanned : int;
 }
 
 module Iset = Set.Make (Int)
-module I64set = Set.Make (Int64)
 
+(* Restart analysis seeds from the last complete fuzzy checkpoint when one
+   exists: the scan starts at the checkpoint's [Ckpt_begin] (not the
+   [Ckpt_end]) so transactions that finished while the checkpoint was in
+   flight are still observed, and the checkpoint's active-transaction table
+   pre-loads [started] for transactions whose Begin precedes the scan window.
+   Without a checkpoint the scan starts at the first retained record — the
+   log may have a truncated prefix (base LSN > 0), which is only legal when
+   every dropped record belonged to a finished transaction, so treating the
+   retained suffix as the whole history is sound. *)
 let analyze wal =
-  let started = ref Iset.empty in
+  let seed_start, seed_active =
+    match Wal.last_checkpoint_lsn wal with
+    | l when l = 0L -> (Int64.add (Wal.base_lsn wal) 1L, [])
+    | l -> begin
+      match (Wal.read wal l).Log_record.kind with
+      | Ckpt_end { start; active; _ } -> (start, active)
+      | _ -> (Int64.add (Wal.base_lsn wal) 1L, [])
+    end
+  in
+  let started =
+    ref
+      (List.fold_left
+         (fun s (a : Log_record.ckpt_txn) -> Iset.add a.ck_txid s)
+         Iset.empty seed_active)
+  in
   let finished = ref Iset.empty in
   let winners = ref Iset.empty in
-  let compensated = ref I64set.empty in
-  Wal.iter wal (fun r ->
+  let scanned = ref 0 in
+  Wal.iter_from wal seed_start (fun r ->
+      incr scanned;
       match r.Log_record.kind with
       | Begin -> started := Iset.add r.txid !started
       | Commit ->
         finished := Iset.add r.txid !finished;
         winners := Iset.add r.txid !winners
       | Abort -> finished := Iset.add r.txid !finished
-      | Clr { undone } -> compensated := I64set.add undone !compensated
-      | Savepoint _ | Ext _ -> started := Iset.add r.txid !started);
+      | Clr _ | Savepoint _ | Ext _ -> started := Iset.add r.txid !started
+      | Ckpt_begin | Ckpt_end _ -> ());
   let losers = Iset.diff !started !finished in
+  (* A loser's worklist is its FULL Ext chain: restart deliberately does not
+     skip records a durable Clr claims were already undone. Under
+     WAL-before-page a Clr can reach the durable log (flushed by an eviction
+     mid-rollback or mid-recovery) before the page write it compensates does
+     — trusting it would leave the loser's effect on disk with nobody left
+     to undo it. Extension undo follows the state-checking discipline
+     (verify the post-image is present before reversing), so re-undoing an
+     already-undone record is a no-op; Clrs guide in-session rollback, where
+     the log index and the pages live in the same memory and the ordering
+     question cannot arise. *)
   let undo_work =
     Iset.fold
       (fun txid acc ->
@@ -29,8 +64,10 @@ let analyze wal =
           Wal.records_of_txn wal txid
           |> List.filter (fun (r : Log_record.t) ->
                  match r.kind with
-                 | Ext _ -> not (I64set.mem r.lsn !compensated)
-                 | Begin | Commit | Abort | Savepoint _ | Clr _ -> false)
+                 | Ext _ -> true
+                 | Begin | Commit | Abort | Savepoint _ | Clr _ | Ckpt_begin
+                 | Ckpt_end _ ->
+                   false)
         in
         (txid, work) :: acc)
       losers []
@@ -39,12 +76,15 @@ let analyze wal =
     winners = Iset.elements !winners;
     losers = Iset.elements losers;
     undo_work;
+    restart_lsn = seed_start;
+    scanned = !scanned;
   }
 
 let pp ppf a =
-  Fmt.pf ppf "winners=[%a] losers=[%a] undo=%d records"
+  Fmt.pf ppf "winners=[%a] losers=[%a] undo=%d records (from %Ld, %d scanned)"
     Fmt.(list ~sep:(any ",") int)
     a.winners
     Fmt.(list ~sep:(any ",") int)
     a.losers
     (List.fold_left (fun n (_, rs) -> n + List.length rs) 0 a.undo_work)
+    a.restart_lsn a.scanned

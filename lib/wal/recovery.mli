@@ -1,17 +1,35 @@
 (** Restart-recovery analysis.
 
     Scans the log and classifies transactions into winners (Commit record
-    present) and losers. For each loser it computes the [Ext] records still
-    needing undo — records already compensated by a [Clr] (a crash during an
-    earlier rollback) are excluded. The caller (the extension architecture's
-    undo driver) dispatches each record to the owning extension's undo entry
-    point, newest first, then logs the terminal [Abort]. *)
+    present) and losers. Each loser's worklist is its full [Ext] chain,
+    newest first: restart deliberately ignores [Clr]s, because under
+    WAL-before-page a [Clr] can become durable (flushed by an eviction
+    mid-rollback or mid-recovery) before the page write it compensates —
+    trusting it would strand the loser's effect on disk. Extension undo is
+    state-checking (a no-op when the post-image is absent), so re-undoing
+    costs nothing; [Clr]s guide in-session rollback only. The caller (the
+    extension architecture's undo driver) dispatches each record to the
+    owning extension's undo entry point, newest first, forces the restored
+    pages, and only then logs the terminal [Abort] — a durable Abort must
+    imply durable undo.
+
+    When the log holds a complete fuzzy checkpoint the scan is seeded from
+    it: analysis starts at the checkpoint's [Ckpt_begin] and the
+    active-transaction table pre-loads the started set, so restart work is
+    bounded by the checkpoint interval rather than total log length. A
+    truncated log prefix (base LSN > 0) is tolerated — [winners] then only
+    lists transactions that committed inside the scan window. *)
 
 type analysis = {
   winners : Log_record.txid list;
+      (** committed within the scan window (post-checkpoint) *)
   losers : Log_record.txid list;
   undo_work : (Log_record.txid * Log_record.t list) list;
       (** per loser, Ext records newest-first *)
+  restart_lsn : Log_record.lsn;
+      (** first LSN of the analysis scan: the last complete checkpoint's
+          [Ckpt_begin], or the first retained record when no checkpoint *)
+  scanned : int;  (** records visited by the analysis scan *)
 }
 
 val analyze : Wal.t -> analysis

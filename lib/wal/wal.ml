@@ -9,30 +9,43 @@ let m_fsyncs = Dmx_obs.Metrics.counter "wal.fsyncs"
 (* Physical framed bytes buffered for the log. The in-memory backend frames
    nothing, so it contributes 0 — the hot test path pays no encode cost. *)
 let m_appended_bytes = Dmx_obs.Metrics.counter "wal.appended_bytes"
+let m_truncations = Dmx_obs.Metrics.counter "wal.truncations"
+let m_truncated_bytes = Dmx_obs.Metrics.counter "wal.truncated_bytes"
 let h_flush_us = Dmx_obs.Metrics.histogram "wal.flush_us"
 
 type backend =
   | Mem
   | File of {
-      fd : Unix.file_descr;
-      mutable size : int;  (* bytes written to the file *)
+      mutable fd : Unix.file_descr;
+      path : string;  (* for truncation's rewrite-and-rename *)
+      mutable size : int;  (* bytes written to the file, header included *)
       mutable synced : int;  (* prefix of [size] known durable (fsynced) *)
       buf : Buffer.t;  (* pending records, already framed *)
       mutable buffered : int;  (* record count in [buf] *)
     }
 
+type truncate_phase = Trunc_begin | Trunc_rename | Trunc_done
+
 type t = {
   backend : backend;
-  mutable records : Log_record.t array;  (* index 0 holds LSN 1 *)
+  (* LSNs stay stable across truncation: [base] records have been dropped
+     from the front, so LSN [n] lives at [records.(n - base - 1)]. *)
+  mutable base : int;
+  mutable records : Log_record.t array;  (* index 0 holds LSN base+1 *)
   mutable count : int;
   mutable flushed : Log_record.lsn;
   by_txn : (Log_record.txid, Log_record.t list) Hashtbl.t;  (* newest first *)
   mutable closed : bool;
   mutable append_observer : Log_record.lsn -> unit;
+  mutable truncate_observer : truncate_phase -> unit;
+  mutable last_ckpt : Log_record.lsn;  (* newest complete Ckpt_end; 0 = none *)
+  mutable appended_bytes : int;  (* monotone framed bytes, immune to truncation *)
+  mutable truncations : int;
+  mutable truncated_bytes : int;
 }
 
 let add_index t txid kind =
-  let lsn = Int64.of_int (t.count + 1) in
+  let lsn = Int64.of_int (t.base + t.count + 1) in
   let r = { Log_record.lsn; txid; kind } in
   if t.count >= Array.length t.records then begin
     let bigger =
@@ -45,17 +58,24 @@ let add_index t txid kind =
   t.count <- t.count + 1;
   let chain = Option.value ~default:[] (Hashtbl.find_opt t.by_txn txid) in
   Hashtbl.replace t.by_txn txid (r :: chain);
+  (match kind with Log_record.Ckpt_end _ -> t.last_ckpt <- lsn | _ -> ());
   r
 
 let in_memory () =
   {
     backend = Mem;
+    base = 0;
     records = [||];
     count = 0;
     flushed = 0L;
     by_txn = Hashtbl.create 16;
     closed = false;
     append_observer = ignore;
+    truncate_observer = ignore;
+    last_ckpt = 0L;
+    appended_bytes = 0;
+    truncations = 0;
+    truncated_bytes = 0;
   }
 
 (* Frame: [u32 len][payload][u32 sum-of-bytes checksum] *)
@@ -86,7 +106,24 @@ let really_write fd s =
   in
   loop 0
 
+(* File header: magic + little-endian base LSN. Records start at
+   [header_len]; a truncated log persists its base here so LSNs stay stable
+   across restart. Headerless files (pre-truncation format, or a file whose
+   torn header was dropped) scan from offset 0 with base 0. *)
+let header_magic = "DMXWAL01"
+let header_len = 16
+
+let header_string base =
+  let hdr = Bytes.create header_len in
+  Bytes.blit_string header_magic 0 hdr 0 8;
+  Bytes.set_int64_le hdr 8 (Int64.of_int base);
+  Bytes.unsafe_to_string hdr
+
 let open_file path =
+  (* a crash between truncation's rewrite and rename can leave the temp
+     file behind; the original log is still authoritative *)
+  let tmp = path ^ ".tmp" in
+  if Sys.file_exists tmp then Sys.remove tmp;
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
   let data =
@@ -100,22 +137,36 @@ let open_file path =
     loop 0;
     Bytes.unsafe_to_string buf
   in
+  let headered =
+    size >= header_len && String.sub data 0 8 = header_magic
+  in
+  let base = if headered then Int64.to_int (String.get_int64_le data 8) else 0 in
   let t =
     {
-      backend = File { fd; size = 0; synced = 0; buf = Buffer.create 4096; buffered = 0 };
+      backend =
+        File
+          { fd; path; size = 0; synced = 0; buf = Buffer.create 4096;
+            buffered = 0 };
+      base;
       records = [||];
       count = 0;
       flushed = 0L;
       by_txn = Hashtbl.create 16;
       closed = false;
       append_observer = ignore;
+      truncate_observer = ignore;
+      last_ckpt = 0L;
+      appended_bytes = 0;
+      truncations = 0;
+      truncated_bytes = 0;
     }
   in
   (* Replay frames; stop at the first torn/corrupt frame and truncate it.
      Headers and checksums are decoded at offsets into the one immutable
      string read above — replay is O(log size), not O(size) per frame. *)
-  let pos = ref 0 in
-  let valid_end = ref 0 in
+  let scan_start = if headered then header_len else 0 in
+  let pos = ref scan_start in
+  let valid_end = ref scan_start in
   (try
      while !pos + 8 <= size do
        let len = Int32.to_int (String.get_int32_le data !pos) in
@@ -132,15 +183,28 @@ let open_file path =
   (match t.backend with
   | File f ->
     if !valid_end < size then Unix.ftruncate fd !valid_end;
-    f.size <- !valid_end;
-    f.synced <- !valid_end
+    if !valid_end = 0 then begin
+      (* fresh log (or a fully torn headerless one): stamp the header now;
+         it becomes durable with the first fsync *)
+      ignore (Unix.LargeFile.lseek fd 0L Unix.SEEK_SET);
+      really_write fd (header_string 0);
+      f.size <- header_len;
+      (* counted as synced: losing an unsynced fresh header is harmless —
+         reopen regenerates the identical bytes *)
+      f.synced <- header_len
+    end
+    else begin
+      f.size <- !valid_end;
+      f.synced <- !valid_end
+    end
   | Mem -> ());
-  t.flushed <- Int64.of_int t.count;
+  t.flushed <- Int64.of_int (t.base + t.count);
   t
 
 let check_open t = if t.closed then invalid_arg "Wal: log is closed"
 
 let set_append_observer t f = t.append_observer <- f
+let set_truncate_observer t f = t.truncate_observer <- f
 
 let append t txid kind =
   check_open t;
@@ -151,7 +215,9 @@ let append t txid kind =
   | File f ->
     let before = Buffer.length f.buf in
     frame_into f.buf txid kind;
-    Dmx_obs.Metrics.add m_appended_bytes (Buffer.length f.buf - before);
+    let framed = Buffer.length f.buf - before in
+    t.appended_bytes <- t.appended_bytes + framed;
+    Dmx_obs.Metrics.add m_appended_bytes framed;
     f.buffered <- f.buffered + 1);
   t.append_observer r.Log_record.lsn;
   Dmx_obs.Profile.end_frame fr;
@@ -163,8 +229,13 @@ let append t txid kind =
           ("kind", Dmx_obs.Obs_json.Str (Fmt.str "%a" Log_record.pp_kind kind)) ];
   r.Log_record.lsn
 
-let last_lsn t = Int64.of_int t.count
+let last_lsn t = Int64.of_int (t.base + t.count)
 let flushed_lsn t = t.flushed
+let base_lsn t = Int64.of_int t.base
+let last_checkpoint_lsn t = t.last_ckpt
+let appended_bytes t = t.appended_bytes
+let truncations t = t.truncations
+let truncated_bytes t = t.truncated_bytes
 
 let flush ?upto ?(sync = true) t =
   check_open t;
@@ -235,13 +306,21 @@ let pending_bytes t =
 
 let read t lsn =
   check_open t;
-  let i = Int64.to_int lsn - 1 in
+  let i = Int64.to_int lsn - t.base - 1 in
   if i < 0 || i >= t.count then
-    invalid_arg (Fmt.str "Wal.read: no record at LSN %Ld" lsn);
+    invalid_arg
+      (Fmt.str "Wal.read: no record at LSN %Ld (log covers %d..%d)" lsn
+         (t.base + 1) (t.base + t.count));
   t.records.(i)
 
 let iter t f =
   for i = 0 to t.count - 1 do
+    f t.records.(i)
+  done
+
+let iter_from t lsn f =
+  let start = max 0 (Int64.to_int lsn - t.base - 1) in
+  for i = start to t.count - 1 do
     f t.records.(i)
   done
 
@@ -254,6 +333,83 @@ let records_of_txn t txid =
   Option.value ~default:[] (Hashtbl.find_opt t.by_txn txid)
 
 let record_count t = t.count
+
+(* Drop every record with LSN < [cut], clamped to the covered range — asking
+   to truncate past the end (or before the base) is a no-op on the excess,
+   never an error. The file backend rewrites the retained suffix plus a new
+   header into a temp file, fsyncs it and renames it over the log, so a crash
+   at any point leaves either the old or the new log intact. Pending and
+   unsynced records are folded into the rewrite (the retained suffix is
+   re-framed from the in-memory index), so truncation only ever strengthens
+   durability. Returns (records_dropped, bytes_freed). *)
+let truncate_before t cut =
+  check_open t;
+  let keep_from =
+    min (max (Int64.to_int cut) (t.base + 1)) (t.base + t.count + 1)
+  in
+  let drop = keep_from - t.base - 1 in
+  if drop <= 0 then (0, 0)
+  else begin
+    t.truncate_observer Trunc_begin;
+    let freed =
+      match t.backend with
+      | Mem -> 0
+      | File f ->
+        let tmp = f.path ^ ".tmp" in
+        let fd2 =
+          Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf (header_string (t.base + drop));
+        for i = drop to t.count - 1 do
+          let r = t.records.(i) in
+          frame_into buf r.Log_record.txid r.Log_record.kind
+        done;
+        (try
+           really_write fd2 (Buffer.contents buf);
+           Unix.fsync fd2;
+           t.truncate_observer Trunc_rename
+         with e ->
+           Unix.close fd2;
+           (try Sys.remove tmp with Sys_error _ -> ());
+           raise e);
+        Unix.rename tmp f.path;
+        let old_size = f.size + Buffer.length f.buf in
+        Unix.close f.fd;
+        f.fd <- fd2;
+        f.size <- Buffer.length buf;
+        f.synced <- f.size;
+        Buffer.clear f.buf;
+        f.buffered <- 0;
+        max 0 (old_size - f.size)
+    in
+    Array.blit t.records drop t.records 0 (t.count - drop);
+    t.count <- t.count - drop;
+    t.base <- t.base + drop;
+    let base_lsn = Int64.of_int t.base in
+    Hashtbl.filter_map_inplace
+      (fun _ chain ->
+        match
+          List.filter (fun r -> r.Log_record.lsn > base_lsn) chain
+        with
+        | [] -> None
+        | keep -> Some keep)
+      t.by_txn;
+    if t.last_ckpt <= base_lsn && t.last_ckpt <> 0L then t.last_ckpt <- 0L;
+    t.flushed <- Int64.of_int (t.base + t.count);
+    t.truncations <- t.truncations + 1;
+    t.truncated_bytes <- t.truncated_bytes + freed;
+    Dmx_obs.Metrics.incr m_truncations;
+    Dmx_obs.Metrics.add m_truncated_bytes freed;
+    if Dmx_obs.Trace.enabled () then
+      Dmx_obs.Trace.event "wal.truncate"
+        ~attrs:
+          [ ("cut", Dmx_obs.Obs_json.Int (t.base + 1));
+            ("dropped", Dmx_obs.Obs_json.Int drop);
+            ("bytes", Dmx_obs.Obs_json.Int freed) ];
+    t.truncate_observer Trunc_done;
+    (drop, freed)
+  end
 
 let close t =
   if not t.closed then begin

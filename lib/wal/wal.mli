@@ -8,9 +8,19 @@
     LSNs are 1-based sequence numbers. A file-backed log buffers appended
     records in memory and hardens them on {!flush} (the buffer-pool hook and
     the commit protocol call it); torn tails are detected by checksum and
-    truncated on open. *)
+    truncated on open.
+
+    Checkpoint truncation ({!truncate_before}) drops a prefix of the log
+    without renumbering: the log remembers a {!base_lsn} (persisted in the
+    file header) and every surviving LSN stays valid. *)
 
 type t
+
+(** Where a file rewrite-and-rename truncation is, for crash-injection
+    observers: [Trunc_begin] before any file mutation, [Trunc_rename] after
+    the temp log is written and fsynced but before it replaces the live file,
+    [Trunc_done] after the switch completes. *)
+type truncate_phase = Trunc_begin | Trunc_rename | Trunc_done
 
 val in_memory : unit -> t
 val open_file : string -> t
@@ -25,8 +35,46 @@ val set_append_observer : t -> (Log_record.lsn -> unit) -> unit
     sanitizer's LSN-monotonicity check ([Invariant.lsn_observer]); the
     callback may raise to veto the append's caller. *)
 
+val set_truncate_observer : t -> (truncate_phase -> unit) -> unit
+(** Install a callback fired at each {!truncate_phase} of
+    {!truncate_before} (default: none). The chaos harness points this at a
+    crash injector; the callback may raise, in which case the truncation is
+    abandoned with the old log intact (a temp file may be left behind and is
+    removed on the next {!open_file}). *)
+
 val last_lsn : t -> Log_record.lsn
 val flushed_lsn : t -> Log_record.lsn
+
+val base_lsn : t -> Log_record.lsn
+(** LSNs at or below this have been truncated away; 0 for a full log. The
+    first readable record is [base_lsn + 1]. *)
+
+val last_checkpoint_lsn : t -> Log_record.lsn
+(** LSN of the newest complete [Ckpt_end] record in the log (tracked at
+    append and restored by {!open_file}'s replay); 0 when none. *)
+
+val appended_bytes : t -> int
+(** Monotone total of framed bytes ever appended to this log instance —
+    unlike the file size it never decreases on truncation, so checkpoint
+    policy can meter on it. 0 for memory-backed logs. *)
+
+val truncations : t -> int
+(** Number of {!truncate_before} calls that dropped at least one record. *)
+
+val truncated_bytes : t -> int
+(** Cumulative file bytes freed by truncation on this log instance. *)
+
+val truncate_before : t -> Log_record.lsn -> int * int
+(** [truncate_before t cut] drops every record with LSN < [cut] and returns
+    [(records_dropped, bytes_freed)]. The cut is clamped to the covered
+    range, so an out-of-range cut is a no-op rather than an error. Surviving
+    LSNs are unchanged ({!base_lsn} advances). File-backed logs rewrite the
+    retained suffix plus an updated header into a temp file, fsync it, and
+    rename it over the log — a crash at any point leaves either the old or
+    the new log intact. Pending/unsynced records are folded into the rewrite,
+    so truncation never weakens durability. The caller is responsible for
+    cutting only below the undo horizon (no active transaction's first LSN,
+    and no incomplete checkpoint's start, may be dropped). *)
 
 val flush : ?upto:Log_record.lsn -> ?sync:bool -> t -> unit
 (** Harden records up to [upto] (default: all). All pending records are
@@ -56,6 +104,10 @@ val read : t -> Log_record.lsn -> Log_record.t
 
 val iter : t -> (Log_record.t -> unit) -> unit
 (** Forward scan over all records. *)
+
+val iter_from : t -> Log_record.lsn -> (Log_record.t -> unit) -> unit
+(** Forward scan starting at the given LSN (clamped to the first retained
+    record) — restart analysis seeds here from the last checkpoint. *)
 
 val fold : t -> init:'a -> f:('a -> Log_record.t -> 'a) -> 'a
 

@@ -133,6 +133,44 @@ let test_introspected_crash_sweep () =
        { (config 42) with H.introspect = true }
        H.Mode_crash ~recovery_crash:false)
 
+let test_ckpt_crash_sweep () =
+  (* crash at every disk op with fuzzy checkpoints firing mid-transaction:
+     a slice of the points land inside checkpoint writeback, Ckpt_end
+     logging, and log truncation *)
+  check_report
+    (H.sweep
+       { (config 46) with H.checkpoint_every = 3 }
+       H.Mode_ckpt_crash ~recovery_crash:false)
+
+let test_truncate_crash_sweep () =
+  (* crash at every truncation phase event: before the rewrite, between the
+     tmp-file write and the rename, and right after the swap *)
+  check_report
+    (H.sweep
+       { (config 47) with H.checkpoint_every = 3 }
+       H.Mode_truncate_crash ~recovery_crash:false)
+
+let test_ckpt_recovery_crash_sweep () =
+  (* mid-restart-from-checkpoint: the workload checkpoints (so restart seeds
+     from the last Ckpt_end), crashes, and then the recovery run itself is
+     crashed at a varying gap — restart from a checkpoint must be idempotent *)
+  check_report
+    (H.sweep
+       { (config 48) with H.checkpoint_every = 3 }
+       H.Mode_ckpt_crash ~recovery_crash:true)
+
+let test_restart_equivalence () =
+  (* the differential: same seeded workload, same workload-position crash,
+     with checkpoints off vs on — both recovered states must match the same
+     committed model exactly *)
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list string))
+        (Fmt.str "seed %d restart equivalence" seed)
+        []
+        (H.restart_equivalence (config seed) ~checkpoint_every:3))
+    [ 42; 43; 44 ]
+
 let test_mutation_caught () =
   (* Break btree-index undo on purpose: some fault point must now leave a
      ghost index entry that the oracle reports. A silent pass would mean the
@@ -167,6 +205,14 @@ let suite =
       test_crash_sweep_group_commit;
     Alcotest.test_case "introspected crash sweep" `Quick
       test_introspected_crash_sweep;
+    Alcotest.test_case "crash-in-checkpoint sweep" `Quick
+      test_ckpt_crash_sweep;
+    Alcotest.test_case "crash-in-truncate sweep" `Quick
+      test_truncate_crash_sweep;
+    Alcotest.test_case "crash-during-restart-from-checkpoint sweep" `Quick
+      test_ckpt_recovery_crash_sweep;
+    Alcotest.test_case "restart equivalence with/without checkpoints" `Quick
+      test_restart_equivalence;
     Alcotest.test_case "mutation run: oracle catches broken undo" `Quick
       test_mutation_caught;
   ]

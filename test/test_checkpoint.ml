@@ -1,0 +1,308 @@
+(* Fuzzy checkpoints: log truncation behind the checkpoint LSN, bounded
+   restart (analysis seeded from the last complete checkpoint), the
+   active-transaction horizon, the automatic policy, and torn-checkpoint
+   tolerance. *)
+open Dmx_core
+open Test_util
+module Ddl = Dmx_ddl.Ddl
+module Relation = Dmx_core.Relation
+module Wal = Dmx_wal.Wal
+
+let with_dir f = with_temp_dir ~prefix:"dmx_ckpt" f
+
+let create_emp ctx =
+  check_ok "create"
+    (Ddl.create_relation ctx ~name:"employee" ~schema:emp_schema
+       ~storage_method:"heap" ())
+
+let insert_batch services ~from ~count =
+  let ctx = Services.begin_txn services in
+  let desc = check_ok "find" (Ddl.find_relation ctx "employee") in
+  for i = from to from + count - 1 do
+    ignore (check_ok "ins" (Relation.insert ctx desc (emp i "w" "eng" i)))
+  done;
+  Services.commit services ctx
+
+(* checkpoint truncates the log; restart replays only the tail *)
+let test_truncation_and_bounded_restart () =
+  with_dir (fun dir ->
+      let services = fresh_services ~dir () in
+      let ctx = Services.begin_txn services in
+      ignore (create_emp ctx);
+      Services.commit services ctx;
+      for b = 0 to 4 do
+        insert_batch services ~from:(10 * b) ~count:8
+      done;
+      let before = Wal.record_count services.Services.wal in
+      let stats = Services.checkpoint services in
+      Alcotest.(check bool) "truncated records" true
+        (stats.Services.ck_truncated_records > 0);
+      Alcotest.(check bool) "freed bytes" true
+        (stats.Services.ck_truncated_bytes > 0);
+      Alcotest.(check bool) "no active txns" true
+        (stats.Services.ck_active_txns = 0);
+      let wal = services.Services.wal in
+      Alcotest.(check bool) "base advanced" true (Wal.base_lsn wal > 0L);
+      Alcotest.(check bool) "ckpt recorded" true
+        (Wal.last_checkpoint_lsn wal > Wal.base_lsn wal);
+      Alcotest.(check bool) "log shrank" true
+        (Wal.record_count wal < before);
+      (* LSNs remain stable across truncation *)
+      Alcotest.(check int64) "last_lsn unaffected" stats.Services.ck_lsn
+        (Wal.last_lsn wal);
+      Services.simulate_crash services;
+      let services = fresh_services ~dir () in
+      (match services.Services.last_recovery with
+      | None -> Alcotest.fail "no recovery"
+      | Some a ->
+        Alcotest.(check bool) "restart seeded past LSN 1" true
+          (a.Dmx_wal.Recovery.restart_lsn > 1L);
+        (* the scan covers only the checkpoint itself, not the history *)
+        Alcotest.(check bool) "bounded analysis scan" true
+          (a.Dmx_wal.Recovery.scanned < before / 2));
+      let ctx = Services.begin_txn services in
+      let desc = check_ok "find" (Ddl.find_relation ctx "employee") in
+      Alcotest.(check int) "all committed rows survive" 40
+        (count_records ctx desc);
+      Services.commit services ctx;
+      Services.close services)
+
+(* an active transaction pins the truncation point at its first LSN; its
+   undo chain stays intact through a fuzzy mid-transaction checkpoint *)
+let test_active_txn_pins_truncation () =
+  with_dir (fun dir ->
+      let services = fresh_services ~dir () in
+      let ctx = Services.begin_txn services in
+      ignore (create_emp ctx);
+      Services.commit services ctx;
+      insert_batch services ~from:0 ~count:5;
+      (* open transaction with undoable work, then checkpoint around it *)
+      let ctx = Services.begin_txn services in
+      let desc = check_ok "find" (Ddl.find_relation ctx "employee") in
+      ignore (check_ok "ins" (Relation.insert ctx desc (emp 100 "x" "eng" 1)));
+      let first_lsn =
+        match
+          List.rev
+            (Wal.records_of_txn services.Services.wal
+               ctx.Ctx.txn.Dmx_txn.Txn.id)
+        with
+        | r :: _ -> r.Dmx_wal.Log_record.lsn
+        | [] -> Alcotest.fail "no records for active txn"
+      in
+      let stats = Services.checkpoint services in
+      Alcotest.(check int) "one active txn" 1 stats.Services.ck_active_txns;
+      let wal = services.Services.wal in
+      Alcotest.(check bool) "cut below active txn's first LSN" true
+        (Wal.base_lsn wal < first_lsn);
+      (* more work after the checkpoint, then roll the whole txn back:
+         the undo chain spans the checkpoint and must be fully present *)
+      ignore (check_ok "ins" (Relation.insert ctx desc (emp 101 "y" "eng" 1)));
+      Services.abort services ctx;
+      let ctx = Services.begin_txn services in
+      let desc = check_ok "find" (Ddl.find_relation ctx "employee") in
+      Alcotest.(check int) "aborted rows undone" 5 (count_records ctx desc);
+      Services.commit services ctx;
+      (* with the transaction finished, the next checkpoint truncates past
+         where the previous one was pinned *)
+      let stats2 = Services.checkpoint services in
+      Alcotest.(check bool) "truncation advanced" true
+        (stats2.Services.ck_truncated_records > 0
+        && Wal.base_lsn wal >= first_lsn);
+      Services.close services)
+
+(* restart seeded from a checkpoint taken mid-transaction: the loser's Begin
+   precedes the checkpoint and is only known from the logged ATT *)
+let test_loser_seeded_from_checkpoint_att () =
+  with_dir (fun dir ->
+      let services = fresh_services ~dir () in
+      let ctx = Services.begin_txn services in
+      ignore (create_emp ctx);
+      Services.commit services ctx;
+      insert_batch services ~from:0 ~count:3;
+      let ctx = Services.begin_txn services in
+      let desc = check_ok "find" (Ddl.find_relation ctx "employee") in
+      ignore (check_ok "ins" (Relation.insert ctx desc (emp 50 "x" "eng" 1)));
+      ignore (Services.checkpoint services);
+      ignore (check_ok "ins" (Relation.insert ctx desc (emp 51 "y" "eng" 1)));
+      (* harden the loser's pages and records, then crash without commit *)
+      Dmx_wal.Wal.flush services.Services.wal;
+      Dmx_page.Buffer_pool.flush_all services.Services.bp;
+      Services.simulate_crash services;
+      let services = fresh_services ~dir () in
+      (match services.Services.last_recovery with
+      | None -> Alcotest.fail "no recovery"
+      | Some a ->
+        Alcotest.(check int) "one loser" 1
+          (List.length a.Dmx_wal.Recovery.losers));
+      let ctx = Services.begin_txn services in
+      let desc = check_ok "find" (Ddl.find_relation ctx "employee") in
+      Alcotest.(check int) "loser undone, committed intact" 3
+        (count_records ctx desc);
+      Services.commit services ctx;
+      Services.close services)
+
+(* the automatic policy fires from the post-commit hook *)
+let test_auto_policy_records () =
+  with_dir (fun dir ->
+      let services = fresh_services ~dir () in
+      Services.set_checkpoint_policy ~every_records:10 services;
+      Alcotest.(check (pair int int)) "policy armed" (10, 0)
+        (Services.checkpoint_policy services);
+      let ctx = Services.begin_txn services in
+      ignore (create_emp ctx);
+      Services.commit services ctx;
+      for b = 0 to 3 do
+        insert_batch services ~from:(10 * b) ~count:5
+      done;
+      let wal = services.Services.wal in
+      Alcotest.(check bool) "auto checkpoint happened" true
+        (Wal.last_checkpoint_lsn wal > 0L);
+      Alcotest.(check bool) "auto truncation happened" true
+        (Wal.truncations wal > 0);
+      Services.close services)
+
+let test_auto_policy_bytes () =
+  with_dir (fun dir ->
+      let services = fresh_services ~dir () in
+      Services.set_checkpoint_policy ~every_bytes:512 services;
+      let ctx = Services.begin_txn services in
+      ignore (create_emp ctx);
+      Services.commit services ctx;
+      for b = 0 to 3 do
+        insert_batch services ~from:(10 * b) ~count:5
+      done;
+      Alcotest.(check bool) "byte policy fired" true
+        (Wal.truncations services.Services.wal > 0);
+      Services.close services)
+
+(* DMX_CHECKPOINT_EVERY parsing via a real mount *)
+let test_env_policy_parsing () =
+  let with_env v f =
+    Unix.putenv "DMX_CHECKPOINT_EVERY" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "DMX_CHECKPOINT_EVERY" "") f
+  in
+  with_env "25" (fun () ->
+      let services = fresh_services () in
+      Alcotest.(check (pair int int)) "records form" (25, 0)
+        (Services.checkpoint_policy services));
+  with_env "64kb" (fun () ->
+      let services = fresh_services () in
+      Alcotest.(check (pair int int)) "kb form" (0, 64 * 1024)
+        (Services.checkpoint_policy services));
+  with_env "2mb" (fun () ->
+      let services = fresh_services () in
+      Alcotest.(check (pair int int)) "mb form" (0, 2 * 1024 * 1024)
+        (Services.checkpoint_policy services));
+  with_env "800b" (fun () ->
+      let services = fresh_services () in
+      Alcotest.(check (pair int int)) "b form" (0, 800)
+        (Services.checkpoint_policy services));
+  with_env "nonsense" (fun () ->
+      let services = fresh_services () in
+      Alcotest.(check (pair int int)) "garbage disables" (0, 0)
+        (Services.checkpoint_policy services));
+  let services = fresh_services () in
+  Alcotest.(check (pair int int)) "empty/unset disables" (0, 0)
+    (Services.checkpoint_policy services)
+
+(* a torn Ckpt_end is treated as absent: restart falls back to the previous
+   horizon and committed state is untouched *)
+let test_torn_ckpt_end_tolerated () =
+  with_dir (fun dir ->
+      let services = fresh_services ~dir () in
+      let ctx = Services.begin_txn services in
+      ignore (create_emp ctx);
+      Services.commit services ctx;
+      insert_batch services ~from:0 ~count:4;
+      (* no truncation, so the Ckpt_end is the last frame in the file *)
+      ignore (Services.checkpoint ~truncate:false services);
+      Alcotest.(check bool) "ckpt present" true
+        (Wal.last_checkpoint_lsn services.Services.wal > 0L);
+      Wal.simulate_torn_tail services.Services.wal ~bytes_to_truncate:1;
+      Services.simulate_crash services;
+      let services = fresh_services ~dir () in
+      let wal = services.Services.wal in
+      Alcotest.(check int64) "torn checkpoint treated as absent" 0L
+        (Wal.last_checkpoint_lsn wal);
+      (match services.Services.last_recovery with
+      | None -> Alcotest.fail "no recovery"
+      | Some a ->
+        Alcotest.(check int64) "analysis falls back to log start" 1L
+          a.Dmx_wal.Recovery.restart_lsn);
+      let ctx = Services.begin_txn services in
+      let desc = check_ok "find" (Ddl.find_relation ctx "employee") in
+      Alcotest.(check int) "committed rows intact" 4 (count_records ctx desc);
+      Services.commit services ctx;
+      Services.close services)
+
+(* a crash during truncation (before the rename) leaves the old log intact *)
+let test_crash_before_truncate_rename () =
+  with_dir (fun dir ->
+      let services = fresh_services ~dir () in
+      let ctx = Services.begin_txn services in
+      ignore (create_emp ctx);
+      Services.commit services ctx;
+      insert_batch services ~from:0 ~count:4;
+      let records_before = Wal.record_count services.Services.wal in
+      Wal.set_truncate_observer services.Services.wal (function
+        | Wal.Trunc_rename -> failwith "injected crash before rename"
+        | Wal.Trunc_begin | Wal.Trunc_done -> ());
+      (match Services.checkpoint services with
+      | _ -> Alcotest.fail "expected injected crash"
+      | exception Failure _ -> ());
+      Services.simulate_crash services;
+      let services = fresh_services ~dir () in
+      let wal = services.Services.wal in
+      Alcotest.(check int64) "no truncation took effect" 0L (Wal.base_lsn wal);
+      (* the completed Ckpt_end record itself is in the old log (appended and
+         flushed before truncation started), so restart still seeds there *)
+      Alcotest.(check bool) "checkpoint usable" true
+        (Wal.last_checkpoint_lsn wal > 0L);
+      Alcotest.(check bool) "history plus checkpoint records" true
+        (Wal.record_count wal >= records_before);
+      let ctx = Services.begin_txn services in
+      let desc = check_ok "find" (Ddl.find_relation ctx "employee") in
+      Alcotest.(check int) "rows intact" 4 (count_records ctx desc);
+      Services.commit services ctx;
+      Services.close services)
+
+(* DMX_SANITIZE: undo referencing an LSN at/below the truncation point *)
+let test_sanitizer_undo_below_base () =
+  Invariant.set_enabled_for_testing (Some true);
+  Fun.protect
+    ~finally:(fun () -> Invariant.set_enabled_for_testing None)
+    (fun () ->
+      (match
+         Invariant.check_undo_above_base ~txid:7 ~lsn:5L ~base:10L
+       with
+      | () -> Alcotest.fail "expected Invariant_violation"
+      | exception Invariant.Invariant_violation _ -> ());
+      (* at the boundary: lsn = base is also truncated away *)
+      (match
+         Invariant.check_undo_above_base ~txid:7 ~lsn:10L ~base:10L
+       with
+      | () -> Alcotest.fail "expected Invariant_violation at boundary"
+      | exception Invariant.Invariant_violation _ -> ());
+      Invariant.check_undo_above_base ~txid:7 ~lsn:11L ~base:10L;
+      (* untruncated log: everything passes *)
+      Invariant.check_undo_above_base ~txid:7 ~lsn:1L ~base:0L)
+
+let suite =
+  [
+    Alcotest.test_case "checkpoint truncates; restart is bounded" `Quick
+      test_truncation_and_bounded_restart;
+    Alcotest.test_case "active txn pins the truncation point" `Quick
+      test_active_txn_pins_truncation;
+    Alcotest.test_case "loser seeded from checkpoint ATT" `Quick
+      test_loser_seeded_from_checkpoint_att;
+    Alcotest.test_case "auto policy (records)" `Quick test_auto_policy_records;
+    Alcotest.test_case "auto policy (bytes)" `Quick test_auto_policy_bytes;
+    Alcotest.test_case "DMX_CHECKPOINT_EVERY parsing" `Quick
+      test_env_policy_parsing;
+    Alcotest.test_case "torn Ckpt_end tolerated as absent" `Quick
+      test_torn_ckpt_end_tolerated;
+    Alcotest.test_case "crash before truncate rename keeps old log" `Quick
+      test_crash_before_truncate_rename;
+    Alcotest.test_case "sanitizer: undo below truncation point" `Quick
+      test_sanitizer_undo_below_base;
+  ]

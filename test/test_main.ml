@@ -15,6 +15,7 @@ let () =
       ("attach", Test_attach.suite);
       ("integration", Test_integration.suite);
       ("recovery", Test_recovery.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("query", Test_query.suite);
       ("concurrency", Test_concurrency.suite);
       ("authz", Test_authz.suite);

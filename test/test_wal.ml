@@ -310,12 +310,17 @@ let test_recovery_analysis () =
   in
   Alcotest.(check (list string)) "tx3 undo newest-first" [ "3b"; "3a" ]
     (work_of 3);
-  (* 4b was already compensated: only 4a remains *)
-  Alcotest.(check (list string)) "tx4 skips compensated" [ "4a" ] (work_of 4)
+  (* 4b already has a Clr, but restart re-undoes it anyway: a Clr can become
+     durable before the page write it compensates, so trusting it could
+     strand the effect on disk; state-checking undo makes the repeat a no-op *)
+  Alcotest.(check (list string)) "tx4 keeps compensated records"
+    [ "4b"; "4a" ] (work_of 4)
 
 let test_analysis_fully_compensated () =
   (* a loser whose every Ext was already undone by Clrs before the crash:
-     still a loser, but with an empty undo worklist *)
+     still a loser, and restart re-undoes the full chain regardless — the
+     Clrs' durability proves nothing about the compensating page writes,
+     and state-checking undo turns the repeats into no-ops *)
   let w = Wal.in_memory () in
   ignore (Wal.append w 1 LR.Begin);
   let l_a = Wal.append w 1 (ext "a") in
@@ -324,7 +329,7 @@ let test_analysis_fully_compensated () =
   ignore (Wal.append w 1 (LR.Clr { undone = l_a }));
   let a = Recovery.analyze w in
   Alcotest.(check (list int)) "still a loser" [ 1 ] a.Recovery.losers;
-  Alcotest.(check int) "nothing left to undo" 0
+  Alcotest.(check int) "the full chain is re-undone" 2
     (List.length (List.assoc 1 a.undo_work))
 
 let test_analysis_interleaved () =
@@ -383,7 +388,240 @@ let test_log_record_codec () =
   roundtrip (ext "payload \000 with nul");
   roundtrip (LR.Ext { source = LR.Attachment 3; rel_id = 9; data = "" });
   roundtrip (LR.Ext { source = LR.Catalog; rel_id = 0; data = "c" });
-  roundtrip (LR.Clr { undone = 123456789L })
+  roundtrip (LR.Clr { undone = 123456789L });
+  roundtrip LR.Ckpt_begin;
+  roundtrip (LR.Ckpt_end { start = 0L; dirty_pages = []; active = [] });
+  roundtrip
+    (LR.Ckpt_end
+       {
+         start = 42L;
+         dirty_pages = [ (1, 5L); (7, 900L) ];
+         active =
+           [
+             { LR.ck_txid = 3; ck_first = 2L; ck_last = 40L; ck_undo_depth = 4 };
+             { LR.ck_txid = 8; ck_first = 39L; ck_last = 39L; ck_undo_depth = 0 };
+           ];
+       })
+
+(* Property: a Ckpt_end with any dirty-page and active-transaction tables
+   survives the codec unchanged. *)
+let prop_ckpt_end_roundtrip =
+  let open QCheck in
+  let lsn = map ~rev:Int64.to_int Int64.of_int small_nat in
+  Test.make ~name:"ckpt_end codec roundtrips any tables" ~count:100
+    (triple lsn
+       (small_list (pair small_nat lsn))
+       (small_list (quad small_nat lsn lsn small_nat)))
+    (fun (start, dirty_pages, att) ->
+      let active =
+        List.map
+          (fun (t, f, l, d) ->
+            { LR.ck_txid = t; ck_first = f; ck_last = l; ck_undo_depth = d })
+          att
+      in
+      let kind = LR.Ckpt_end { start; dirty_pages; active } in
+      let e = Dmx_value.Codec.Enc.create () in
+      LR.encode e 0 kind;
+      let txid, kind' =
+        LR.decode
+          (Dmx_value.Codec.Dec.of_string (Dmx_value.Codec.Enc.to_string e))
+      in
+      txid = 0 && kind = kind')
+
+(* ---- log truncation ---- *)
+
+let test_truncate_before_mem () =
+  let w = Wal.in_memory () in
+  ignore (Wal.append w 1 LR.Begin);
+  ignore (Wal.append w 1 (ext "a"));
+  ignore (Wal.append w 1 LR.Commit);
+  ignore (Wal.append w 2 LR.Begin);
+  let l_b = Wal.append w 2 (ext "b") in
+  let dropped, _ = Wal.truncate_before w 4L in
+  Alcotest.(check int) "three dropped" 3 dropped;
+  Alcotest.(check int64) "base advanced" 3L (Wal.base_lsn w);
+  Alcotest.(check int) "two retained" 2 (Wal.record_count w);
+  (* surviving LSNs are stable *)
+  (match (Wal.read w l_b).LR.kind with
+  | LR.Ext { data = "b"; _ } -> ()
+  | _ -> Alcotest.fail "surviving record moved");
+  (match Wal.read w 2L with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "read below base accepted");
+  (* the sequence keeps counting from where it was *)
+  Alcotest.(check int64) "lsns keep ascending" 6L (Wal.append w 2 LR.Commit);
+  (* per-txn chains only lose the truncated records *)
+  Alcotest.(check int) "txn 1 chain gone" 0 (List.length (Wal.records_of_txn w 1));
+  Alcotest.(check int) "txn 2 chain intact" 3
+    (List.length (Wal.records_of_txn w 2));
+  (* a cut at or below the base is a no-op, not an error *)
+  let dropped, freed = Wal.truncate_before w 2L in
+  Alcotest.(check int) "below-base cut drops nothing" 0 dropped;
+  Alcotest.(check int) "and frees nothing" 0 freed
+
+let test_truncate_before_file_reopen () =
+  let path = Filename.temp_file "dmx_wal_trunc" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let w = Wal.open_file path in
+      ignore (Wal.append w 1 LR.Begin);
+      ignore (Wal.append w 1 (ext "old-old-old"));
+      ignore (Wal.append w 1 LR.Commit);
+      ignore (Wal.append w 2 LR.Begin);
+      ignore (Wal.append w 2 (ext "kept"));
+      Wal.flush w;
+      let size_before = (Unix.stat path).Unix.st_size in
+      let dropped, freed = Wal.truncate_before w 4L in
+      Alcotest.(check int) "three dropped" 3 dropped;
+      Alcotest.(check bool) "bytes freed" true (freed > 0);
+      Alcotest.(check bool) "file shrank" true
+        ((Unix.stat path).Unix.st_size < size_before);
+      Wal.close w;
+      let w2 = Wal.open_file path in
+      Alcotest.(check int64) "base survives reopen" 3L (Wal.base_lsn w2);
+      Alcotest.(check int) "retained records replayed" 2 (Wal.record_count w2);
+      Alcotest.(check int64) "last lsn preserved" 5L (Wal.last_lsn w2);
+      (match (Wal.read w2 5L).LR.kind with
+      | LR.Ext { data = "kept"; _ } -> ()
+      | _ -> Alcotest.fail "retained record corrupted");
+      ignore (Wal.append w2 2 LR.Commit);
+      Wal.flush w2;
+      Wal.close w2;
+      let w3 = Wal.open_file path in
+      Alcotest.(check int) "appendable after truncate+reopen" 3
+        (Wal.record_count w3);
+      Wal.close w3)
+
+let test_truncate_folds_pending () =
+  (* records still sitting in the flush buffer are folded into the rewrite:
+     truncation never weakens durability, even for bytes the caller had not
+     flushed yet *)
+  let path = Filename.temp_file "dmx_wal_fold" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let w = Wal.open_file path in
+      ignore (Wal.append w 1 LR.Begin);
+      ignore (Wal.append w 1 LR.Commit);
+      Wal.flush w;
+      ignore (Wal.append w 2 LR.Begin);
+      ignore (Wal.append w 2 (ext "pending"));
+      Alcotest.(check bool) "records pending" true (Wal.pending_records w > 0);
+      ignore (Wal.truncate_before w 3L);
+      Alcotest.(check int) "rewrite consumed the buffer" 0
+        (Wal.pending_records w);
+      (* process kill right after: buffered records would normally be lost *)
+      Wal.abandon w;
+      let w2 = Wal.open_file path in
+      Alcotest.(check int64) "base" 2L (Wal.base_lsn w2);
+      Alcotest.(check int) "pending records survived via the rewrite" 2
+        (Wal.record_count w2);
+      (match (Wal.read w2 4L).LR.kind with
+      | LR.Ext { data = "pending"; _ } -> ()
+      | _ -> Alcotest.fail "folded record corrupted");
+      Wal.close w2)
+
+let test_torn_ckpt_end_every_offset () =
+  (* Cut the log at every byte offset inside a final Ckpt_end frame: each
+     cut must drop exactly that frame, and a torn checkpoint must read back
+     as "no checkpoint" (restart falls back to the previous seed). *)
+  let path = Filename.temp_file "dmx_wal_ckcut" ".log" in
+  Sys.remove path;
+  let ck =
+    LR.Ckpt_end
+      {
+        start = 1L;
+        dirty_pages = [ (1, 1L); (2, 2L) ];
+        active =
+          [ { LR.ck_txid = 9; ck_first = 1L; ck_last = 2L; ck_undo_depth = 1 } ];
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let build () =
+        let w = Wal.open_file path in
+        ignore (Wal.append w 1 LR.Begin);
+        ignore (Wal.append w 1 (ext "work"));
+        ignore (Wal.append w 0 ck);
+        Wal.flush w;
+        w
+      in
+      let last_frame =
+        let w = Wal.open_file path in
+        ignore (Wal.append w 1 LR.Begin);
+        ignore (Wal.append w 1 (ext "work"));
+        Wal.flush w;
+        let prefix = (Unix.stat path).Unix.st_size in
+        ignore (Wal.append w 0 ck);
+        Wal.flush w;
+        let full = (Unix.stat path).Unix.st_size in
+        Wal.close w;
+        full - prefix
+      in
+      for cut = 0 to last_frame do
+        Sys.remove path;
+        let w = build () in
+        Wal.simulate_torn_tail w ~bytes_to_truncate:cut;
+        Wal.abandon w;
+        let w2 = Wal.open_file path in
+        Alcotest.(check int)
+          (Fmt.str "cut %d of %d" cut last_frame)
+          (if cut = 0 then 3 else 2)
+          (Wal.record_count w2);
+        Alcotest.(check int64)
+          (Fmt.str "ckpt visibility at cut %d" cut)
+          (if cut = 0 then 3L else 0L)
+          (Wal.last_checkpoint_lsn w2);
+        Wal.close w2
+      done)
+
+let test_analysis_seeded_from_ckpt () =
+  (* txn 1 commits before the checkpoint (not rescanned), txn 2 is in the
+     checkpoint's ATT and never finishes (loser, undo work reaching below
+     the scan window), txn 3 begins and commits while the checkpoint is in
+     flight (winner: the scan starts at Ckpt_begin, not Ckpt_end) *)
+  let w = Wal.in_memory () in
+  ignore (Wal.append w 1 LR.Begin);
+  ignore (Wal.append w 1 (ext "1a"));
+  ignore (Wal.append w 1 LR.Commit);
+  let l2_begin = Wal.append w 2 LR.Begin in
+  let l2a = Wal.append w 2 (ext "2a") in
+  let begin_lsn = Wal.append w 0 LR.Ckpt_begin in
+  ignore (Wal.append w 3 LR.Begin);
+  ignore (Wal.append w 3 (ext "3a"));
+  ignore (Wal.append w 3 LR.Commit);
+  ignore
+    (Wal.append w 0
+       (LR.Ckpt_end
+          {
+            start = begin_lsn;
+            dirty_pages = [];
+            active =
+              [
+                { LR.ck_txid = 2; ck_first = l2_begin; ck_last = l2a;
+                  ck_undo_depth = 1 };
+              ];
+          }));
+  ignore (Wal.append w 2 (ext "2b"));
+  let a = Recovery.analyze w in
+  Alcotest.(check int64) "restart seeds at Ckpt_begin" begin_lsn
+    a.Recovery.restart_lsn;
+  Alcotest.(check int) "only the tail rescanned" 6 a.Recovery.scanned;
+  Alcotest.(check (list int)) "mid-checkpoint commit is a winner" [ 3 ]
+    a.Recovery.winners;
+  Alcotest.(check (list int)) "ATT seeds the loser" [ 2 ] a.Recovery.losers;
+  let work =
+    List.assoc 2 a.Recovery.undo_work
+    |> List.map (fun (r : LR.t) ->
+           match r.kind with LR.Ext { data; _ } -> data | _ -> "?")
+  in
+  Alcotest.(check (list string))
+    "undo work reaches below the scan window, newest first" [ "2b"; "2a" ]
+    work
 
 (* Property: any torn tail leaves a readable prefix of the log. *)
 let prop_torn_tail_prefix =
@@ -448,4 +686,15 @@ let suite =
     Alcotest.test_case "analysis: loser with no ext records" `Quick
       test_analysis_zero_ext_loser;
     Alcotest.test_case "log record codec" `Quick test_log_record_codec;
+    QCheck_alcotest.to_alcotest prop_ckpt_end_roundtrip;
+    Alcotest.test_case "truncate_before (memory)" `Quick
+      test_truncate_before_mem;
+    Alcotest.test_case "truncate_before survives reopen (file)" `Quick
+      test_truncate_before_file_reopen;
+    Alcotest.test_case "truncation folds pending records" `Quick
+      test_truncate_folds_pending;
+    Alcotest.test_case "torn Ckpt_end at every offset reads as no checkpoint"
+      `Quick test_torn_ckpt_end_every_offset;
+    Alcotest.test_case "analysis seeded from checkpoint" `Quick
+      test_analysis_seeded_from_ckpt;
   ]

@@ -30,11 +30,17 @@ type config = {
   introspect : bool;
       (* after the oracle, ask the recovered engine about itself through the
          dmx_* system views: no leaked txns, no foreign lock grants *)
+  checkpoint_every : int;
+      (* harness-driven fuzzy checkpoints: one Services.checkpoint every this
+         many workload operations, deliberately landing mid-transaction so
+         the dirty-page and active-transaction tables are non-empty; 0 = off
+         (the default, keeping pre-checkpoint fault schedules unchanged) *)
 }
 
 let default_config ~seed =
   { seed; n_txns = 5; ops_per_txn = 6; pool_capacity = 8;
-    recovery_crash_gap = None; group_commit = 1; introspect = false }
+    recovery_crash_gap = None; group_commit = 1; introspect = false;
+    checkpoint_every = 0 }
 
 type fault_plan =
   | No_fault
@@ -42,6 +48,14 @@ type fault_plan =
   | Write_error_nth of int
   | Sync_error_nth of int
   | Torn_write_nth of int
+  | Truncate_crash_at of int
+      (* crash at the nth log-truncation phase event (Trunc_begin /
+         Trunc_rename / Trunc_done across all checkpoints of the episode) *)
+  | Crash_after_op of int
+      (* crash right after the nth workload operation — a harness-level
+         crash point, so the same plan lands at the same committed prefix
+         whether or not checkpoints run in between (the restart-equivalence
+         differential depends on this) *)
 
 let pp_plan ppf = function
   | No_fault -> Fmt.string ppf "no-fault"
@@ -49,6 +63,8 @@ let pp_plan ppf = function
   | Write_error_nth n -> Fmt.pf ppf "write-error#%d" n
   | Sync_error_nth n -> Fmt.pf ppf "sync-error#%d" n
   | Torn_write_nth n -> Fmt.pf ppf "torn-write#%d" n
+  | Truncate_crash_at n -> Fmt.pf ppf "truncate-crash@%d" n
+  | Crash_after_op n -> Fmt.pf ppf "crash-after-op@%d" n
 
 type episode = {
   ep_ops : int;  (* page-store ops consumed by the workload itself *)
@@ -56,6 +72,8 @@ type episode = {
   ep_syncs : int;
   ep_fault : string option;
   ep_recovery_crashes : int;
+  ep_checkpoints : int;  (* fuzzy checkpoints the harness drove *)
+  ep_trunc_phases : int;  (* truncation phase events (crash-point domain) *)
   ep_failures : string list;
 }
 
@@ -169,14 +187,19 @@ let apply_op ctx (model : M.t) descp descc sp_counter op =
     end
   end
 
-let run_txn services (model : M.t) (script : W.txn_script) =
+let run_txn ?(after_op = ignore) services (model : M.t) (script : W.txn_script)
+    =
   let ctx = Services.begin_txn services in
   M.begin_txn model;
   let descp = req "find p" (Dmx_ddl.Ddl.find_relation ctx "p") in
   let descc = req "find c" (Dmx_ddl.Ddl.find_relation ctx "c") in
   let sp = ref 0 in
   match
-    List.iter (apply_op ctx model descp descc sp) script.W.tx_ops;
+    List.iter
+      (fun op ->
+        apply_op ctx model descp descc sp op;
+        after_op ())
+      script.W.tx_ops;
     if script.W.tx_abort then begin
       Services.abort services ctx;
       `Aborted
@@ -286,6 +309,8 @@ let apply_plan fd = function
   | Write_error_nth n -> Fault_disk.plan_write_error fd ~nth:n
   | Sync_error_nth n -> Fault_disk.plan_sync_error fd ~nth:n
   | Torn_write_nth n -> Fault_disk.plan_torn_write fd ~nth:n
+  | Truncate_crash_at _ | Crash_after_op _ ->
+    () (* armed at the harness level, not inside the fault disk *)
 
 let run_episode cfg plan =
   Chaos_util.with_temp_dir ~prefix:"dmx_chaos" (fun dir ->
@@ -305,6 +330,7 @@ let run_episode cfg plan =
         | Some s -> s
         | None -> failf "harness bug: services used before setup"
       in
+      let trunc_phases = ref 0 in
       let setup_services () =
         let s =
           Services.setup ~dir ~disk:(Fault_disk.disk fd)
@@ -312,7 +338,41 @@ let run_episode cfg plan =
         in
         if cfg.group_commit > 1 then
           Dmx_txn.Txn_mgr.set_group_commit s.Services.txn_mgr cfg.group_commit;
+        (* Count truncation phases always (they are the crash-point domain
+           for truncate sweeps) and, when the plan says so, turn the nth
+           phase event into a power loss in the middle of the rewrite. *)
+        Dmx_wal.Wal.set_truncate_observer s.Services.wal (fun _phase ->
+            incr trunc_phases;
+            match plan with
+            | Truncate_crash_at n when !trunc_phases = n ->
+              raise
+                (Fault_disk.Injected
+                   { op = Fault_disk.op_count fd; fault = Fault_disk.Crash })
+            | _ -> ());
         s
+      in
+      (* Harness-driven fuzzy checkpoints: fire every [checkpoint_every]
+         workload ops, i.e. mid-transaction, so the dirty-page and
+         active-transaction tables are non-trivial.  Deliberately NOT wired
+         through the auto commit hook: a crash inside a post-commit
+         checkpoint would leave the engine committed but the model not,
+         turning the oracle into a false alarm. *)
+      let op_counter = ref 0 in
+      let checkpoints = ref 0 in
+      let after_op () =
+        incr op_counter;
+        if cfg.checkpoint_every > 0
+           && !op_counter mod cfg.checkpoint_every = 0
+        then begin
+          ignore (Services.checkpoint (live ()));
+          incr checkpoints
+        end;
+        match plan with
+        | Crash_after_op n when !op_counter = n ->
+          raise
+            (Fault_disk.Injected
+               { op = Fault_disk.op_count fd; fault = Fault_disk.Crash })
+        | _ -> ()
       in
       (* Committed snapshots, newest first. With group commit a crash may
          lose a suffix of committed transactions, so the post-crash oracle
@@ -332,7 +392,7 @@ let run_episode cfg plan =
           push_history ();
           List.iter
             (fun txn ->
-              run_txn (live ()) model txn;
+              run_txn ~after_op (live ()) model txn;
               push_history ())
             script.W.w_txns
         with
@@ -409,6 +469,8 @@ let run_episode cfg plan =
             (fun (op, f) -> Fmt.str "%s@op%d" (Fault_disk.fault_to_string f) op)
             !fault;
         ep_recovery_crashes = !recovery_crashes;
+        ep_checkpoints = !checkpoints;
+        ep_trunc_phases = !trunc_phases;
         ep_failures = failures;
       })
 
@@ -419,11 +481,11 @@ let safe_episode cfg plan =
   | ep -> ep
   | exception Chaos_failure msg ->
     { ep_ops = 0; ep_writes = 0; ep_syncs = 0; ep_fault = None;
-      ep_recovery_crashes = 0;
+      ep_recovery_crashes = 0; ep_checkpoints = 0; ep_trunc_phases = 0;
       ep_failures = [ "expectation mismatch: " ^ msg ] }
   | exception Fault_disk.Injected { op; fault } ->
     { ep_ops = 0; ep_writes = 0; ep_syncs = 0; ep_fault = None;
-      ep_recovery_crashes = 0;
+      ep_recovery_crashes = 0; ep_checkpoints = 0; ep_trunc_phases = 0;
       ep_failures =
         [ Fmt.str "fault %s@op%d escaped the harness"
             (Fault_disk.fault_to_string fault) op ] }
@@ -432,22 +494,31 @@ let safe_episode cfg plan =
        oracle's scans: the system broke, which is exactly what the report
        must say — a sweep never dies on one bad point *)
     { ep_ops = 0; ep_writes = 0; ep_syncs = 0; ep_fault = None;
-      ep_recovery_crashes = 0;
+      ep_recovery_crashes = 0; ep_checkpoints = 0; ep_trunc_phases = 0;
       ep_failures = [ "episode raised: " ^ Printexc.to_string e ] }
 
 (* ---- sweeps ---- *)
 
-type mode = Mode_crash | Mode_io_error | Mode_torn
+type mode =
+  | Mode_crash
+  | Mode_io_error
+  | Mode_torn
+  | Mode_ckpt_crash
+  | Mode_truncate_crash
 
 let mode_to_string = function
   | Mode_crash -> "crash"
   | Mode_io_error -> "io-error"
   | Mode_torn -> "torn"
+  | Mode_ckpt_crash -> "ckpt-crash"
+  | Mode_truncate_crash -> "truncate-crash"
 
 let mode_of_string = function
   | "crash" -> Some Mode_crash
   | "io-error" | "io_error" -> Some Mode_io_error
   | "torn" -> Some Mode_torn
+  | "ckpt-crash" | "ckpt_crash" -> Some Mode_ckpt_crash
+  | "truncate-crash" | "truncate_crash" -> Some Mode_truncate_crash
   | _ -> None
 
 type point_result = {
@@ -470,8 +541,24 @@ let points_of_mode mode (clean : episode) =
     List.init clean.ep_writes (fun i -> Write_error_nth (i + 1))
     @ List.init clean.ep_syncs (fun i -> Sync_error_nth (i + 1))
   | Mode_torn -> List.init clean.ep_writes (fun i -> Torn_write_nth (i + 1))
+  | Mode_ckpt_crash ->
+    (* every disk op is a candidate power-loss point, and with checkpoints
+       interleaved a slice of those points land inside checkpoint writeback,
+       Ckpt_end logging, and truncation itself *)
+    List.init clean.ep_ops (fun i -> Crash_at (i + 1))
+  | Mode_truncate_crash ->
+    List.init clean.ep_trunc_phases (fun i -> Truncate_crash_at (i + 1))
 
 let sweep ?(progress = ignore) cfg mode ~recovery_crash =
+  let cfg =
+    (* the checkpoint modes are meaningless without checkpoints: default the
+       cadence on rather than silently sweeping zero points *)
+    match mode with
+    | (Mode_ckpt_crash | Mode_truncate_crash) when cfg.checkpoint_every <= 0
+      ->
+      { cfg with checkpoint_every = 3 }
+    | _ -> cfg
+  in
   let clean = run_episode cfg No_fault in
   if clean.ep_failures <> [] then
     { sr_seed = cfg.seed; sr_mode = mode; sr_clean_ops = clean.ep_ops;
@@ -496,6 +583,35 @@ let sweep ?(progress = ignore) cfg mode ~recovery_crash =
     { sr_seed = cfg.seed; sr_mode = mode; sr_clean_ops = clean.ep_ops;
       sr_points = List.length points; sr_bad = List.rev !bad }
   end
+
+(* ---- restart equivalence: checkpoints must not change recovered state ----
+
+   Crash the same seeded workload at the same *workload* position twice —
+   once with checkpoints off, once with them on — and reopen both.  Because
+   [Crash_after_op] counts harness-level operations (not disk ops), both
+   runs lose power with the identical committed prefix, and the oracle pins
+   each recovered engine to the exact committed model state.  Both passing
+   therefore proves the two recovered states are identical: checkpointing
+   and truncation changed restart cost, not restart outcome. *)
+
+let restart_equivalence ?(samples = 5) cfg ~checkpoint_every =
+  let total = cfg.n_txns * cfg.ops_per_txn in
+  let step = max 1 (total / samples) in
+  let failures = ref [] in
+  let episode tag cfg plan =
+    let ep = safe_episode cfg plan in
+    List.iter
+      (fun f ->
+        failures :=
+          Fmt.str "%a [%s]: %s" pp_plan plan tag f :: !failures)
+      ep.ep_failures
+  in
+  for i = 0 to samples - 1 do
+    let plan = Crash_after_op (1 + (i * step)) in
+    episode "without-ckpt" { cfg with checkpoint_every = 0 } plan;
+    episode "with-ckpt" { cfg with checkpoint_every } plan
+  done;
+  List.rev !failures
 
 (* ---- reporting ---- *)
 

@@ -28,6 +28,11 @@ type config = {
           the recovered engine's own accounting shows no leaked transactions
           or lock grants. Mounted after the workload's op counts are
           captured, so fault schedules stay deterministic *)
+  checkpoint_every : int;
+      (** harness-driven fuzzy checkpoints: one [Services.checkpoint] every
+          this many workload operations, landing mid-transaction so the
+          dirty-page and active-transaction tables are non-empty (0 = off,
+          the default — keeps fault schedules identical to the seed suite) *)
 }
 
 val default_config : seed:int -> config
@@ -38,6 +43,14 @@ type fault_plan =
   | Write_error_nth of int  (** the nth page write fails, one-shot *)
   | Sync_error_nth of int  (** the nth sync fails, one-shot *)
   | Torn_write_nth of int  (** the nth write tears mid-page, then power loss *)
+  | Truncate_crash_at of int
+      (** power loss at the nth log-truncation phase event
+          ([Trunc_begin]/[Trunc_rename]/[Trunc_done] across the episode's
+          checkpoints) — crashes inside the log rewrite itself *)
+  | Crash_after_op of int
+      (** power loss right after the nth workload operation — harness-level,
+          so the same plan hits the same committed prefix with or without
+          checkpoints (the restart-equivalence differential relies on it) *)
 
 val pp_plan : Format.formatter -> fault_plan -> unit
 
@@ -47,6 +60,10 @@ type episode = {
   ep_syncs : int;
   ep_fault : string option;
   ep_recovery_crashes : int;
+  ep_checkpoints : int;  (** fuzzy checkpoints the harness drove *)
+  ep_trunc_phases : int;
+      (** truncation phase events observed — the crash-point domain for
+          [Mode_truncate_crash] *)
   ep_failures : string list;  (** [[]] = consistent *)
 }
 
@@ -58,7 +75,16 @@ val run_episode : config -> fault_plan -> episode
 val safe_episode : config -> fault_plan -> episode
 (** Like {!run_episode} but converts escaped exceptions into failures. *)
 
-type mode = Mode_crash | Mode_io_error | Mode_torn
+type mode =
+  | Mode_crash
+  | Mode_io_error
+  | Mode_torn
+  | Mode_ckpt_crash
+      (** crash at every page-store op with checkpoints interleaved in the
+          workload — a slice of the points land inside checkpoint writeback,
+          [Ckpt_end] logging, and truncation *)
+  | Mode_truncate_crash
+      (** crash at every truncation phase event — power loss mid-rewrite *)
 
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode option
@@ -79,6 +105,15 @@ val sweep :
 (** A clean run sizes the schedule (N ops, W writes, S syncs); then one
     episode per fault point: crash at every op ([Mode_crash]), every write
     and sync error ([Mode_io_error]), or every torn write ([Mode_torn]). *)
+
+val restart_equivalence :
+  ?samples:int -> config -> checkpoint_every:int -> string list
+(** Crash the same seeded workload at [samples] evenly spaced workload
+    positions, once with checkpoints off and once with the given cadence,
+    and reopen both. [Crash_after_op] pins both runs to the identical
+    committed prefix and the oracle pins each recovered engine to the exact
+    committed model state, so an empty result proves checkpointing and
+    truncation changed restart cost, not restart outcome. *)
 
 val pp_seed_report : Format.formatter -> seed_report -> unit
 val report_json : seed_report list -> string
