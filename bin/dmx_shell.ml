@@ -8,6 +8,9 @@
      select * from emp where salary > 100
      select name, salary from emp where id = 1
      select * from emp join dept on dept=name where salary > 100
+     prepare p1 select * from emp where salary > ?0
+     execute p1 (100)
+     deallocate p1
      explain select * from emp where id = 1
      explain analyze select * from emp join dept on dept=name
      update emp set salary = 200 where id = 1
@@ -92,6 +95,9 @@ let kw s = String.lowercase_ascii s
 type state = {
   db : Db.t;
   mutable txn : Dmx_core.Ctx.t option;  (* explicit transaction, if any *)
+  (* prepared statements: name -> parsed query (with ?N parameter holes)
+     and its projection; execute binds values and runs the cached plan *)
+  prepared : (string, Query.t * string list option) Hashtbl.t;
 }
 
 let ok = function
@@ -185,6 +191,19 @@ let parse_values toks =
   match toks with
   | Lpar :: rest -> loop [] rest
   | _ -> err "expected ( before values"
+
+(* the raw statement from its first occurrence of [after] (case-insensitive)
+   to the end: "prepare p1 select ..." -> "select ..." *)
+let stmt_tail line ~after =
+  let lower = String.lowercase_ascii line in
+  let n = String.length lower and m = String.length after in
+  let rec find i =
+    if i + m > n then err "expected: ... %s ..." after
+    else if String.sub lower i m = after then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub line i (String.length line - i)
 
 (* everything after WHERE, as raw text for the predicate parser *)
 let raw_after_where line =
@@ -437,6 +456,34 @@ let exec_line st line =
       with_ctx st (fun ctx ->
           let rows = ok (Db.query st.db ctx q ()) in
           print_rows (Option.map Fun.id project) rows)
+    | "prepare", Word name :: Word s :: _ when kw s = "select" ->
+      (* Parse once; ?N markers become Expr.Param holes that execute binds.
+         Planning is deferred to first execution and then reused via the
+         bound-plan cache keyed on the query shape. *)
+      let stmt = stmt_tail line ~after:"select" in
+      let q, project = parse_select stmt (tokenize stmt) in
+      Hashtbl.replace st.prepared name (q, project);
+      Fmt.pr "PREPARE %s fingerprint=%s@." name
+        (Dmx_query.Fingerprint.hex (Dmx_query.Fingerprint.of_text stmt))
+    | "execute", Word name :: rest -> begin
+      match Hashtbl.find_opt st.prepared name with
+      | None -> err "no prepared statement %S (prepare %s select ...)" name name
+      | Some (q, project) ->
+        let params =
+          match rest with
+          | [] -> [||]
+          | Lpar :: _ -> fst (parse_values rest)
+          | _ -> err "expected: execute %s [(v1, v2, ...)]" name
+        in
+        with_ctx st (fun ctx ->
+            let rows = ok (Db.query st.db ctx q ~params ()) in
+            print_rows project rows)
+    end
+    | "deallocate", [ Word name ] ->
+      if not (Hashtbl.mem st.prepared name) then
+        err "no prepared statement %S" name;
+      Hashtbl.remove st.prepared name;
+      Fmt.pr "DEALLOCATE %s@." name
     | "explain", Word a :: _ when kw a = "analyze" ->
       (* explain analyze <select ...>: execute with per-operator stats *)
       let stmt = String.sub line 16 (String.length line - 16) in
@@ -645,7 +692,8 @@ let banner =
   "dmx shell — a data management extension architecture (SIGMOD 1987)\n\
    type statements, or 'quit'. tables: create/drop/describe; attachments:\n\
    create index/constraint/trigger ... using <type> with k=v; dml:\n\
-   insert/select/update/delete; txns: begin/commit/abort/savepoint."
+   insert/select/update/delete; prepare/execute (?N parameters); txns:\n\
+   begin/commit/abort/savepoint."
 
 let () =
   let dir = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
@@ -656,7 +704,7 @@ let () =
   Dmx_obs.Profile.set_enabled true;
   Db.register_defaults ();
   let db = Db.open_database ?dir () in
-  let st = { db; txn = None } in
+  let st = { db; txn = None; prepared = Hashtbl.create 8 } in
   print_endline banner;
   (try
      while true do

@@ -343,18 +343,21 @@ let hi_admits hi key =
   | Incl b -> compare_prefix key b <= 0
   | Excl b -> compare_prefix key b < 0
 
-(* Find the first entry strictly after [after] (or satisfying [lo] when
-   [after] is None), walking the leaf chain from the descent point. The
-   cursor remembers the leaf it last delivered from, so sequential access
-   costs O(1) amortized node reads; the full descent happens only on the
-   first step, after [seek], or when the hinted page stopped being a leaf. *)
-let find_next c =
+(* A key is admitted when it lies strictly after the cursor position (or
+   satisfies [lo] on the first step). *)
+let cursor_admits c key =
+  match c.last with
+  | Some k -> compare_full key k > 0
+  | None -> lo_admits c.lo key
+
+(* Find the leaf holding the first entry strictly after the cursor position,
+   walking the leaf chain from the descent point; returns its entries and
+   the following leaf's page id. The cursor remembers the leaf it last
+   delivered from, so sequential access costs O(1) amortized node reads; the
+   full descent happens only on the first step, after [seek], or when the
+   hinted page stopped being a leaf. *)
+let find_next_leaf c =
   let t = c.tree in
-  let admits key =
-    match c.last with
-    | Some k -> compare_full key k > 0
-    | None -> lo_admits c.lo key
-  in
   let descend_key =
     match c.last with
     | Some k -> Some k
@@ -377,13 +380,12 @@ let find_next c =
     if page_id = 0 then None
     else
       match read_node t page_id with
-      | Leaf { entries; next } -> begin
-        match List.find_opt (fun (k, _) -> admits k) entries with
-        | Some hit ->
+      | Leaf { entries; next } ->
+        if List.exists (fun (k, _) -> cursor_admits c k) entries then begin
           c.leaf_hint <- page_id;
-          Some hit
-        | None -> scan_leaf next
-      end
+          Some (entries, next)
+        end
+        else scan_leaf next
       | Internal _ -> failwith "Btree: leaf chain hit an internal node"
   in
   let start =
@@ -394,6 +396,12 @@ let find_next c =
       | Internal _ -> to_leaf t.root  (* was the root; it split *)
   in
   scan_leaf start
+
+let find_next c =
+  match find_next_leaf c with
+  | None -> None
+  | Some (entries, _next) ->
+    List.find_opt (fun (k, _) -> cursor_admits c k) entries
 
 let next c =
   if c.finished then None
@@ -410,6 +418,42 @@ let next c =
       else begin
         c.finished <- true;
         None
+      end
+
+(* Deliver every remaining in-window entry of the next leaf as one run; the
+   cursor ends up on the run's last key, so a [seek] to a captured position
+   between runs re-enters exactly after it. The returned page id is the
+   following leaf (0 at the chain's end, or when the window closes inside
+   this leaf) — batch scans prefetch it before handing the run out. *)
+let next_run c =
+  if c.finished then None
+  else
+    match find_next_leaf c with
+    | None ->
+      c.finished <- true;
+      None
+    | Some (entries, next_leaf) ->
+      let run = ref [] in
+      let over = ref false in
+      List.iter
+        (fun ((k, _) as e) ->
+          if (not !over) && cursor_admits c k then
+            if hi_admits c.hi k then run := e :: !run else over := true)
+        entries;
+      begin
+        match List.rev !run with
+        | [] ->
+          c.finished <- true;
+          None
+        | hits ->
+          let arr = Array.of_list hits in
+          let k, _ = arr.(Array.length arr - 1) in
+          c.last <- Some k;
+          if !over then begin
+            c.finished <- true;
+            Some (arr, 0)
+          end
+          else Some (arr, next_leaf)
       end
 
 let position c = c.last

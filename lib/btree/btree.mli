@@ -62,6 +62,15 @@ val cursor : ?lo:bound -> ?hi:bound -> t -> cursor
 
 val next : cursor -> (Value.t array * string) option
 
+val next_run : cursor -> ((Value.t array * string) array * int) option
+(** Deliver every remaining in-window entry of the next leaf as one run,
+    advancing the cursor onto the run's last key — the vectorized step the
+    [btree_org] batch scan uses, one run per leaf. The [int] is the page id
+    of the following leaf (0 when the chain or the key window ends), handed
+    back so the caller can prefetch it before consuming the run. Mixing
+    {!next} and {!next_run} on one cursor is allowed; both respect the same
+    position. *)
+
 val position : cursor -> Value.t array option
 (** The key the cursor is "on" (last returned), for savepoint capture. *)
 

@@ -12,6 +12,14 @@ type record_scan = {
   rs_capture : unit -> (unit -> unit);
 }
 
+type record_run = (Record_key.t * Record.t) array
+
+type run_scan = {
+  rn_next : unit -> record_run option;
+  rn_close : unit -> unit;
+  rn_capture : unit -> (unit -> unit);
+}
+
 type key_scan = {
   ks_next : unit -> Record_key.t option;
   ks_close : unit -> unit;

@@ -30,6 +30,23 @@ type record_scan = {
   rs_capture : unit -> (unit -> unit);
 }
 
+(** One run of a vectorized scan: records delivered in scan order. Runs are
+    never empty — a producer whose remaining records are all filtered out
+    returns [None] from [rn_next] instead of an empty array. *)
+type record_run = (Record_key.t * Record.t) array
+
+(** The batch counterpart of {!record_scan}: same key-sequential order and
+    scan-position semantics, delivered a run at a time. The scan position
+    after [rn_next] is *on the last record of the run*; [rn_capture]
+    snapshots between runs. Dispatched through [Registry.Vec.sm_scan_batch],
+    which defaults to chunking the method's record-at-a-time scan, so a
+    native producer is purely an optimization. *)
+type run_scan = {
+  rn_next : unit -> record_run option;
+  rn_close : unit -> unit;
+  rn_capture : unit -> (unit -> unit);
+}
+
 (** A key-sequential stream of record keys from an access-path attachment
     ("access paths ... support direct-by-key and (optionally) key-sequential
     accesses which return the storage method key"). *)

@@ -28,6 +28,19 @@ let check_pin_balance ~at bp =
         Fmt.(list ~sep:comma (fun ppf (page, pins) -> pf ppf "page %d (%d pin%s)" page pins (if pins = 1 then "" else "s")))
         leaks
 
+let check_scan_balance ~at (txn : Dmx_txn.Txn.t) =
+  if enabled () then
+    match txn.Dmx_txn.Txn.scans with
+    | [] -> ()
+    | leaks ->
+      violation
+        "open-scan leak detected at %s: %d scan%s still registered on txn %d \
+         — every scan opened during a transaction must be closed by the \
+         operation that opened it before commit"
+        at (List.length leaks)
+        (if List.length leaks = 1 then "" else "s")
+        txn.Dmx_txn.Txn.id
+
 let lsn_observer ~source () =
   let last = ref Int64.min_int in
   fun lsn ->

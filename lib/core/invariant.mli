@@ -28,6 +28,15 @@ val check_pin_balance : at:string -> Dmx_page.Buffer_pool.t -> unit
     surviving pin is a leak that will eventually wedge eviction. [at] names
     the boundary for the report. *)
 
+val check_scan_balance : at:string -> Dmx_txn.Txn.t -> unit
+(** Raise unless every scan registered on the transaction was closed. Called
+    at commit ([Services.commit]) {e before} the transaction manager
+    force-closes survivors — a scan still registered there means some
+    operator opened a scan it never closed. Abort is deliberately exempt:
+    aborting with scans open is the normal error path, and
+    [Txn.close_all_scans] reclaims them. [at] names the boundary for the
+    report. *)
+
 val lsn_observer : source:string -> unit -> Dmx_wal.Log_record.lsn -> unit
 (** A fresh monotonicity monitor for one log: feeding it a non-increasing
     LSN raises. [Services.setup] installs one per WAL via

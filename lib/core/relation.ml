@@ -376,6 +376,19 @@ let register_record_scan ctx (scan : Intf.record_scan) =
         scan.rs_close ());
   }
 
+let register_run_scan ctx (scan : Intf.run_scan) =
+  let id =
+    Ctx.register_scan ctx
+      { Txn.scan_close = scan.rn_close; scan_capture = scan.rn_capture }
+  in
+  {
+    scan with
+    rn_close =
+      (fun () ->
+        Ctx.unregister_scan ctx id;
+        scan.rn_close ());
+  }
+
 let register_key_scan ctx (scan : Intf.key_scan) =
   let id =
     Ctx.register_scan ctx
@@ -396,6 +409,18 @@ let scan ctx desc ?lo ?hi ?filter () =
         Registry.storage_method desc.Descriptor.smethod_id
       in
       Ok (register_record_scan ctx (M.scan ctx desc ?lo ?hi ?filter ())))
+
+(* Vectorized scan through the optional batch vector entry; the default
+   chunks the method's record-at-a-time scan, so every storage method is
+   batch-scannable. *)
+let scan_batch ctx desc ?(lo = Intf.Unbounded) ?(hi = Intf.Unbounded) ?filter
+    () =
+  rel_span ctx desc "scan_batch" (fun () ->
+      let* () = lock_relation ctx desc Dmx_lock.Lock_mode.IS in
+      Ok
+        (register_run_scan ctx
+           (Registry.Vec.sm_scan_batch.(desc.Descriptor.smethod_id) ctx desc
+              ~lo ~hi ~filter)))
 
 let lookup ctx desc ~attachment_id ~instance ~key =
   rel_span ctx desc "lookup" @@ fun () ->

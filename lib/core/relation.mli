@@ -53,6 +53,14 @@ val scan :
     registered with the transaction: closed at termination, position captured
     at savepoints, restored after partial rollback. *)
 
+val scan_batch :
+  Ctx.t -> Descriptor.t -> ?lo:Intf.key_bound -> ?hi:Intf.key_bound ->
+  ?filter:Dmx_expr.Expr.t -> unit -> (Intf.run_scan, Error.t) result
+(** Vectorized key-sequential access, dispatched through the storage method's
+    optional [sm_scan_batch] vector entry (default: chunk the record-at-a-time
+    scan into runs of [Scan_help.run_length]). Same ordering, filtering and
+    transaction registration as {!scan}, delivered a run at a time. *)
+
 val lookup :
   Ctx.t -> Descriptor.t -> attachment_id:int -> instance:int ->
   key:Value.t array -> (Record_key.t list, Error.t) result

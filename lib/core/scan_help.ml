@@ -1,18 +1,109 @@
-let filtered ?filter ~next ~close ~capture () =
+(* Run length for vectorized scans: DMX_SCAN_BATCH, default 256. *)
+let default_run_length = 256
+let run_length_override = ref None [@@dmx.global "config-immutable-after-setup"]
+let set_run_length_for_testing n = run_length_override := n
+
+let run_length () =
+  match !run_length_override with
+  | Some n -> n
+  | None -> begin
+    match Sys.getenv_opt "DMX_SCAN_BATCH" with
+    | Some s -> begin
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> default_run_length
+    end
+    | None -> default_run_length
+  end
+
+(* The predicate service: compile the filter once per scan open when the
+   caller can supply the schema; fall back to the interpreter otherwise. *)
+let compiled_test ?filter ?schema () =
+  match filter with
+  | None -> None
+  | Some pred -> begin
+    match schema with
+    | Some schema -> Some (Dmx_expr.Eval.compile schema pred)
+    | None -> Some (fun record -> Dmx_expr.Eval.test record pred)
+  end
+
+let filtered ?filter ?schema ~next ~close ~capture () =
+  let test = compiled_test ?filter ?schema () in
   let rs_next () =
     let rec loop () =
       match next () with
       | None -> None
       | Some (_key, record) as hit -> begin
-        match filter with
+        match test with
         | None -> hit
-        | Some pred ->
-          if Dmx_expr.Eval.test record pred then hit else loop ()
+        | Some test -> if test record then hit else loop ()
       end
     in
     loop ()
   in
   { Intf.rs_next; rs_close = close; rs_capture = capture }
+
+let filtered_batch ?filter ?schema ~next_run ~close ~capture () =
+  let test = compiled_test ?filter ?schema () in
+  let rn_next () =
+    match test with
+    | None -> next_run ()
+    | Some test ->
+      let rec loop () =
+        match next_run () with
+        | None -> None
+        | Some run ->
+          let n = Array.length run in
+          let count = ref 0 in
+          for i = 0 to n - 1 do
+            let _, record = run.(i) in
+            if test record then begin
+              (* compact qualifying hits toward the front in place: the raw
+                 run is ours (producers build a fresh array per run) *)
+              run.(!count) <- run.(i);
+              incr count
+            end
+          done;
+          if !count = 0 then loop ()
+          else if !count = n then Some run
+          else Some (Array.sub run 0 !count)
+      in
+      loop ()
+  in
+  { Intf.rn_next; rn_close = close; rn_capture = capture }
+
+let runs_of_scan ?filter ?schema (s : Intf.record_scan) =
+  let test = compiled_test ?filter ?schema () in
+  let admits record =
+    match test with None -> true | Some test -> test record
+  in
+  let n = run_length () in
+  let rn_next () =
+    let rec first () =
+      match s.rs_next () with
+      | None -> None
+      | Some ((_key, record) as hit) ->
+        if admits record then Some hit else first ()
+    in
+    match first () with
+    | None -> None
+    | Some hit ->
+      let buf = ref [hit] in
+      let count = ref 1 in
+      (try
+         while !count < n do
+           match s.rs_next () with
+           | None -> raise Exit
+           | Some ((_key, record) as hit) ->
+             if admits record then begin
+               buf := hit :: !buf;
+               incr count
+             end
+         done
+       with Exit -> ());
+      Some (Array.of_list (List.rev !buf))
+  in
+  { Intf.rn_next; rn_close = s.rs_close; rn_capture = s.rs_capture }
 
 let key_scan_of ~next ~close ~capture () =
   { Intf.ks_next = next; ks_close = close; ks_capture = capture }
@@ -24,6 +115,16 @@ let record_scan_to_list (s : Intf.record_scan) =
       s.rs_close ();
       List.rev acc
     | Some hit -> loop (hit :: acc)
+  in
+  loop []
+
+let run_scan_to_list (s : Intf.run_scan) =
+  let rec loop acc =
+    match s.rn_next () with
+    | None ->
+      s.rn_close ();
+      List.rev acc
+    | Some run -> loop (List.rev_append (Array.to_list run) acc)
   in
   loop []
 

@@ -2,17 +2,50 @@
 
     [filtered] wraps a raw producer with the common predicate-evaluation
     service so that non-qualifying records are skipped inside the extension,
-    while the field values are still in the buffer pool (paper p. 223). *)
+    while the field values are still in the buffer pool (paper p. 223).
+    When the caller supplies the relation [schema], the filter is compiled
+    ({!Dmx_expr.Eval.compile}) once per scan open instead of interpreted per
+    record. [filtered_batch] and [runs_of_scan] are the run-at-a-time
+    counterparts used by the vectorized read path. *)
 
 open Dmx_value
 
+val run_length : unit -> int
+(** Records per run for vectorized scans: [DMX_SCAN_BATCH] when set to a
+    positive integer, else 256. *)
+
+val set_run_length_for_testing : int option -> unit
+(** Override (or, with [None], un-override) {!run_length} — tests only. *)
+
 val filtered :
   ?filter:Dmx_expr.Expr.t ->
+  ?schema:Schema.t ->
   next:(unit -> (Record_key.t * Record.t) option) ->
   close:(unit -> unit) ->
   capture:(unit -> unit -> unit) ->
   unit ->
   Intf.record_scan
+
+val filtered_batch :
+  ?filter:Dmx_expr.Expr.t ->
+  ?schema:Schema.t ->
+  next_run:(unit -> Intf.record_run option) ->
+  close:(unit -> unit) ->
+  capture:(unit -> unit -> unit) ->
+  unit ->
+  Intf.run_scan
+(** Wrap a raw run producer with the predicate service. Runs that filter to
+    empty are skipped — [rn_next] never yields an empty run. The producer
+    must yield a fresh array per run: filtering compacts qualifying records
+    in place rather than rebuilding the array. *)
+
+val runs_of_scan :
+  ?filter:Dmx_expr.Expr.t -> ?schema:Schema.t -> Intf.record_scan ->
+  Intf.run_scan
+(** Chunk a record-at-a-time scan into runs of {!run_length} — the default
+    behaviour of the [sm_scan_batch] vector slot for storage methods without
+    a native batch producer. The underlying scan position after a run is on
+    that run's last record, so capture/close delegate directly. *)
 
 val key_scan_of :
   next:(unit -> Record_key.t option) ->
@@ -23,5 +56,8 @@ val key_scan_of :
 
 val record_scan_to_list : Intf.record_scan -> (Record_key.t * Record.t) list
 (** Drain and close — convenience for tests and internal bulk reads. *)
+
+val run_scan_to_list : Intf.run_scan -> (Record_key.t * Record.t) list
+(** Drain and close a run scan, flattening its runs. *)
 
 val key_scan_to_list : Intf.key_scan -> Record_key.t list

@@ -291,6 +291,9 @@ let begin_txn t =
 
 let commit t ctx =
   ignore t;
+  (* Before Txn_mgr.commit: close_all_scans inside [finish] would hide the
+     leak this check reports. *)
+  Invariant.check_scan_balance ~at:"commit" ctx.Ctx.txn;
   Dmx_txn.Txn_mgr.commit ctx.Ctx.txn_mgr ctx.Ctx.txn;
   Invariant.check_pin_balance ~at:"commit" ctx.Ctx.bp;
   Invariant.check_span_balance ~at:"commit"

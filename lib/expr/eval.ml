@@ -116,14 +116,25 @@ let rec eval_v params record (e : Expr.t) : Value.t =
     else params.(i)
   | Not a -> value_of_truth (t_not (eval_t params record a))
   | And (a, b) ->
-    value_of_truth (t_and (eval_t params record a) (eval_t params record b))
+    (* binary operands evaluate left to right — OCaml leaves application
+       order unspecified, and the compiled path must agree on which
+       operand's error surfaces *)
+    let ta = eval_t params record a in
+    let tb = eval_t params record b in
+    value_of_truth (t_and ta tb)
   | Or (a, b) ->
-    value_of_truth (t_or (eval_t params record a) (eval_t params record b))
+    let ta = eval_t params record a in
+    let tb = eval_t params record b in
+    value_of_truth (t_or ta tb)
   | Cmp (op, a, b) ->
-    value_of_truth (cmp op (eval_v params record a) (eval_v params record b))
+    let va = eval_v params record a in
+    let vb = eval_v params record b in
+    value_of_truth (cmp op va vb)
   | Is_null a -> Value.Bool (eval_v params record a = Value.Null)
   | Arith (op, a, b) ->
-    arith op (eval_v params record a) (eval_v params record b)
+    let va = eval_v params record a in
+    let vb = eval_v params record b in
+    arith op va vb
   | Neg a -> begin
     match eval_v params record a with
     | Value.Null -> Value.Null
@@ -153,7 +164,9 @@ let rec eval_v params record (e : Expr.t) : Value.t =
     let v = eval_v params record a in
     let lo = eval_v params record lo in
     let hi = eval_v params record hi in
-    value_of_truth (t_and (cmp Expr.Ge v lo) (cmp Expr.Le v hi))
+    let ge = cmp Expr.Ge v lo in
+    let le = cmp Expr.Le v hi in
+    value_of_truth (t_and ge le)
   | Call (name, args) -> begin
     match Func.find name with
     | None -> err "unknown function %s" name
@@ -177,3 +190,475 @@ let no_params : Value.t array = [||]
 let eval ?(params = no_params) record e = eval_v params record e
 let truth ?(params = no_params) record e = eval_t params record e
 let test ?(params = no_params) record e = eval_t params record e = True
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-closure path.
+
+   [compile] turns an expression into a closure tree once per plan so the
+   per-record cost is a few indirect calls instead of a tree walk: field
+   offsets are resolved (and bounds-validated against the schema) at compile
+   time, constant subtrees are folded to their value, and comparison
+   operators are specialized to a direct [int -> bool] decision plus an
+   Int/Int fast path. Nodes the compiler does not support ([Param], [Call])
+   fall back to an interpreter closure over the same subtree, so compiled
+   and interpreted evaluation are observably identical — including which
+   errors are raised, and when. *)
+
+let cmp_decision : Expr.cmp -> int -> bool = function
+  | Eq -> fun c -> c = 0
+  | Ne -> fun c -> c <> 0
+  | Lt -> fun c -> c < 0
+  | Le -> fun c -> c <= 0
+  | Gt -> fun c -> c > 0
+  | Ge -> fun c -> c >= 0
+
+(* [Param] needs per-call bindings and [Call] user functions can observe
+   their arguments; both stay on the interpreter. *)
+let rec compilable (e : Expr.t) =
+  match e with
+  | Const _ | Field _ -> true
+  | Param _ | Call _ -> false
+  | Not a | Is_null a | Neg a | Like (a, _) | In_list (a, _) -> compilable a
+  | And (a, b) | Or (a, b) | Cmp (_, a, b) | Arith (_, a, b) ->
+    compilable a && compilable b
+  | Between (a, b, c) -> compilable a && compilable b && compilable c
+
+(* Fold a record-independent subtree, preserving evaluate-time errors:
+   [1 / 0] must still raise on every call, not at compile time. *)
+let fold_const e : Record.t -> Value.t =
+  match eval_v no_params [||] e with
+  | v -> fun _ -> v
+  | exception Error msg -> fun _ -> raise (Error msg)
+
+let rec compile_v arity (e : Expr.t) : Record.t -> Value.t =
+  if not (compilable e) then fun record -> eval_v no_params record e
+  else if Expr.fields_used e = [] then fold_const e
+  else
+    match e with
+    | Const v -> fun _ -> v
+    | Field i ->
+      if i < 0 || i >= arity then
+        (* out of schema: keep the interpreter's per-record diagnostics *)
+        fun record -> eval_v no_params record e
+      else
+        fun record ->
+          if i >= Array.length record then err "field $%d out of range" i
+          else Array.unsafe_get record i
+    | Param _ | Call _ -> fun record -> eval_v no_params record e
+    | Not a ->
+      let fa = compile_t arity a in
+      fun record -> value_of_truth (t_not (fa record))
+    | And (a, b) ->
+      let fa = compile_t arity a and fb = compile_t arity b in
+      fun record ->
+        let ta = fa record in
+        let tb = fb record in
+        value_of_truth (t_and ta tb)
+    | Or (a, b) ->
+      let fa = compile_t arity a and fb = compile_t arity b in
+      fun record ->
+        let ta = fa record in
+        let tb = fb record in
+        value_of_truth (t_or ta tb)
+    | Cmp (op, a, b) ->
+      let f = compile_cmp arity op a b in
+      fun record -> value_of_truth (f record)
+    | Is_null a ->
+      let fa = compile_v arity a in
+      fun record -> Value.Bool (fa record = Value.Null)
+    | Arith (op, a, b) ->
+      let fa = compile_v arity a and fb = compile_v arity b in
+      fun record ->
+        let va = fa record in
+        let vb = fb record in
+        arith op va vb
+    | Neg a ->
+      let fa = compile_v arity a in
+      fun record -> begin
+        match fa record with
+        | Value.Null -> Value.Null
+        | Value.Int i -> Value.Int (Int64.neg i)
+        | Value.Float f -> Value.Float (-.f)
+        | v -> err "negation of %a" Value.pp v
+      end
+    | Like (a, pattern) ->
+      let fa = compile_v arity a in
+      fun record -> begin
+        match fa record with
+        | Value.Null -> Value.Null
+        | Value.String s -> Value.Bool (like_match ~pattern s)
+        | v -> err "LIKE on %a" Value.pp v
+      end
+    | In_list (a, vs) ->
+      let fa = compile_v arity a in
+      let any_null = List.exists (fun x -> x = Value.Null) vs in
+      fun record -> begin
+        match fa record with
+        | Value.Null -> Value.Null
+        | v ->
+          if List.exists (fun x -> cmp Expr.Eq v x = True) vs then
+            Value.Bool true
+          else if any_null then Value.Null
+          else Value.Bool false
+      end
+    | Between (a, lo, hi) ->
+      let fa = compile_v arity a in
+      let flo = compile_v arity lo in
+      let fhi = compile_v arity hi in
+      fun record ->
+        let v = fa record in
+        let lo = flo record in
+        let hi = fhi record in
+        let ge = cmp Expr.Ge v lo in
+        let le = cmp Expr.Le v hi in
+        value_of_truth (t_and ge le)
+
+and compile_cmp arity op a b : Record.t -> truth =
+  let decide = cmp_decision op in
+  let general va vb =
+    match va, vb with
+    | Value.Null, _ | _, Value.Null -> Unknown
+    | _ -> begin
+      match compare_values va vb with
+      | None -> err "cannot compare %a with %a" Value.pp va Value.pp vb
+      | Some c -> truth_of_bool (decide c)
+    end
+  in
+  let fa = compile_v arity a and fb = compile_v arity b in
+  (* Most scan filters are [field <op> constant] over ints; pin the constant
+     and compare without re-dispatching on the right-hand side. *)
+  match
+    if compilable b && Expr.fields_used b = [] then
+      match eval_v no_params [||] b with
+      | v -> Some v
+      | exception Error _ -> None
+    else None
+  with
+  | Some (Value.Int y) ->
+    fun record -> begin
+      match fa record with
+      | Value.Int x -> truth_of_bool (decide (Int64.compare x y))
+      | va -> general va (Value.Int y)
+    end
+  | Some (Value.String y) ->
+    fun record -> begin
+      match fa record with
+      | Value.String x -> truth_of_bool (decide (String.compare x y))
+      | va -> general va (Value.String y)
+    end
+  | _ ->
+    fun record ->
+      let va = fa record in
+      let vb = fb record in
+      begin
+        match va, vb with
+        | Value.Int x, Value.Int y ->
+          truth_of_bool (decide (Int64.compare x y))
+        | va, vb -> general va vb
+      end
+
+and compile_t arity (e : Expr.t) : Record.t -> truth =
+  match e with
+  | _ when not (compilable e) -> fun record -> eval_t no_params record e
+  | Not a ->
+    let fa = compile_t arity a in
+    fun record -> t_not (fa record)
+  | And (a, b) ->
+    let fa = compile_t arity a and fb = compile_t arity b in
+    fun record ->
+      let ta = fa record in
+      let tb = fb record in
+      t_and ta tb
+  | Or (a, b) ->
+    let fa = compile_t arity a and fb = compile_t arity b in
+    fun record ->
+      let ta = fa record in
+      let tb = fb record in
+      t_or ta tb
+  | Cmp (op, a, b) -> compile_cmp arity op a b
+  | Between _ | Is_null _ | Like _ | In_list _ | Const _ | Field _ | Param _
+  | Call _ | Arith _ | Neg _ ->
+    let fv = compile_v arity e in
+    fun record -> truth_of_value (fv record)
+
+let compile_truth schema e = compile_t (Schema.arity schema) e
+
+let compile schema e =
+  let f = compile_t (Schema.arity schema) e in
+  fun record -> f record = True
+
+(* ------------------------------------------------------------------ *)
+(* Span-compiled predicates.
+
+   [compile_span] specializes the scan-filter shape — a conjunction of
+   [Field <op> Const] comparisons — into a matcher that runs directly
+   against an encoded record payload: fields the predicate does not read
+   are skipped in the encoding, read fields are compared in place (string
+   constants against the payload bytes, without materializing a value).
+   This is the innermost loop of a vectorized scan, where the payload is
+   still in the pinned page image.
+
+   Supported conjuncts are restricted so the matcher cannot disagree with
+   {!compile}/{!test}: the constant's type must equal the field's declared
+   schema type (no cross-type numeric coercion), so on schema-validated
+   data every field tag is either the declared type or NULL and no
+   comparison can raise. All conjuncts are still evaluated (no boolean
+   short-circuit), matching the pinned left-to-right evaluation of the
+   interpreter. A payload whose shape deviates (width drift, unexpected
+   tag) makes the matcher return [None]: the caller must fall back to
+   materializing the record and evaluating the predicate on it. *)
+
+type span_check =
+  | Sc_int of (int -> bool) * int64
+  | Sc_float of (int -> bool) * float
+  | Sc_string of (int -> bool) * string
+  | Sc_bool of (int -> bool) * bool
+
+(* Per-field matcher step, specialized from the [span_check]s on the field. *)
+type span_field =
+  | Sf_skip
+  | Sf_int of (int -> bool) * int * int
+    (* decide, constant split as (signed high 32, unsigned low 32) *)
+  | Sf_string of (int -> bool) * string
+  | Sf_checks of span_check list
+
+exception Span_unsupported
+
+(* Continue a LEB128 varint whose bytes so far accumulated [acc] with the
+   continuation bit still set; [p] is past the first byte. *)
+let rec span_varint_rest s (p : int ref) limit shift acc =
+  if !p >= limit then raise Exit;
+  let b = Char.code (String.unsafe_get s !p) in
+  incr p;
+  let acc = acc lor ((b land 0x7f) lsl shift) in
+  if b land 0x80 = 0 then acc else span_varint_rest s p limit (shift + 7) acc
+
+(* String.compare, but the left operand is [s.[pos .. pos+len-1]]. *)
+let span_str_cmp s pos len const =
+  let cl = String.length const in
+  let m = if len < cl then len else cl in
+  let rec go k =
+    if k = m then Int.compare len cl
+    else
+      let c = Char.compare (String.unsafe_get s (pos + k)) (String.unsafe_get const k) in
+      if c <> 0 then c else go (k + 1)
+  in
+  go 0
+
+let compile_span schema e =
+  let arity = Schema.arity schema in
+  let rec conjuncts e acc =
+    match (e : Expr.t) with
+    | And (a, b) -> conjuncts a (conjuncts b acc)
+    | e -> e :: acc
+  in
+  let to_check (e : Expr.t) =
+    match e with
+    | Cmp (op, Field i, Const c) when i >= 0 && i < arity ->
+      let decide = cmp_decision op in
+      let check =
+        match c, Schema.field_ty schema i with
+        | Value.Int y, Value.Tint -> Sc_int (decide, y)
+        | Value.Float y, Value.Tfloat -> Sc_float (decide, y)
+        | Value.String y, Value.Tstring -> Sc_string (decide, y)
+        | Value.Bool y, Value.Tbool -> Sc_bool (decide, y)
+        | _ -> raise Span_unsupported
+      in
+      (i, check)
+    | _ -> raise Span_unsupported
+  in
+  match List.map to_check (conjuncts e []) with
+  | exception Span_unsupported -> None
+  | checks ->
+    let by_field = Array.make arity [] in
+    List.iter (fun (i, c) -> by_field.(i) <- c :: by_field.(i)) checks;
+    (* Specialize the dominant shapes — one Int or one String conjunct per
+       field — so the per-record loop compares without boxing; Int constants
+       are pre-split into (signed high, unsigned low) 32-bit words and
+       compared lexicographically, which is [Int64.compare] without
+       allocating an [int64]. *)
+    let plan =
+      Array.map
+        (fun cs ->
+          match cs with
+          | [] -> Sf_skip
+          | [ Sc_int (decide, y) ] ->
+            Sf_int
+              ( decide,
+                Int64.to_int (Int64.shift_right y 32),
+                Int64.to_int (Int64.logand y 0xFFFF_FFFFL) )
+          | [ Sc_string (decide, y) ] -> Sf_string (decide, y)
+          | cs -> Sf_checks cs)
+        by_field
+    in
+    let last =
+      let l = ref 0 in
+      Array.iteri
+        (fun i c -> match c with Sf_skip -> () | _ -> l := i)
+        plan;
+      !l
+    in
+    (* The matcher reads the [Codec] wire format directly (tag byte, LEB128
+       varints, little-endian 64-bit scalars, length-prefixed strings) with
+       hand-inlined readers: it runs per record in the innermost scan loop,
+       and each [Codec.Dec] primitive would be a cross-module call. Any
+       shape deviation — truncation, width drift, a tag that is not the
+       declared type — raises [Exit] and reports [None]: the caller
+       materializes the record, which re-raises the decoder's own error on
+       truly malformed input. *)
+    Some
+      (fun s ~pos ~len ->
+        let limit = pos + len in
+        let p = ref pos in
+        match
+          (* field count: single-byte varint fast path *)
+          (if !p >= limit then raise Exit);
+          let b0 = Char.code (String.unsafe_get s !p) in
+          incr p;
+          let count =
+            if b0 < 0x80 then b0
+            else span_varint_rest s p limit 7 (b0 land 0x7f)
+          in
+          if count <> arity then raise Exit;
+          let keep = ref true in
+          for i = 0 to last do
+            (if !p >= limit then raise Exit);
+            let tag = Char.code (String.unsafe_get s !p) in
+            incr p;
+            match plan.(i) with
+            | Sf_skip ->
+              if tag = 2 || tag = 3 then begin
+                if !p + 8 > limit then raise Exit;
+                p := !p + 8
+              end
+              else if tag = 4 then begin
+                (if !p >= limit then raise Exit);
+                let b = Char.code (String.unsafe_get s !p) in
+                incr p;
+                let n =
+                  if b < 0x80 then b
+                  else span_varint_rest s p limit 7 (b land 0x7f)
+                in
+                if !p + n > limit then raise Exit;
+                p := !p + n
+              end
+              else if tag = 1 then begin
+                if !p >= limit then raise Exit;
+                incr p
+              end
+              else if tag <> 0 then raise Exit
+            | Sf_int (decide, yhi, ylo) ->
+              if tag = 0 then
+                (* NULL: every comparison on it is UNKNOWN, never TRUE *)
+                keep := false
+              else if tag <> 2 then raise Exit
+              else begin
+                if !p + 8 > limit then raise Exit;
+                let q = !p in
+                p := q + 8;
+                let lo =
+                  Char.code (String.unsafe_get s q)
+                  lor (Char.code (String.unsafe_get s (q + 1)) lsl 8)
+                  lor (Char.code (String.unsafe_get s (q + 2)) lsl 16)
+                  lor (Char.code (String.unsafe_get s (q + 3)) lsl 24)
+                in
+                let hi_raw =
+                  Char.code (String.unsafe_get s (q + 4))
+                  lor (Char.code (String.unsafe_get s (q + 5)) lsl 8)
+                  lor (Char.code (String.unsafe_get s (q + 6)) lsl 16)
+                  lor (Char.code (String.unsafe_get s (q + 7)) lsl 24)
+                in
+                let hi =
+                  if hi_raw >= 0x8000_0000 then hi_raw - 0x1_0000_0000
+                  else hi_raw
+                in
+                let c =
+                  if hi < yhi then -1
+                  else if hi > yhi then 1
+                  else if lo < ylo then -1
+                  else if lo > ylo then 1
+                  else 0
+                in
+                if not (decide c) then keep := false
+              end
+            | Sf_string (decide, y) ->
+              if tag = 0 then keep := false
+              else if tag <> 4 then raise Exit
+              else begin
+                (if !p >= limit then raise Exit);
+                let b = Char.code (String.unsafe_get s !p) in
+                incr p;
+                let slen =
+                  if b < 0x80 then b
+                  else span_varint_rest s p limit 7 (b land 0x7f)
+                in
+                let spos = !p in
+                if spos + slen > limit then raise Exit;
+                p := spos + slen;
+                if not (decide (span_str_cmp s spos slen y)) then keep := false
+              end
+            | Sf_checks cs ->
+              (* several conjuncts on one field, or float/bool *)
+              if tag = 0 then keep := false
+              else begin
+                match tag with
+                | 2 | 3 ->
+                  if !p + 8 > limit then raise Exit;
+                  let bits = String.get_int64_le s !p in
+                  p := !p + 8;
+                  List.iter
+                    (fun c ->
+                      match c, tag with
+                      | Sc_int (decide, y), 2 ->
+                        if not (decide (Int64.compare bits y)) then
+                          keep := false
+                      | Sc_float (decide, y), 3 ->
+                        if
+                          not
+                            (decide
+                               (Float.compare (Int64.float_of_bits bits) y))
+                        then keep := false
+                      | _ -> raise Exit)
+                    cs
+                | 1 ->
+                  (if !p >= limit then raise Exit);
+                  let x =
+                    match Char.code (String.unsafe_get s !p) with
+                    | 0 -> false
+                    | 1 -> true
+                    | _ -> raise Exit
+                  in
+                  incr p;
+                  List.iter
+                    (fun c ->
+                      match c with
+                      | Sc_bool (decide, y) ->
+                        if not (decide (Bool.compare x y)) then keep := false
+                      | _ -> raise Exit)
+                    cs
+                | 4 ->
+                  (if !p >= limit then raise Exit);
+                  let b = Char.code (String.unsafe_get s !p) in
+                  incr p;
+                  let slen =
+                    if b < 0x80 then b
+                    else span_varint_rest s p limit 7 (b land 0x7f)
+                  in
+                  let spos = !p in
+                  if spos + slen > limit then raise Exit;
+                  p := spos + slen;
+                  List.iter
+                    (fun c ->
+                      match c with
+                      | Sc_string (decide, y) ->
+                        if not (decide (span_str_cmp s spos slen y)) then
+                          keep := false
+                      | _ -> raise Exit)
+                    cs
+                | _ -> raise Exit
+              end
+          done;
+          !keep
+        with
+        | keep -> if keep then Some true else Some false
+        | exception Exit -> None)

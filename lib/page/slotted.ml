@@ -57,6 +57,12 @@ let read page s =
     let off, len = slot_entry page s in
     if off = dead then None else Some (Bytes.sub_string page off len)
 
+let payload_span page s =
+  if s < 0 || s >= slot_count page then None
+  else
+    let off, len = slot_entry page s in
+    if off = dead then None else Some (off, len)
+
 (* Rewrite all live payloads packed against the page end, fixing offsets.
    Reclaims space left by deletes and shrinking updates. *)
 let compact page =
@@ -198,6 +204,13 @@ let iter page f =
   let n = slot_count page in
   for s = 0 to n - 1 do
     match read page s with None -> () | Some payload -> f s payload
+  done
+
+let iter_spans page f =
+  let n = slot_count page in
+  for s = 0 to n - 1 do
+    let off = get16 page (header_size + (s * slot_size)) in
+    if off <> dead then f s off (get16 page (header_size + (s * slot_size) + 2))
   done
 
 let fold page ~init ~f =

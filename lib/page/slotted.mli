@@ -29,6 +29,12 @@ val insert : bytes -> string -> slot option
 val read : bytes -> slot -> string option
 (** [None] for tombstones and out-of-range slots. *)
 
+val payload_span : bytes -> slot -> (int * int) option
+(** [(offset, length)] of a live payload within the page image, [None] for
+    tombstones and out-of-range slots. Lets a caller that holds the page
+    pinned decode the payload in place instead of copying it out; the span
+    is only valid until the page is unpinned or mutated. *)
+
 val update : bytes -> slot -> string -> bool
 (** Replace payload in place (possibly after compaction); [false] when the new
     payload does not fit or the slot is dead. *)
@@ -51,5 +57,10 @@ val insert_at : bytes -> slot -> string -> bool
 
 val iter : bytes -> (slot -> string -> unit) -> unit
 (** Live records in slot order. *)
+
+val iter_spans : bytes -> (slot -> int -> int -> unit) -> unit
+(** [iter_spans page f] calls [f slot offset length] for each live payload in
+    slot order, without copying anything — the allocation-free counterpart of
+    {!iter} for callers that decode in place under the pin. *)
 
 val fold : bytes -> init:'a -> f:('a -> slot -> string -> 'a) -> 'a

@@ -104,21 +104,38 @@ let bounds_of ~key_fields pred =
       (lo, hi)
   end
 
-let cursor_of_record_scan ?stats (scan : Intf.record_scan) =
-  let next () =
-    match scan.rs_next () with
-    | None -> None
-    | Some (_, r) ->
+(* Pull-based view of a vectorized scan: the operator keeps the current run
+   and hands records out one at a time, pulling the next run when drained.
+   [os_seq] still counts key-sequential steps per record, and the run-pulling
+   [next] carries the whole run's buffer-pool traffic in the surrounding
+   [observe_cursor] diff, so per-operator stats stay exact under batching. *)
+let cursor_of_run_scan ?stats (scan : Intf.run_scan) =
+  let buf = ref [||] in
+  let idx = ref 0 in
+  let rec next () =
+    if !idx < Array.length !buf then begin
+      let _, r = (!buf).(!idx) in
+      incr idx;
       count_seq stats;
       Some r
+    end
+    else
+      match scan.rn_next () with
+      | None -> None
+      | Some run ->
+        buf := run;
+        idx := 0;
+        next ()
   in
-  { next; close = scan.rs_close }
+  { next; close = scan.rn_close }
 
-(* Fetch-and-filter cursor over a stream of record keys. *)
+(* Fetch-and-filter cursor over a stream of record keys. The residual
+   predicate is compiled once per plan open, not interpreted per record. *)
 let fetch_cursor ctx ?stats (desc : Descriptor.t) pred keys_next close =
   let (module M : Intf.STORAGE_METHOD) =
     Registry.storage_method desc.smethod_id
   in
+  let test = Option.map (Eval.compile desc.schema) pred in
   let rec next () =
     match keys_next () with
     | None -> None
@@ -127,8 +144,8 @@ let fetch_cursor ctx ?stats (desc : Descriptor.t) pred keys_next close =
       match M.fetch ctx desc key () with
       | None -> next ()  (* entry pointing at a record deleted by us *)
       | Some record -> begin
-        match pred with
-        | Some p when not (Eval.test record p) -> next ()
+        match test with
+        | Some t when not (t record) -> next ()
         | _ -> Some record
       end
     end
@@ -140,12 +157,12 @@ let exec_single ctx ?stats (s : Plan.single) ~params =
   let* base =
     match s.access with
     | Plan.Seq_scan ->
-      let* scan = Relation.scan ctx s.desc ?filter:pred () in
-      Ok (cursor_of_record_scan ?stats scan)
+      let* scan = Relation.scan_batch ctx s.desc ?filter:pred () in
+      Ok (cursor_of_run_scan ?stats scan)
     | Plan.Keyed_storage { key_fields } ->
       let lo, hi = bounds_of ~key_fields pred in
-      let* scan = Relation.scan ctx s.desc ~lo ~hi ?filter:pred () in
-      Ok (cursor_of_record_scan ?stats scan)
+      let* scan = Relation.scan_batch ctx s.desc ~lo ~hi ?filter:pred () in
+      Ok (cursor_of_run_scan ?stats scan)
     | Plan.Index_eq { at_id; instance; fields } -> begin
       match Analyze.key_range ~key_fields:fields (Option.get pred) with
       | Some (eq, _) when Array.length eq = Array.length fields ->
@@ -270,6 +287,9 @@ let exec_join ?join_stats ?outer_stats ?inner_stats ctx ~outer
     let pred =
       Option.map (Expr.subst_params params) outer.Plan.predicate
     in
+    let otest =
+      Option.map (Eval.compile outer.Plan.desc.Descriptor.schema) pred
+    in
     let pairs =
       ref (Dmx_attach.Join_index.pairs_of_instance ctx outer.Plan.desc ~instance)
     in
@@ -289,8 +309,8 @@ let exec_join ?join_stats ?outer_stats ?inner_stats ctx ~outer
         | None -> next ()
         | Some orec ->
           if
-            match pred with
-            | Some p -> not (Eval.test orec p)
+            match otest with
+            | Some t -> not (t orec)
             | None -> false
           then next ()
           else begin
@@ -339,6 +359,12 @@ let run ctx plan ?params () =
       | exception Eval.Error msg ->
         cursor.close ();
         Error (Error.Internal ("evaluation: " ^ msg))
+      | exception e ->
+        (* scan hygiene: any escaping exception must not leak the open scans
+           behind this cursor (the DMX_SANITIZE scan-balance check would
+           trip at commit) *)
+        cursor.close ();
+        raise e
     in
     drain []
 
@@ -403,6 +429,9 @@ let analyze ctx (plan : Plan.t) ?(params = [||]) () =
       | exception Eval.Error msg ->
         cursor.close ();
         Error (Error.Internal ("evaluation: " ^ msg))
+      | exception e ->
+        cursor.close ();
+        raise e
     in
     drain []
 

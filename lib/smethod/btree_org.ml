@@ -227,7 +227,38 @@ module Impl = struct
       | None -> None
       | Some (key, payload) -> Some (Record_key.fields key, record_of payload)
     in
-    Scan_help.filtered ?filter ~next
+    Scan_help.filtered ?filter ~schema:desc.Descriptor.schema ~next
+      ~close:(fun () -> ())
+      ~capture:(fun () ->
+        let saved = Btree.position cursor in
+        fun () -> Btree.seek cursor saved)
+      ()
+
+  (* Vectorized scan (registered as the batch vector entry): one run per
+     leaf via [Btree.next_run], with the following leaf's page prefetched
+     into the clock pool before the run is handed out — by the time the
+     consumer drains the run, the next key-sequential step hits in cache.
+     Positions are captured between runs (the cursor is on the run's last
+     key), so savepoint restore re-enters exactly after it. *)
+  let scan_batch ctx (desc : Descriptor.t) ~lo ~hi ~filter =
+    let bd = bdesc_of desc in
+    let cursor =
+      Btree.cursor ?lo:(bound_of lo) ?hi:(bound_of hi) (tree_of ctx bd)
+    in
+    let next_run () =
+      match Btree.next_run cursor with
+      | None -> None
+      | Some (entries, next_leaf) ->
+        if next_leaf <> 0 then
+          Dmx_page.Buffer_pool.prefetch ~txid:ctx.Ctx.txn.Dmx_txn.Txn.id
+            ctx.Ctx.bp next_leaf;
+        Some
+          (Array.map
+             (fun (key, payload) ->
+               (Record_key.fields key, record_of payload))
+             entries)
+    in
+    Scan_help.filtered_batch ?filter ~schema:desc.Descriptor.schema ~next_run
       ~close:(fun () -> ())
       ~capture:(fun () ->
         let saved = Btree.position cursor in
@@ -328,4 +359,5 @@ let register () =
       Registry.register_storage_method (module Impl : Intf.STORAGE_METHOD)
     in
     reg_id := Some id;
+    Registry.set_sm_scan_batch id Impl.scan_batch;
     id

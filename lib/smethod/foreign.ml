@@ -209,7 +209,7 @@ module Impl = struct
         | _ -> None
       end
     in
-    Scan_help.filtered ?filter ~next
+    Scan_help.filtered ?filter ~schema:desc.Descriptor.schema ~next
       ~close:(fun () -> ())
       ~capture:(fun () ->
         let saved = !pos in

@@ -378,12 +378,132 @@ module Impl = struct
       let page_idx, slot = !pos in
       if page_idx < 0 then advance 0 0 else advance page_idx (slot + 1)
     in
-    Scan_help.filtered ?filter ~next:next_raw
+    Scan_help.filtered ?filter ~schema:desc.Descriptor.schema ~next:next_raw
       ~close:(fun () -> ())
       ~capture:(fun () ->
         let saved = !pos in
         fun () -> pos := saved)
       ()
+
+  (* Vectorized scan (registered as the batch vector entry): one run per data
+     page, every live slot decoded under a single pin — buffer-pool pins per
+     scan drop from O(records) to O(pages). The position between runs is the
+     index of the last delivered page; RIDs have no order, so run boundaries
+     are the only positions batch consumers observe.
+
+     Because the whole page is processed under one pin, payloads are decoded
+     in place from the page image ([Slotted.payload_span] +
+     [Codec.Dec.of_string_span]) instead of being copied out first — the
+     record-at-a-time path cannot do this, since a payload must outlive the
+     pin that produced it. With a filter, the predicate is compiled once and
+     evaluated on a late-materialized record: only the fields the predicate
+     reads are decoded (the rest are skipped in the encoding), and a full
+     record is built only for qualifying slots. *)
+  let scan_batch ctx (desc : Descriptor.t) ~lo ~hi ~filter =
+    ignore lo;
+    ignore hi;
+    let schema = desc.Descriptor.schema in
+    let arity = Schema.arity schema in
+    let test = Option.map (Dmx_expr.Eval.compile schema) filter in
+    let span_test = Option.bind filter (Dmx_expr.Eval.compile_span schema) in
+    (* fields the predicate reads; late materialization decodes only these *)
+    let needed =
+      match filter with
+      | None -> [||]
+      | Some pred ->
+        let b = Array.make arity false in
+        List.iter
+          (fun i -> if i >= 0 && i < arity then b.(i) <- true)
+          (Dmx_expr.Expr.fields_used pred);
+        b
+    in
+    (* Scratch record for predicate evaluation: needed fields are overwritten
+       for every slot, the rest stay Null. Qualifying slots get a fresh full
+       decode, so the scratch never escapes this scan. *)
+    let scratch = Array.make (max 1 arity) Value.Null in
+    (* Fallback when the filter is not span-compilable (or a payload
+       deviates from the schema): materialize what the predicate reads and
+       run the compiled closure. *)
+    let scratch_admits test img off len =
+      let d = Codec.Dec.of_string_span img ~pos:off ~len in
+      let fields = Codec.Dec.varint d in
+      if fields <> arity then
+        (* width drift: evaluate exactly what a full decode sees *)
+        test (Codec.Dec.record (Codec.Dec.of_string_span img ~pos:off ~len))
+      else begin
+        for i = 0 to fields - 1 do
+          if needed.(i) then scratch.(i) <- Codec.Dec.value d
+          else Codec.Dec.skip_value d
+        done;
+        test scratch
+      end
+    in
+    (* Chosen once per scan open: no filter, span-compiled, or fallback. *)
+    let admit =
+      match test with
+      | None -> fun _ _ _ -> true
+      | Some test -> begin
+        match span_test with
+        | Some f ->
+          fun img off len -> begin
+            match f img ~pos:off ~len with
+            | Some keep -> keep
+            | None -> scratch_admits test img off len
+          end
+        | None -> scratch_admits test
+      end
+    in
+    let pages = Array.of_list (hdesc_of desc).pages in
+    let pos = ref (-1) in
+    let decode_page page data =
+      (* Read-only view of the pinned frame; decoded values copy what they
+         need out of it, nothing retains the view past the unpin. *)
+      let img = Bytes.unsafe_to_string data in
+      let hits = ref [] in
+      let count = ref 0 in
+      Slotted.iter_spans data (fun s off len ->
+          if admit img off len then begin
+            let d = Codec.Dec.of_string_span img ~pos:off ~len in
+            hits :=
+              (Record_key.rid ~page ~slot:s, Codec.Dec.record d) :: !hits;
+            incr count
+          end);
+      match !hits with
+      | [] -> None
+      | first :: _ ->
+        (* ascending slot iteration prepended, so fill back-to-front *)
+        let run = Array.make !count first in
+        let rec fill i hs =
+          match hs with
+          | [] -> ()
+          | h :: tl ->
+            run.(i) <- h;
+            fill (i - 1) tl
+        in
+        fill (!count - 1) !hits;
+        Some run
+    in
+    let next_run () =
+      let rec advance page_idx =
+        if page_idx >= Array.length pages then None
+        else
+          let page = pages.(page_idx) in
+          match with_page ctx page (decode_page page) with
+          | None -> advance (page_idx + 1)
+          | Some run ->
+            pos := page_idx;
+            Some run
+      in
+      advance (!pos + 1)
+    in
+    {
+      Intf.rn_next = next_run;
+      rn_close = (fun () -> ());
+      rn_capture =
+        (fun () ->
+          let saved = !pos in
+          fun () -> pos := saved);
+    }
 
   let estimate_scan ctx (desc : Descriptor.t) ~eligible =
     ignore ctx;
@@ -478,4 +598,5 @@ let register () =
     in
     reg_id := Some id;
     Registry.set_sm_insert_batch id Impl.insert_batch;
+    Registry.set_sm_scan_batch id Impl.scan_batch;
     id

@@ -166,7 +166,39 @@ module Impl = struct
         pos := seq;
         Some (key_of_seq seq, record)
     in
-    Scan_help.filtered ?filter ~next
+    Scan_help.filtered ?filter ~schema:desc.Descriptor.schema ~next
+      ~close:(fun () -> ())
+      ~capture:(fun () ->
+        let saved = !pos in
+        fun () -> pos := saved)
+      ()
+
+  (* Vectorized scan (registered as the batch vector entry): one map walk
+     per run of [Scan_help.run_length] records instead of one
+     [find_first_opt] re-descent per record. The position between runs is
+     the last delivered sequence number, as in [scan]. *)
+  let scan_batch ctx (desc : Descriptor.t) ~lo ~hi ~filter =
+    ignore ctx;
+    ignore lo;
+    ignore hi;
+    let s = store_of desc.rel_id in
+    let pos = ref 0 in
+    let next_run () =
+      let n = Scan_help.run_length () in
+      let rec take acc count seq =
+        if count >= n then acc
+        else
+          match seq () with
+          | Seq.Nil -> acc
+          | Seq.Cons ((s, record), rest) ->
+            pos := s;
+            take ((key_of_seq s, record) :: acc) (count + 1) rest
+      in
+      match take [] 0 (Imap.to_seq_from (!pos + 1) s.records) with
+      | [] -> None
+      | hits -> Some (Array.of_list (List.rev hits))
+    in
+    Scan_help.filtered_batch ?filter ~schema:desc.Descriptor.schema ~next_run
       ~close:(fun () -> ())
       ~capture:(fun () ->
         let saved = !pos in
@@ -224,4 +256,5 @@ let register () =
       Registry.register_storage_method (module Impl : Intf.STORAGE_METHOD)
     in
     reg_id := Some id;
+    Registry.set_sm_scan_batch id Impl.scan_batch;
     id

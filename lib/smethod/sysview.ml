@@ -380,7 +380,7 @@ module Impl = struct
         Some (Record_key.rid ~page:0 ~slot:i, rows.(i))
       end
     in
-    Scan_help.filtered ?filter ~next
+    Scan_help.filtered ?filter ~schema:desc.Descriptor.schema ~next
       ~close:(fun () -> ())
       ~capture:(fun () ->
         let saved = !pos in

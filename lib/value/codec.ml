@@ -65,13 +65,18 @@ module Enc = struct
 end
 
 module Dec = struct
-  type t = { buf : string; mutable pos : int }
+  type t = { buf : string; mutable pos : int; limit : int }
 
-  let of_string s = { buf = s; pos = 0 }
+  let of_string s = { buf = s; pos = 0; limit = String.length s }
   let of_bytes b = of_string (Bytes.to_string b)
 
+  let of_string_span s ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Codec.Dec.of_string_span: span out of bounds";
+    { buf = s; pos; limit = pos + len }
+
   let need t n =
-    if t.pos + n > String.length t.buf then failwith "Codec.Dec: truncated input"
+    if t.pos + n > t.limit then failwith "Codec.Dec: truncated input"
 
   let byte t =
     need t 1;
@@ -108,6 +113,15 @@ module Dec = struct
     t.pos <- t.pos + n;
     s
 
+  (* (position, length) of a length-prefixed string within the underlying
+     buffer, without copying it out. *)
+  let string_span t =
+    let n = varint t in
+    need t n;
+    let pos = t.pos in
+    t.pos <- t.pos + n;
+    (pos, n)
+
   let bytes t = Bytes.of_string (string t)
 
   let value t : Value.t =
@@ -118,6 +132,24 @@ module Dec = struct
     | 3 -> Float (float t)
     | 4 -> String (string t)
     | n -> failwith (Fmt.str "Codec.Dec.value: bad tag %d" n)
+
+  (* Advance past one encoded value without materializing it — the late
+     materialization path of vectorized scans skips the fields a filter
+     does not read. *)
+  let skip_value t =
+    match byte t with
+    | 0 -> ()
+    | 1 ->
+      need t 1;
+      t.pos <- t.pos + 1
+    | 2 | 3 ->
+      need t 8;
+      t.pos <- t.pos + 8
+    | 4 ->
+      let n = varint t in
+      need t n;
+      t.pos <- t.pos + n
+    | n -> failwith (Fmt.str "Codec.Dec.skip_value: bad tag %d" n)
 
   let record t =
     let n = varint t in
@@ -133,8 +165,8 @@ module Dec = struct
     | 1 -> Some (f t)
     | n -> failwith (Fmt.str "Codec.Dec.option: bad tag %d" n)
 
-  let at_end t = t.pos >= String.length t.buf
-  let remaining t = String.length t.buf - t.pos
+  let at_end t = t.pos >= t.limit
+  let remaining t = t.limit - t.pos
 end
 
 let encode_record r =

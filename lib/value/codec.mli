@@ -34,14 +34,31 @@ module Dec : sig
 
   val of_bytes : bytes -> t
   val of_string : string -> t
+
+  val of_string_span : string -> pos:int -> len:int -> t
+  (** Decode within [s.[pos .. pos+len-1]] without copying the span out —
+      vectorized scans decode record payloads directly from the pinned page
+      image. Raises [Invalid_argument] when the span exceeds [s]. *)
+
   val byte : t -> int
   val varint : t -> int
   val int64 : t -> int64
   val float : t -> float
   val bool : t -> bool
   val string : t -> string
+
+  val string_span : t -> int * int
+  (** [(pos, len)] of a length-prefixed string within the buffer the decoder
+      was built over ([pos] is absolute), advancing past it without copying —
+      span-compiled predicates compare string fields in place. *)
+
   val bytes : t -> bytes
   val value : t -> Value.t
+
+  val skip_value : t -> unit
+  (** Advance past one encoded value without materializing it (late
+      materialization: filters read only the fields they use). *)
+
   val record : t -> Value.t array
   val list : t -> (t -> 'a) -> 'a list
   val option : t -> (t -> 'a) -> 'a option

@@ -145,6 +145,118 @@ let prop_not_involution =
       | None, None -> true
       | _ -> false)
 
+(* the compiled-closure path is observably identical to the interpreter:
+   same truth values over NULLs (three-valued logic), same raised errors
+   (message included), same fallback behaviour for Param/Call subtrees —
+   both sides run without params, as a scan filter does. *)
+let compile_records =
+  [
+    sample_record;
+    [| Value.Null; Value.Null; Value.Null; Value.Null |];
+    [| Value.int (-3); Value.String ""; Value.String "zz"; Value.int 0 |];
+  ]
+
+let prop_compile_truth_equiv =
+  QCheck.Test.make ~name:"compile_truth agrees with truth" ~count:400 arb_expr
+    (fun e ->
+      let f = Eval.compile_truth Test_util.emp_schema e in
+      List.for_all
+        (fun r ->
+          let direct =
+            match Eval.truth r e with
+            | t -> Ok t
+            | exception Eval.Error m -> Error m
+          in
+          let compiled =
+            match f r with
+            | t -> Ok t
+            | exception Eval.Error m -> Error m
+          in
+          direct = compiled)
+        compile_records)
+
+let prop_compile_test_equiv =
+  QCheck.Test.make ~name:"compile agrees with test" ~count:400 arb_expr
+    (fun e ->
+      let f = Eval.compile Test_util.emp_schema e in
+      List.for_all
+        (fun r ->
+          let direct =
+            match Eval.test r e with
+            | b -> Ok b
+            | exception Eval.Error m -> Error m
+          in
+          let compiled =
+            match f r with
+            | b -> Ok b
+            | exception Eval.Error m -> Error m
+          in
+          direct = compiled)
+        compile_records)
+
+(* The span matcher: on the supported scan-filter shape (conjunctions of
+   [Field <op> Const] with schema-matching constant types), the verdict
+   computed directly on the encoded payload must agree with [Eval.test] on
+   the decoded record — including NULL fields and int64 sign/magnitude
+   corners (the matcher compares int64s as split 32-bit words). *)
+let gen_span_case =
+  let open QCheck.Gen in
+  let op = oneofl [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ] in
+  let small_int =
+    frequency
+      [
+        (6, int_range (-100) 100);
+        (1, oneofl [ min_int; max_int; -1; 0; 1; 0x7FFF_FFFF; -0x8000_0000 ]);
+      ]
+  in
+  let small_str =
+    frequency
+      [ (3, string_size (int_range 0 4)); (1, oneofl [ ""; "d3"; "zz" ]) ]
+  in
+  let conj =
+    oneof
+      [
+        map3
+          (fun i o n -> Expr.Cmp (o, Expr.Field i, Expr.Const (Value.int n)))
+          (oneofl [ 0; 3 ]) op small_int;
+        map3
+          (fun i o s ->
+            Expr.Cmp (o, Expr.Field i, Expr.Const (Value.String s)))
+          (oneofl [ 1; 2 ]) op small_str;
+      ]
+  in
+  let pred =
+    map
+      (fun cs ->
+        match cs with
+        | [] -> assert false
+        | c :: tl -> List.fold_left (fun acc c -> Expr.And (acc, c)) c tl)
+      (list_size (int_range 1 4) conj)
+  in
+  let value_or_null g = frequency [ (4, g); (1, return Value.Null) ] in
+  let record =
+    let iv = value_or_null (map Value.int small_int) in
+    let sv = value_or_null (map (fun s -> Value.String s) small_str) in
+    map (fun (a, b, c, d) -> [| a; b; c; d |]) (tup4 iv sv sv iv)
+  in
+  pair pred record
+
+let prop_span_matcher_equiv =
+  QCheck.Test.make ~name:"span matcher agrees with test on encoded payloads"
+    ~count:1000
+    (QCheck.make gen_span_case ~print:(fun (e, r) ->
+         Fmt.str "%s on %a" (Expr.to_string e) Fmt.(Dump.array Value.pp) r))
+    (fun (e, r) ->
+      match Eval.compile_span Test_util.emp_schema e with
+      | None -> QCheck.Test.fail_report "span-compilable shape was rejected"
+      | Some f -> begin
+        let payload = Bytes.to_string (Codec.encode_record r) in
+        match f payload ~pos:0 ~len:(String.length payload) with
+        | None ->
+          QCheck.Test.fail_report "schema-shaped payload must not fall back"
+        | Some keep -> keep = Eval.test r e
+      end)
+
 (* the predicate parser never crashes: any input yields Ok or Error *)
 let prop_parser_total =
   QCheck.Test.make ~name:"parser is total" ~count:500
@@ -184,4 +296,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_selectivity_bounded;
     QCheck_alcotest.to_alcotest prop_fields_used_sound;
     QCheck_alcotest.to_alcotest prop_not_involution;
+    QCheck_alcotest.to_alcotest prop_compile_truth_equiv;
+    QCheck_alcotest.to_alcotest prop_compile_test_equiv;
+    QCheck_alcotest.to_alcotest prop_span_matcher_equiv;
   ]

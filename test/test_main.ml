@@ -17,6 +17,7 @@ let () =
       ("recovery", Test_recovery.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("query", Test_query.suite);
+      ("readpath", Test_readpath.suite);
       ("concurrency", Test_concurrency.suite);
       ("authz", Test_authz.suite);
       ("property", Test_property.suite);

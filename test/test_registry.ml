@@ -117,6 +117,19 @@ let test_unregistered_dispatch () =
       ignore
         (Registry.Vec.at_on_delete.(Descriptor.max_attachment_types - 1) ctx
            desc ~slot:"" (Record_key.rid ~page:0 ~slot:0) [| Value.int 1 |]));
+  (* the optional batch-scan slot: its default chunks the record scan, so an
+     unregistered id fails on the underlying sm_scan_batch lookup *)
+  Alcotest.check_raises "unregistered sm_scan_batch dispatch"
+    (Failure
+       (Fmt.str
+          "Registry: dispatch through unregistered slot %d of vector \
+           sm_scan_batch — the extension was linked but never registered in \
+           the default factory (Db.register_defaults)"
+          bad_id))
+    (fun () ->
+      ignore
+        (Registry.Vec.sm_scan_batch.(bad_id) ctx desc ~lo:Intf.Unbounded
+           ~hi:Intf.Unbounded ~filter:None));
   Services.abort sv ctx;
   Services.close sv
 

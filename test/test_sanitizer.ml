@@ -53,6 +53,84 @@ let test_pin_balance_clean () =
       Services.commit sv ctx;
       Services.close sv)
 
+(* ---- open-scan balance: the read-path mirror of pin balance ---- *)
+
+let scan_fixture sv =
+  let ctx = Services.begin_txn sv in
+  let desc =
+    Test_util.check_ok "create"
+      (Dmx_ddl.Ddl.create_relation ctx ~name:"t" ~schema:Test_util.emp_schema
+         ~storage_method:"heap" ())
+  in
+  ignore
+    (Test_util.check_ok "ins"
+       (Relation.insert ctx desc (Test_util.emp 1 "a" "d" 10)));
+  (ctx, desc)
+
+(* A scan opened inside a transaction and never closed is reported at
+   commit, before the transaction manager force-closes it. *)
+let test_scan_leak_trips () =
+  with_sanitizer true (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx, desc = scan_fixture sv in
+      let scan = Test_util.check_ok "scan" (Relation.scan ctx desc ()) in
+      let msg =
+        expect_violation "scan leak at commit" (fun () ->
+            Services.commit sv ctx)
+      in
+      check_contains "scan leak report" msg "open-scan leak";
+      check_contains "scan leak report" msg "1 scan";
+      scan.Intf.rs_close ();
+      Services.close sv)
+
+(* Batch scans register the same way; leaking one trips too. *)
+let test_batch_scan_leak_trips () =
+  with_sanitizer true (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx, desc = scan_fixture sv in
+      let scan =
+        Test_util.check_ok "scan_batch" (Relation.scan_batch ctx desc ())
+      in
+      let msg =
+        expect_violation "batch scan leak at commit" (fun () ->
+            Services.commit sv ctx)
+      in
+      check_contains "scan leak report" msg "open-scan leak";
+      scan.Intf.rn_close ();
+      Services.close sv)
+
+let test_scan_leak_silent_when_off () =
+  with_sanitizer false (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx, desc = scan_fixture sv in
+      let _scan = Test_util.check_ok "scan" (Relation.scan ctx desc ()) in
+      (* Txn_mgr.commit force-closes the survivor *)
+      Services.commit sv ctx;
+      Services.close sv)
+
+(* Closed scans balance; and abort is exempt — aborting with scans open is
+   the normal error path. *)
+let test_scan_balance_clean () =
+  with_sanitizer true (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx, desc = scan_fixture sv in
+      let scan = Test_util.check_ok "scan" (Relation.scan ctx desc ()) in
+      scan.Intf.rs_close ();
+      let batch =
+        Test_util.check_ok "scan_batch" (Relation.scan_batch ctx desc ())
+      in
+      batch.Intf.rn_close ();
+      Services.commit sv ctx;
+      Services.close sv)
+
+let test_scan_leak_abort_exempt () =
+  with_sanitizer true (fun () ->
+      let sv = Test_util.fresh_services () in
+      let ctx, desc = scan_fixture sv in
+      let _scan = Test_util.check_ok "scan" (Relation.scan ctx desc ()) in
+      Services.abort sv ctx;
+      Services.close sv)
+
 (* A WAL append observed with a non-monotone LSN — e.g. a buggy extension
    replaying a stale log index — is vetoed. The observer is seeded as if 100
    records had been appended, then a fresh log appends LSN 1 through it. *)
@@ -249,6 +327,15 @@ let suite =
     Alcotest.test_case "pin leak silent without DMX_SANITIZE" `Quick
       test_pin_leak_silent_when_off;
     Alcotest.test_case "balanced pins stay silent" `Quick test_pin_balance_clean;
+    Alcotest.test_case "scan leak trips at commit" `Quick test_scan_leak_trips;
+    Alcotest.test_case "batch scan leak trips at commit" `Quick
+      test_batch_scan_leak_trips;
+    Alcotest.test_case "scan leak silent without DMX_SANITIZE" `Quick
+      test_scan_leak_silent_when_off;
+    Alcotest.test_case "balanced scans stay silent" `Quick
+      test_scan_balance_clean;
+    Alcotest.test_case "scan leak exempt at abort" `Quick
+      test_scan_leak_abort_exempt;
     Alcotest.test_case "non-monotone LSN append trips" `Quick
       test_lsn_monotonicity_trips;
     Alcotest.test_case "non-monotone LSN silent without DMX_SANITIZE" `Quick
